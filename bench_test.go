@@ -1,0 +1,233 @@
+// Package repro_test hosts the benchmark harness: one benchmark per
+// table and figure of the paper (run the full-scale versions with
+// cmd/siexp), plus ablation benches for the design decisions DESIGN.md
+// calls out. Benchmarks use bounded corpus sizes so `go test -bench=.`
+// completes on a laptop; shapes, not absolute numbers, are the
+// reproduction target.
+package repro_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/join"
+	"repro/internal/postings"
+	"repro/internal/query"
+	"repro/si"
+)
+
+// benchConfig returns an experiments config sized for benchmarking.
+func benchConfig(b *testing.B) experiments.Config {
+	return experiments.Config{
+		Seed:             2012,
+		WorkDir:          b.TempDir(),
+		Fig2Sizes:        []int{1, 10, 100, 1000},
+		Fig3MinNodes:     20000,
+		GridSizes:        []int{100, 400},
+		RuntimeSentences: 800,
+		RuntimeReps:      1,
+		Fig13Sizes:       []int{100, 400, 1600},
+	}
+}
+
+func runExperiment(b *testing.B, id string) *experiments.Result {
+	b.Helper()
+	r, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = r.Run(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkFig2UniqueSubtrees(b *testing.B) {
+	res := runExperiment(b, "fig2")
+	last := res.Rows[len(res.Rows)-1]
+	keys, _ := strconv.Atoi(last[5])
+	b.ReportMetric(float64(keys), "keys@mss5")
+}
+
+func BenchmarkFig3SubtreesVsBranching(b *testing.B) {
+	res := runExperiment(b, "fig3")
+	b.ReportMetric(float64(len(res.Rows)), "branching-factors")
+}
+
+func BenchmarkFig8IndexSize(b *testing.B) {
+	res := runExperiment(b, "fig8")
+	// Last row = largest corpus, subtree-interval; report mss=5 bytes.
+	v, _ := strconv.ParseFloat(res.Rows[len(res.Rows)-1][6], 64)
+	b.ReportMetric(v, "interval-bytes@mss5")
+}
+
+func BenchmarkTable1SizeRatio(b *testing.B) {
+	res := runExperiment(b, "tab1")
+	v, _ := strconv.ParseFloat(res.Rows[len(res.Rows)-1][2], 64)
+	b.ReportMetric(v, "rootsplit-ratio")
+}
+
+func BenchmarkFig9PostingCounts(b *testing.B) {
+	res := runExperiment(b, "fig9")
+	v, _ := strconv.ParseFloat(res.Rows[len(res.Rows)-1][6], 64)
+	b.ReportMetric(v, "interval-postings@mss5")
+}
+
+func BenchmarkFig10BuildTime(b *testing.B) {
+	runExperiment(b, "fig10")
+}
+
+func BenchmarkFig11RuntimeByMatches(b *testing.B) {
+	runExperiment(b, "fig11")
+}
+
+func BenchmarkFig12RuntimeByQuerySize(b *testing.B) {
+	runExperiment(b, "fig12")
+}
+
+func BenchmarkTable2SystemComparison(b *testing.B) {
+	res := runExperiment(b, "tab2")
+	// Speedup of RS over ATreeGrep on the last (HML) class.
+	last := res.Rows[len(res.Rows)-1]
+	rs, _ := strconv.ParseFloat(last[1], 64)
+	atg, _ := strconv.ParseFloat(last[2], 64)
+	if rs > 0 {
+		b.ReportMetric(atg/rs, "atg/rs-speedup")
+	}
+}
+
+func BenchmarkFig13Scalability(b *testing.B) {
+	runExperiment(b, "fig13")
+}
+
+func BenchmarkTable3JoinCounts(b *testing.B) {
+	res := runExperiment(b, "tab3")
+	v, _ := strconv.ParseFloat(res.Rows[0][1], 64)
+	b.ReportMetric(v, "joins-mss2-rootsplit")
+}
+
+// --- ablation benches -------------------------------------------------
+
+// BenchmarkAblationRootDedup quantifies §6.2.1's posting deduplication:
+// root-split with and without collapsing symmetric instances.
+func BenchmarkAblationRootDedup(b *testing.B) {
+	trees := si.GenerateCorpus(2012, 500)
+	for i := 0; i < b.N; i++ {
+		with, err := core.Build(filepath.Join(b.TempDir(), "w"), trees,
+			core.Options{MSS: 3, Coding: postings.RootSplit})
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := core.Build(filepath.Join(b.TempDir(), "wo"), trees,
+			core.Options{MSS: 3, Coding: postings.RootSplit, DisableRootDedup: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(without.Postings)/float64(with.Postings), "dedup-saving")
+	}
+}
+
+// BenchmarkAblationNodeApproach compares the node approach (mss=1, the
+// LPath model) with subtree decomposition (mss=3) on the same queries —
+// the paper's core speedup claim.
+func BenchmarkAblationNodeApproach(b *testing.B) {
+	trees := si.GenerateCorpus(2012, 1500)
+	qs := []*query.Query{
+		query.MustParse("S(NP(DT)(NN))(VP(VBZ))"),
+		query.MustParse("VP(VBZ(is))(NP(DT(a)))"),
+		query.MustParse("NP(DT(the))(JJ)(NN)"),
+	}
+	for _, mss := range []int{1, 3} {
+		b.Run(fmt.Sprintf("mss%d", mss), func(b *testing.B) {
+			dir := filepath.Join(b.TempDir(), "ix")
+			if _, err := core.Build(dir, trees, core.Options{MSS: mss, Coding: postings.RootSplit}); err != nil {
+				b.Fatal(err)
+			}
+			ix, err := core.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, err := ix.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCodingQueryLatency isolates per-coding query cost on
+// a fixed corpus and mss (the Figure 11 mechanism, minus binning).
+func BenchmarkAblationCodingQueryLatency(b *testing.B) {
+	trees := si.GenerateCorpus(2012, 1500)
+	q := query.MustParse("S(NP(DT)(NN))(VP(VBZ))")
+	for _, coding := range []postings.Coding{postings.FilterBased, postings.RootSplit, postings.SubtreeInterval} {
+		b.Run(coding.String(), func(b *testing.B) {
+			dir := filepath.Join(b.TempDir(), "ix")
+			if _, err := core.Build(dir, trees, core.Options{MSS: 3, Coding: coding}); err != nil {
+				b.Fatal(err)
+			}
+			ix, err := core.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStackJoin quantifies the Stack-Tree structural join
+// (DESIGN.md §6) against the block-nested merge on //-heavy queries.
+func BenchmarkAblationStackJoin(b *testing.B) {
+	trees := si.GenerateCorpus(2012, 1500)
+	qs := []*query.Query{
+		query.MustParse("S(//NN)"),
+		query.MustParse("VP(//DT(the))"),
+		query.MustParse("ROOT(//PP(IN)(NP))"),
+	}
+	dir := filepath.Join(b.TempDir(), "ix")
+	if _, err := core.Build(dir, trees, core.Options{MSS: 3, Coding: postings.RootSplit}); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := core.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"stack", false}, {"block", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			join.DisableStackJoin = mode.disable
+			defer func() { join.DisableStackJoin = false }()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, err := ix.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+// Package cmd_test exercises the four command-line tools end to end:
+// generate a corpus, build an index over it, query it, and run a cheap
+// experiment. The tools are compiled once into a temp dir with `go
+// build`, so this is a true binary-level integration test.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	// The test runs in the cmd/ package directory, so tools are
+	// siblings.
+	cmd := exec.Command("go", "build", "-o", bin, "./"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestToolPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips binary builds")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bins := t.TempDir()
+	work := t.TempDir()
+	sigen := buildTool(t, bins, "sigen")
+	sibuild := buildTool(t, bins, "sibuild")
+	siquery := buildTool(t, bins, "siquery")
+	siexp := buildTool(t, bins, "siexp")
+
+	// 1. Generate a corpus file.
+	corpus := filepath.Join(work, "corpus.mrg")
+	run(t, sigen, "-n", "300", "-seed", "7", "-o", corpus)
+	data, err := os.ReadFile(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 300 {
+		t.Fatalf("sigen wrote %d lines, want 300", lines)
+	}
+	if !strings.HasPrefix(string(data), "(ROOT ") {
+		t.Errorf("unexpected corpus head: %.40s", data)
+	}
+
+	// 2. Build an index from the file.
+	idx := filepath.Join(work, "idx")
+	out := run(t, sibuild, "-corpus", corpus, "-out", idx, "-mss", "3", "-coding", "root-split")
+	if !strings.Contains(out, "300 trees") {
+		t.Errorf("sibuild output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(idx, "subtree.idx")); err != nil {
+		t.Errorf("index file missing: %v", err)
+	}
+
+	// 3. Query it, showing a match.
+	out = run(t, siquery, "-index", idx, "-show", "1", "NP(DT)(NN)", "ZZZ(QQQ)")
+	if !strings.Contains(out, "NP(DT)(NN): ") || !strings.Contains(out, "matches in") {
+		t.Errorf("siquery output: %s", out)
+	}
+	if !strings.Contains(out, "ZZZ(QQQ): 0 matches") {
+		t.Errorf("absent query should report 0 matches: %s", out)
+	}
+	if !strings.Contains(out, "tree ") {
+		t.Errorf("-show printed no tree: %s", out)
+	}
+
+	// 4. sibuild with in-process generation agrees with the file path.
+	idx2 := filepath.Join(work, "idx2")
+	run(t, sibuild, "-gen", "300", "-seed", "7", "-out", idx2, "-mss", "3", "-coding", "root-split")
+	out2 := run(t, siquery, "-index", idx2, "NP(DT)(NN)")
+	c1 := matchCount(t, run(t, siquery, "-index", idx, "NP(DT)(NN)"))
+	c2 := matchCount(t, out2)
+	if c1 != c2 || c1 == 0 {
+		t.Errorf("file-built and gen-built indexes disagree: %d vs %d", c1, c2)
+	}
+
+	// 5. siexp runs the cheap decomposition experiment.
+	out = run(t, siexp, "-exp", "tab3")
+	if !strings.Contains(out, "tab3") || !strings.Contains(out, "who") {
+		t.Errorf("siexp output: %s", out)
+	}
+	// And lists experiments.
+	out = run(t, siexp, "-list")
+	for _, id := range []string{"fig2", "fig13", "tab1", "tab3"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("siexp -list missing %s: %s", id, out)
+		}
+	}
+}
+
+func matchCount(t *testing.T, out string) int {
+	t.Helper()
+	// Format: "QUERY: N matches in ..."
+	i := strings.Index(out, ": ")
+	j := strings.Index(out, " matches")
+	if i < 0 || j < 0 || j <= i {
+		t.Fatalf("unparseable siquery output: %s", out)
+	}
+	n := 0
+	for _, c := range out[i+2 : j] {
+		if c < '0' || c > '9' {
+			t.Fatalf("unparseable count in %q", out)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+// Command siquery evaluates tree queries against a built Subtree Index.
+//
+// Usage:
+//
+//	siquery -index idxdir 'VP(VBZ(is))(NP(DT(a))(NN))'
+//	siquery -index idxdir -show 3 'S(//NN(rodent))'
+//
+// Each positional argument is one query; -show N prints the first N
+// matching trees in bracketed form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/si"
+)
+
+func main() {
+	dir := flag.String("index", "si-index", "index directory")
+	show := flag.Int("show", 0, "print up to N matching trees per query")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: siquery -index DIR QUERY...")
+		os.Exit(2)
+	}
+	ix, err := si.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer ix.Close()
+	for _, src := range flag.Args() {
+		start := time.Now()
+		ms, err := ix.Search(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d matches in %v\n", src, len(ms), time.Since(start).Round(time.Microsecond))
+		for i := 0; i < *show && i < len(ms); i++ {
+			t, err := ix.Tree(int(ms[i].TID))
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  tree %d @ node %d: %s\n", ms[i].TID, ms[i].Root, t)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "siquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Grammarmine scans the Subtree Index key space to mine the most
+// frequent grammatical constructions of each size — the kind of
+// corpus-linguistics workload the paper's future-work section points
+// at (subtree statistics), enabled here by B+Tree range iteration.
+//
+//	go run ./examples/grammarmine
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/si"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "si-grammarmine")
+	defer os.RemoveAll(dir)
+
+	trees := si.GenerateCorpus(42, 4000)
+	if _, err := si.Build(dir, trees, si.BuildOptions{MSS: 4, Coding: si.RootSplit}); err != nil {
+		log.Fatal(err)
+	}
+	ix, err := si.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	type kc struct {
+		key   si.Key
+		count int
+	}
+	bySize := map[int][]kc{}
+	if err := ix.Keys("", func(k si.Key, count int) bool {
+		// Key size is the leading integer of the first token ("4:NP ...").
+		size := 0
+		for i := 0; i < len(k) && k[i] >= '0' && k[i] <= '9'; i++ {
+			size = size*10 + int(k[i]-'0')
+		}
+		bySize[size] = append(bySize[size], kc{k, count})
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	for size := 2; size <= 4; size++ {
+		ks := bySize[size]
+		sort.Slice(ks, func(i, j int) bool { return ks[i].count > ks[j].count })
+		fmt.Printf("top constructions with %d nodes (of %d unique):\n", size, len(ks))
+		for i := 0; i < 8 && i < len(ks); i++ {
+			fmt.Printf("  %7d  %s\n", ks[i].count, ks[i].key)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(keys are pre-order size:label tokens; e.g. \"3:NP 1:DT 1:NN\"")
+	fmt.Println(" is the classic determiner-noun NP)")
+}

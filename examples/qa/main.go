@@ -1,0 +1,78 @@
+// QA demonstrates the paper's §1 motivating scenario: answering
+// "What kind of animal is agouti?" by matching the parse of the
+// declarative form "agouti is a ..." against a parsed corpus, instead
+// of keyword search.
+//
+//	go run ./examples/qa
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/si"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "si-qa")
+	defer os.RemoveAll(dir)
+
+	// A corpus with one planted answer sentence among synthetic news
+	// (Figure 1(b) of the paper, as parsed by the Stanford parser).
+	trees := si.GenerateCorpus(7, 3000)
+	answer, err := si.ParseTree(len(trees),
+		"(ROOT (S (NP (DT The) (NNS agouti)) (VP (VBZ is) (NP (DT a) (JJ short-tailed) (JJ plant-eating) (NN rodent)))))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trees = append(trees, answer)
+
+	if _, err := si.Build(dir, trees, si.BuildOptions{MSS: 3, Coding: si.RootSplit}); err != nil {
+		log.Fatal(err)
+	}
+	ix, err := si.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	// The parse of the query "agouti is a", with the answer position
+	// left as a bare NN constraint (Figure 1(a)).
+	queries := []string{
+		"S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))",
+		// A looser variant: any clause linking "agouti" to some noun.
+		"S(NP(//agouti))(VP(VBZ(is))(//NN))",
+	}
+	for _, qs := range queries {
+		ms, err := ix.Search(qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %s\n  -> %d sentence(s)\n", qs, len(ms))
+		for _, m := range ms {
+			t, err := ix.Tree(int(m.TID))
+			if err != nil {
+				log.Fatal(err)
+			}
+			// The answer is the NN under the matched clause: find the
+			// last NN leaf's word in the matched subtree.
+			fmt.Printf("  tree %d: %s\n", m.TID, t)
+			fmt.Printf("  answer word: %q\n", answerNoun(t))
+		}
+	}
+}
+
+// answerNoun extracts the word under the last NN tag — the "rodent"
+// position in the paper's example.
+func answerNoun(t *si.Tree) string {
+	word := ""
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Label == "NN" && len(n.Children) == 1 {
+			word = t.Nodes[n.Children[0]].Label
+		}
+	}
+	return word
+}

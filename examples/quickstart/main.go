@@ -1,0 +1,61 @@
+// Quickstart: build a small Subtree Index over a synthetic parsed
+// corpus and run a few structural queries against it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/si"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "si-quickstart")
+	defer os.RemoveAll(dir)
+
+	// 1. A corpus of parse trees. Real corpora load with si.ReadTrees;
+	// here we generate a synthetic news-like one.
+	trees := si.GenerateCorpus(42, 2000)
+	fmt.Printf("corpus: %d parsed sentences\n", len(trees))
+	fmt.Printf("first sentence parse:\n  %s\n\n", trees[0])
+
+	// 2. Build the index: root-split coding, subtrees up to 3 nodes.
+	info, err := si.Build(dir, trees, si.DefaultBuildOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d keys, %d postings, %d KiB on disk\n\n",
+		info.Keys, info.Postings, info.IndexBytes/1024)
+
+	ix, err := si.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	// 3. Structural queries: children with (), descendants with //.
+	for _, q := range []string{
+		"NP(DT)(NN)",       // noun phrase with determiner and noun
+		"VP(VBZ(is))",      // "is" as a present-tense verb
+		"S(NP)(VP(//PP))",  // clause whose predicate contains a PP
+		"NP(DT(the))(NNS)", // "the" + plural noun
+	} {
+		ms, err := ix.Search(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %6d matches", q, len(ms))
+		if len(ms) > 0 {
+			t, err := ix.Tree(int(ms[0].TID))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("   e.g. tree %d: %.60s...", ms[0].TID, t.String())
+		}
+		fmt.Println()
+	}
+}

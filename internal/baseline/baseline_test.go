@@ -1,0 +1,176 @@
+// Package baseline_test cross-checks all baselines against the exact
+// matcher on a generated corpus: every baseline must return exactly the
+// ground-truth result set (they differ in *how much work* that takes,
+// which the Table 2 experiment measures).
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline/atreegrep"
+	"repro/internal/baseline/freqindex"
+	"repro/internal/baseline/scan"
+	"repro/internal/corpusgen"
+	"repro/internal/lingtree"
+	"repro/internal/match"
+	"repro/internal/query"
+	"repro/internal/treebank"
+)
+
+var testQueries = []string{
+	"NP",
+	"NP(DT)(NN)",
+	"S(NP)(VP)",
+	"VP(VBZ(is))",
+	"NP(DT(a))(NN)",
+	"S(NP(DT)(NN))(VP(VBZ))",
+	"ROOT(S)",
+	"S(//PP(IN))",
+	"VP(//DT(the))",
+	"absent(NN)",
+}
+
+func ground(trees []*lingtree.Tree, q *query.Query) []scan.Match {
+	m := match.New(q)
+	var out []scan.Match
+	for _, t := range trees {
+		for _, r := range m.Roots(t) {
+			out = append(out, scan.Match{TID: uint32(t.TID), Root: uint32(r)})
+		}
+	}
+	return out
+}
+
+func TestScanEqualsGroundTruth(t *testing.T) {
+	trees := corpusgen.New(31).Trees(120)
+	c := scan.New(trees)
+	for _, qs := range testQueries {
+		q := query.MustParse(qs)
+		want := ground(trees, q)
+		got := c.Query(q)
+		if len(got) != len(want) {
+			t.Errorf("scan %q: %d matches, want %d", qs, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("scan %q: match %d = %v, want %v", qs, i, got[i], want[i])
+				break
+			}
+		}
+		if c.Count(q) != len(want) {
+			t.Errorf("scan %q: Count mismatch", qs)
+		}
+	}
+}
+
+func TestATreeGrepEqualsGroundTruth(t *testing.T) {
+	trees := corpusgen.New(31).Trees(120)
+	ix, err := atreegrep.Build(trees, treebank.Slice(trees), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	for _, qs := range testQueries {
+		q := query.MustParse(qs)
+		want := ground(trees, q)
+		got, st, err := ix.QueryWithStats(q)
+		if err != nil {
+			t.Fatalf("atreegrep %q: %v", qs, err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("atreegrep %q: %d matches, want %d", qs, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i].TID != want[i].TID || got[i].Root != want[i].Root {
+				t.Errorf("atreegrep %q: match %d = %v, want %v", qs, i, got[i], want[i])
+				break
+			}
+		}
+		// Pre-filtering must never validate more trees than the corpus.
+		if st.Validated > len(trees) {
+			t.Errorf("atreegrep %q: validated %d > corpus size", qs, st.Validated)
+		}
+	}
+}
+
+func TestATreeGrepPrefilterIsSound(t *testing.T) {
+	// Candidates must be a superset of matching trees but (for
+	// selective queries) a strict subset of the corpus.
+	trees := corpusgen.New(5).Trees(300)
+	ix, err := atreegrep.Build(trees, treebank.Slice(trees), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	q := query.MustParse("VP(VBZ(is))(NP(DT(a)))")
+	want := ground(trees, q)
+	_, st, err := ix.QueryWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchTIDs := map[uint32]bool{}
+	for _, m := range want {
+		matchTIDs[m.TID] = true
+	}
+	if st.Candidates < len(matchTIDs) {
+		t.Errorf("candidates %d < matching trees %d", st.Candidates, len(matchTIDs))
+	}
+	if st.Candidates >= len(trees) {
+		t.Errorf("pre-filter did nothing: %d candidates of %d trees", st.Candidates, len(trees))
+	}
+}
+
+func TestFreqIndexEqualsGroundTruth(t *testing.T) {
+	trees := corpusgen.New(31).Trees(120)
+	for _, frac := range []float64{0.001, 0.01, 0.1} {
+		ix, err := freqindex.Build(trees, treebank.Slice(trees), t.TempDir(), freqindex.Options{MSS: 3, Fraction: frac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range testQueries {
+			q := query.MustParse(qs)
+			want := ground(trees, q)
+			got, err := ix.Query(q)
+			if err != nil {
+				t.Fatalf("freqindex(%v) %q: %v", frac, qs, err)
+			}
+			if len(got) != len(want) {
+				t.Errorf("freqindex(%v) %q: %d matches, want %d", frac, qs, len(got), len(want))
+				continue
+			}
+			for i := range got {
+				if got[i].TID != want[i].TID || got[i].Root != want[i].Root {
+					t.Errorf("freqindex(%v) %q: match %d differs", frac, qs, i)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestFreqIndexKeyCountGrowsWithFraction(t *testing.T) {
+	trees := corpusgen.New(7).Trees(150)
+	var prev int
+	for _, frac := range []float64{0.001, 0.01, 0.1, 1.0} {
+		ix, err := freqindex.Build(trees, treebank.Slice(trees), t.TempDir(), freqindex.Options{MSS: 3, Fraction: frac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.NumKeys() < prev {
+			t.Errorf("keys decreased at fraction %v: %d < %d", frac, ix.NumKeys(), prev)
+		}
+		prev = ix.NumKeys()
+	}
+}
+
+func TestFreqIndexRejectsBadOptions(t *testing.T) {
+	trees := corpusgen.New(1).Trees(2)
+	if _, err := freqindex.Build(trees, treebank.Slice(trees), t.TempDir(), freqindex.Options{MSS: 0, Fraction: 0.1}); err == nil {
+		t.Error("mss 0 accepted")
+	}
+	if _, err := freqindex.Build(trees, treebank.Slice(trees), t.TempDir(), freqindex.Options{MSS: 2, Fraction: 1.5}); err == nil {
+		t.Error("fraction 1.5 accepted")
+	}
+}

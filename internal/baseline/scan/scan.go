@@ -1,0 +1,44 @@
+// Package scan is the TGrep2/CorpusSearch baseline: the whole corpus is
+// held in memory and every query is answered by scanning every tree
+// (§2 of the paper). It sets the floor that index-based evaluation is
+// measured against.
+package scan
+
+import (
+	"repro/internal/lingtree"
+	"repro/internal/match"
+	"repro/internal/query"
+)
+
+// Corpus is an in-memory corpus ready for scanning.
+type Corpus struct {
+	trees []*lingtree.Tree
+}
+
+// New returns a scanning corpus over trees.
+func New(trees []*lingtree.Tree) *Corpus {
+	return &Corpus{trees: trees}
+}
+
+// Match is one result, mirroring core.Match.
+type Match struct {
+	TID  uint32
+	Root uint32
+}
+
+// Query scans all trees and returns matches sorted by (tid, root).
+func (c *Corpus) Query(q *query.Query) []Match {
+	m := match.New(q)
+	var out []Match
+	for _, t := range c.trees {
+		for _, r := range m.Roots(t) {
+			out = append(out, Match{TID: uint32(t.TID), Root: uint32(r)})
+		}
+	}
+	return out
+}
+
+// Count returns only the number of matches.
+func (c *Corpus) Count(q *query.Query) int {
+	return len(c.Query(q))
+}

@@ -1,0 +1,241 @@
+// Package btree implements the native disk-based B+Tree the Subtree
+// Index is stored in (paper §6.1): variable-length keys mapping to
+// posting-list blobs, values larger than a page spilling into overflow
+// chains, and leaves chained for range scans. Indexes are built once by
+// a bulk loader from a sorted key stream and then opened read-only; no
+// user-level page cache is layered over the pager (the paper relies on
+// OS page buffering, and so do we).
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+// Page type tags, first byte of every B+Tree page.
+const (
+	pageLeaf     = 'L'
+	pageInternal = 'I'
+	pageOverflow = 'O'
+	pageMeta     = 'M'
+)
+
+// leaf page layout:
+//
+//	[0] = 'L'
+//	[1:3] = number of entries (uint16)
+//	[3:7] = next leaf page id (0 = last leaf)
+//	entries: flag byte (0 inline, 1 overflow),
+//	         key length uvarint, key bytes,
+//	         inline: value length uvarint, value bytes
+//	         overflow: total value length uvarint, first chain page (uint32)
+//
+// internal page layout:
+//
+//	[0] = 'I'
+//	[1:3] = number of separator keys (uint16)
+//	[3:7] = leftmost child page id
+//	entries: key length uvarint, key bytes, child page id (uint32);
+//	         entry i routes keys >= key_i (and < key_{i+1}) to child_i
+//
+// overflow page layout:
+//
+//	[0:4] = next chain page id (0 = end)
+//	[4:]  = value bytes
+//
+// meta page layout (page 1):
+//
+//	[0] = 'M'
+//	[1:5] = root page id
+//	[5:13] = number of keys (uint64)
+//	[13:17] = tree height (uint32, 1 = root is a leaf)
+const (
+	leafHeader     = 7
+	internalHeader = 7
+	overflowHeader = 4
+)
+
+// Stats describes a built tree.
+type Stats struct {
+	Keys      uint64
+	Height    uint32
+	Pages     uint32 // total allocated pages including meta
+	SizeBytes int64
+}
+
+// Tree is a read-only view of a built B+Tree.
+type Tree struct {
+	pf     *pager.File
+	root   uint32
+	height uint32
+	keys   uint64
+}
+
+// Open opens the B+Tree stored in the page file at path.
+func Open(path string) (*Tree, error) {
+	pf, err := pager.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, pf.PageSize())
+	if err := pf.Read(1, buf); err != nil {
+		pf.Close()
+		return nil, fmt.Errorf("btree: reading meta page: %w", err)
+	}
+	if buf[0] != pageMeta {
+		pf.Close()
+		return nil, fmt.Errorf("btree: page 1 is not a meta page")
+	}
+	t := &Tree{
+		pf:     pf,
+		root:   binary.LittleEndian.Uint32(buf[1:]),
+		keys:   binary.LittleEndian.Uint64(buf[5:]),
+		height: binary.LittleEndian.Uint32(buf[13:]),
+	}
+	return t, nil
+}
+
+// Close releases the underlying file.
+func (t *Tree) Close() error { return t.pf.Close() }
+
+// Stats returns size statistics for the tree.
+func (t *Tree) Stats() Stats {
+	return Stats{Keys: t.keys, Height: t.height, Pages: t.pf.NumPages(), SizeBytes: t.pf.SizeBytes()}
+}
+
+// Get returns the value stored under key, or found=false.
+func (t *Tree) Get(key []byte) (value []byte, found bool, err error) {
+	if t.keys == 0 {
+		return nil, false, nil
+	}
+	buf := make([]byte, t.pf.PageSize())
+	id := t.root
+	for {
+		if err := t.pf.Read(id, buf); err != nil {
+			return nil, false, err
+		}
+		switch buf[0] {
+		case pageInternal:
+			id = routeInternal(buf, key)
+		case pageLeaf:
+			return t.searchLeaf(buf, key)
+		default:
+			return nil, false, fmt.Errorf("btree: unexpected page type %q at %d", buf[0], id)
+		}
+	}
+}
+
+// routeInternal returns the child page for key.
+func routeInternal(page []byte, key []byte) uint32 {
+	n := int(binary.LittleEndian.Uint16(page[1:]))
+	child := binary.LittleEndian.Uint32(page[3:])
+	off := internalHeader
+	for i := 0; i < n; i++ {
+		klen, m := binary.Uvarint(page[off:])
+		off += m
+		k := page[off : off+int(klen)]
+		off += int(klen)
+		c := binary.LittleEndian.Uint32(page[off:])
+		off += 4
+		if bytes.Compare(key, k) >= 0 {
+			child = c
+		} else {
+			break
+		}
+	}
+	return child
+}
+
+func (t *Tree) searchLeaf(page []byte, key []byte) ([]byte, bool, error) {
+	n := int(binary.LittleEndian.Uint16(page[1:]))
+	off := leafHeader
+	for i := 0; i < n; i++ {
+		flag := page[off]
+		off++
+		klen, m := binary.Uvarint(page[off:])
+		off += m
+		k := page[off : off+int(klen)]
+		off += int(klen)
+		vlen, m := binary.Uvarint(page[off:])
+		off += m
+		cmp := bytes.Compare(k, key)
+		if flag == 0 {
+			if cmp == 0 {
+				return append([]byte(nil), page[off:off+int(vlen)]...), true, nil
+			}
+			off += int(vlen)
+		} else {
+			first := binary.LittleEndian.Uint32(page[off:])
+			off += 4
+			if cmp == 0 {
+				v, err := t.readOverflow(first, int(vlen))
+				return v, err == nil, err
+			}
+		}
+		if cmp > 0 {
+			return nil, false, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func (t *Tree) readOverflow(first uint32, total int) ([]byte, error) {
+	out := make([]byte, 0, total)
+	buf := make([]byte, t.pf.PageSize())
+	chunk := t.pf.PageSize() - overflowHeader
+	id := first
+	for len(out) < total {
+		if id == 0 {
+			return nil, fmt.Errorf("btree: overflow chain truncated (%d of %d bytes)", len(out), total)
+		}
+		if err := t.pf.Read(id, buf); err != nil {
+			return nil, err
+		}
+		n := total - len(out)
+		if n > chunk {
+			n = chunk
+		}
+		out = append(out, buf[overflowHeader:overflowHeader+n]...)
+		id = binary.LittleEndian.Uint32(buf[0:])
+	}
+	return out, nil
+}
+
+// firstLeaf descends to the leftmost leaf.
+func (t *Tree) firstLeaf() (uint32, error) {
+	buf := make([]byte, t.pf.PageSize())
+	id := t.root
+	for {
+		if err := t.pf.Read(id, buf); err != nil {
+			return 0, err
+		}
+		if buf[0] == pageLeaf {
+			return id, nil
+		}
+		if buf[0] != pageInternal {
+			return 0, fmt.Errorf("btree: unexpected page type %q", buf[0])
+		}
+		id = binary.LittleEndian.Uint32(buf[3:])
+	}
+}
+
+// leafFor descends to the leaf that would contain key.
+func (t *Tree) leafFor(key []byte) (uint32, error) {
+	buf := make([]byte, t.pf.PageSize())
+	id := t.root
+	for {
+		if err := t.pf.Read(id, buf); err != nil {
+			return 0, err
+		}
+		if buf[0] == pageLeaf {
+			return id, nil
+		}
+		if buf[0] != pageInternal {
+			return 0, fmt.Errorf("btree: unexpected page type %q", buf[0])
+		}
+		id = routeInternal(buf, key)
+	}
+}

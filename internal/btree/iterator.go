@@ -1,0 +1,128 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// Iterator walks key/value pairs in ascending key order, starting at the
+// first key >= the start bound. It reads leaf pages through the chain
+// pointers left by the bulk loader.
+type Iterator struct {
+	t       *Tree
+	page    []byte
+	n       int // entries in current page
+	i       int // next entry index
+	off     int // byte offset of next entry
+	err     error
+	done    bool
+	prevOff int // offset of the most recently decoded entry
+
+	key []byte
+	val []byte
+}
+
+// Iterator returns an iterator positioned at the first key >= start
+// (nil starts at the beginning).
+func (t *Tree) Iterator(start []byte) *Iterator {
+	it := &Iterator{t: t, page: make([]byte, t.pf.PageSize())}
+	if t.keys == 0 {
+		it.done = true
+		return it
+	}
+	var leaf uint32
+	var err error
+	if start == nil {
+		leaf, err = t.firstLeaf()
+	} else {
+		leaf, err = t.leafFor(start)
+	}
+	if err != nil {
+		it.err = err
+		it.done = true
+		return it
+	}
+	if err := it.loadLeaf(leaf); err != nil {
+		it.err = err
+		it.done = true
+		return it
+	}
+	if start != nil {
+		for it.Next() {
+			if bytes.Compare(it.Key(), start) >= 0 {
+				it.rewindOne()
+				break
+			}
+		}
+	}
+	return it
+}
+
+// rewindOne makes the entry just decoded be returned again by Next.
+func (it *Iterator) rewindOne() { it.i--; it.off = it.prevOff }
+
+func (it *Iterator) loadLeaf(id uint32) error {
+	if err := it.t.pf.Read(id, it.page); err != nil {
+		return err
+	}
+	it.n = int(binary.LittleEndian.Uint16(it.page[1:]))
+	it.i = 0
+	it.off = leafHeader
+	return nil
+}
+
+// Next advances to the next pair; it returns false at the end or on
+// error (check Err).
+func (it *Iterator) Next() bool {
+	if it.done {
+		return false
+	}
+	for it.i >= it.n {
+		next := binary.LittleEndian.Uint32(it.page[3:])
+		if next == 0 {
+			it.done = true
+			return false
+		}
+		if err := it.loadLeaf(next); err != nil {
+			it.err = err
+			it.done = true
+			return false
+		}
+	}
+	it.prevOff = it.off
+	off := it.off
+	flag := it.page[off]
+	off++
+	klen, m := binary.Uvarint(it.page[off:])
+	off += m
+	it.key = append(it.key[:0], it.page[off:off+int(klen)]...)
+	off += int(klen)
+	vlen, m := binary.Uvarint(it.page[off:])
+	off += m
+	if flag == 0 {
+		it.val = append(it.val[:0], it.page[off:off+int(vlen)]...)
+		off += int(vlen)
+	} else {
+		first := binary.LittleEndian.Uint32(it.page[off:])
+		off += 4
+		v, err := it.t.readOverflow(first, int(vlen))
+		if err != nil {
+			it.err = err
+			it.done = true
+			return false
+		}
+		it.val = v
+	}
+	it.off = off
+	it.i++
+	return true
+}
+
+// Key returns the current key; valid until the next call to Next.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value; valid until the next call to Next.
+func (it *Iterator) Value() []byte { return it.val }
+
+// Err reports any IO error encountered while iterating.
+func (it *Iterator) Err() error { return it.err }

@@ -1,0 +1,17 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/join"
+)
+
+// TestEndToEndWithBlockJoinOnly re-runs the central equivalence
+// property with the Stack-Tree join disabled, pinning the block-nested
+// merge join's correctness independently (the two paths must be
+// interchangeable).
+func TestEndToEndWithBlockJoinOnly(t *testing.T) {
+	join.DisableStackJoin = true
+	defer func() { join.DisableStackJoin = false }()
+	TestQuickEndToEndAllCodings(t)
+}

@@ -1,0 +1,245 @@
+// Package core implements the paper's primary contribution: the Subtree
+// Index (SI). An SI over a corpus of syntactically annotated trees
+// stores every unique subtree of sizes 1..mss as a key of a disk-based
+// B+Tree, with a posting list in one of three codings (filter-based,
+// root-split, subtree-interval). Queries are decomposed into covers
+// (§5), piece posting lists are fetched and joined (§4.3), and — for
+// filter-based coding only — candidates are post-validated against the
+// data file.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/lingtree"
+	"repro/internal/pager"
+	"repro/internal/postings"
+	"repro/internal/subtree"
+	"repro/internal/treebank"
+)
+
+// File names inside an index directory.
+const (
+	indexFileName = "subtree.idx"
+	metaFileName  = "meta.json"
+)
+
+// Options configure index construction.
+type Options struct {
+	// MSS is the maximum subtree size indexed (the paper uses 1..5).
+	MSS int
+	// Coding selects the posting-list scheme.
+	Coding postings.Coding
+	// PageSize is the B+Tree page size; 0 means pager.DefaultPageSize.
+	PageSize int
+	// DisableRootDedup keeps one posting per instance even under
+	// root-split coding; only the ablation benchmarks set it.
+	DisableRootDedup bool
+	// Workers is the number of goroutines extracting subtrees during
+	// the build; 0 or 1 means sequential. Aggregation stays in tid
+	// order, so the built index is byte-identical regardless of
+	// Workers.
+	Workers int
+}
+
+func (o *Options) normalize() error {
+	if o.MSS < 1 || o.MSS > 6 {
+		return fmt.Errorf("core: mss %d out of range [1, 6]", o.MSS)
+	}
+	if o.PageSize == 0 {
+		o.PageSize = pager.DefaultPageSize
+	}
+	return nil
+}
+
+// Meta describes a built index; it is persisted as JSON next to the
+// index file and is the source of the index-size and posting-count
+// experiments (Figures 8–10).
+type Meta struct {
+	MSS          int             `json:"mss"`
+	Coding       postings.Coding `json:"coding"`
+	NumTrees     int             `json:"num_trees"`
+	Keys         int             `json:"keys"`
+	Postings     int             `json:"postings"`
+	IndexBytes   int64           `json:"index_bytes"`
+	DataBytes    int64           `json:"data_bytes"`
+	BuildNanos   int64           `json:"build_nanos"`
+	ExtractNanos int64           `json:"extract_nanos"`
+	LoadNanos    int64           `json:"load_nanos"`
+}
+
+// accumulator unifies the three coding accumulators during the build.
+type accumulator struct {
+	filter   *postings.FilterAccumulator
+	root     *postings.RootAccumulator
+	interval *postings.IntervalAccumulator
+}
+
+func (a *accumulator) count() int {
+	switch {
+	case a.filter != nil:
+		return a.filter.Count()
+	case a.root != nil:
+		return a.root.Count()
+	default:
+		return a.interval.Count()
+	}
+}
+
+func (a *accumulator) bytes() []byte {
+	switch {
+	case a.filter != nil:
+		return a.filter.Bytes()
+	case a.root != nil:
+		return a.root.Bytes()
+	default:
+		return a.interval.Bytes()
+	}
+}
+
+// Build constructs an SI over trees in dir. The corpus is also written
+// to dir as the data file (needed by filter-based validation and by
+// downstream tools).
+func Build(dir string, trees []*lingtree.Tree, opt Options) (*Meta, error) {
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := treebank.Write(dir, trees); err != nil {
+		return nil, err
+	}
+
+	// Extraction phase: enumerate occurrences tree by tree and fold
+	// them into per-key accumulators. Trees arrive in tid order, so
+	// accumulator ordering invariants hold by construction.
+	extractStart := time.Now()
+	accs := make(map[subtree.Key]*accumulator)
+	totalPostings := 0
+	newAcc := func() *accumulator {
+		switch opt.Coding {
+		case postings.FilterBased:
+			return &accumulator{filter: &postings.FilterAccumulator{}}
+		case postings.RootSplit:
+			return &accumulator{root: postings.NewRootAccumulator(!opt.DisableRootDedup)}
+		default:
+			return &accumulator{interval: &postings.IntervalAccumulator{}}
+		}
+	}
+	fold := func(t *lingtree.Tree, occs []subtree.Occurrence) {
+		for _, occ := range occs {
+			acc := accs[occ.Key]
+			if acc == nil {
+				acc = newAcc()
+				accs[occ.Key] = acc
+			}
+			switch opt.Coding {
+			case postings.FilterBased:
+				acc.filter.Add(uint32(t.TID))
+			case postings.RootSplit:
+				acc.root.Add(uint32(t.TID), nodeRef(t, occ.Root))
+			default:
+				refs := make([]postings.NodeRef, len(occ.Nodes))
+				for i, v := range occ.Nodes {
+					refs[i] = nodeRef(t, v)
+				}
+				acc.interval.Add(uint32(t.TID), refs)
+			}
+		}
+	}
+	if opt.Workers <= 1 {
+		for _, t := range trees {
+			fold(t, subtree.Extract(t, opt.MSS))
+		}
+	} else {
+		parallelExtract(trees, opt.MSS, opt.Workers, fold)
+	}
+	extractNanos := time.Since(extractStart).Nanoseconds()
+
+	// Load phase: bulk-load the B+Tree from sorted keys. Values are
+	// prefixed with the posting count, which the query planner uses as
+	// its selectivity statistic.
+	loadStart := time.Now()
+	keys := make([]string, 0, len(accs))
+	for k := range accs {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	bld, err := btree.NewBuilder(filepath.Join(dir, indexFileName), opt.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	var val []byte
+	for _, k := range keys {
+		acc := accs[subtree.Key(k)]
+		totalPostings += acc.count()
+		val = val[:0]
+		val = appendUvarint(val, uint64(acc.count()))
+		val = append(val, acc.bytes()...)
+		if err := bld.Add([]byte(k), val); err != nil {
+			return nil, fmt.Errorf("core: loading key %q: %w", k, err)
+		}
+	}
+	if err := bld.Finish(); err != nil {
+		return nil, err
+	}
+	loadNanos := time.Since(loadStart).Nanoseconds()
+
+	st, err := os.Stat(filepath.Join(dir, indexFileName))
+	if err != nil {
+		return nil, err
+	}
+	store, err := treebank.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	dataBytes := store.SizeBytes()
+	store.Close()
+
+	meta := &Meta{
+		MSS:          opt.MSS,
+		Coding:       opt.Coding,
+		NumTrees:     len(trees),
+		Keys:         len(keys),
+		Postings:     totalPostings,
+		IndexBytes:   st.Size(),
+		DataBytes:    dataBytes,
+		BuildNanos:   time.Since(start).Nanoseconds(),
+		ExtractNanos: extractNanos,
+		LoadNanos:    loadNanos,
+	}
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFileName), mb, 0o644); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+func nodeRef(t *lingtree.Tree, v int) postings.NodeRef {
+	n := &t.Nodes[v]
+	return postings.NodeRef{
+		Pre:   uint32(n.Pre),
+		Post:  uint32(n.Post),
+		Level: uint32(n.Level),
+		Order: uint32(n.Pre),
+	}
+}
+
+func appendUvarint(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/btree"
+	"repro/internal/cover"
+	"repro/internal/join"
+	"repro/internal/match"
+	"repro/internal/postings"
+	"repro/internal/query"
+	"repro/internal/subtree"
+	"repro/internal/treebank"
+)
+
+// Index is an opened, read-only Subtree Index.
+type Index struct {
+	dir   string
+	meta  Meta
+	tree  *btree.Tree
+	store *treebank.Store
+}
+
+// Match is one query result: the tree and the pre number of the node
+// the query root maps to. The paper's "number of matches" counts these
+// pairs.
+type Match = join.Match
+
+// Open opens the index stored in dir.
+func Open(dir string) (*Index, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if err != nil {
+		return nil, err
+	}
+	var meta Meta
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		return nil, fmt.Errorf("core: corrupt meta in %s: %w", dir, err)
+	}
+	tr, err := btree.Open(filepath.Join(dir, indexFileName))
+	if err != nil {
+		return nil, err
+	}
+	store, err := treebank.OpenStore(dir)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return &Index{dir: dir, meta: meta, tree: tr, store: store}, nil
+}
+
+// Meta returns the index metadata recorded at build time.
+func (ix *Index) Meta() Meta { return ix.meta }
+
+// Close releases the index and data files.
+func (ix *Index) Close() error {
+	err1 := ix.tree.Close()
+	err2 := ix.store.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// QueryStats reports how a query was evaluated; the decomposition
+// experiments (Table 3) and the planner tests read it.
+type QueryStats struct {
+	Pieces          int // cover pieces over all components
+	Joins           int // joins performed (pieces - 1 when matched)
+	PostingsFetched int // total postings read from the index
+	Candidates      int // filter-based only: tids surviving intersection
+	Validated       int // filter-based only: trees fetched and matched
+}
+
+// Query evaluates q and returns its matches sorted by (tid, root pre).
+func (ix *Index) Query(q *query.Query) ([]Match, error) {
+	ms, _, err := ix.QueryWithStats(q)
+	return ms, err
+}
+
+// QueryWithStats evaluates q and also reports evaluation statistics.
+func (ix *Index) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
+	if q.Size() == 0 {
+		return nil, nil, fmt.Errorf("core: empty query")
+	}
+	switch ix.meta.Coding {
+	case postings.FilterBased:
+		return ix.queryFilter(q)
+	case postings.RootSplit, postings.SubtreeInterval:
+		return ix.queryJoin(q)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
+	}
+}
+
+// covers computes per-component covers with the decomposition algorithm
+// matching the index coding.
+//
+// Root-split coding needs extra care around // edges: a //-parent u is
+// only constrainable through pieces *rooted at u* (root-split postings
+// carry no interior slots, so a piece covering u from above binds a
+// possibly different instance of u's label — a false-positive source).
+// Every node on the path from the component root to a //-parent is
+// therefore forced to be a piece root: the component is split at these
+// marked nodes and minRC runs per sub-component. Consecutive marked
+// roots join with parent predicates, so all constraints on a marked
+// node apply to one binding.
+func (ix *Index) covers(q *query.Query) ([]cover.Cover, error) {
+	rootSplit := ix.meta.Coding == postings.RootSplit
+	var out []cover.Cover
+	for _, cr := range q.ComponentRoots() {
+		comp := q.ChildComponent(cr)
+		if !rootSplit {
+			c, err := cover.Optimal(q, comp, ix.meta.MSS)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+			continue
+		}
+		marked := markedRootPath(q, comp, cr)
+		var c cover.Cover
+		for _, sub := range splitAtMarked(q, comp, cr, marked) {
+			sc, err := cover.MinRootSplit(q, sub, ix.meta.MSS)
+			if err != nil {
+				return nil, err
+			}
+			c = append(c, sc...)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// markedRootPath returns the set of component nodes lying on a path
+// from the component root to any //-edge parent (empty for //-free
+// components).
+func markedRootPath(q *query.Query, comp []int, cr int) map[int]bool {
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	marked := map[int]bool{}
+	for _, v := range comp {
+		hasDescChild := false
+		for _, ch := range q.Nodes[v].Children {
+			if q.Nodes[ch].Axis == query.Descendant {
+				hasDescChild = true
+				break
+			}
+		}
+		if !hasDescChild {
+			continue
+		}
+		for u := v; ; u = q.Nodes[u].Parent {
+			marked[u] = true
+			if u == cr || !inComp[u] {
+				break
+			}
+		}
+	}
+	return marked
+}
+
+// splitAtMarked partitions the component into sub-components, one per
+// marked node plus (if unmarked) the component root, each holding its
+// root and the unmarked descendants reachable without crossing another
+// marked node. With no marked nodes the whole component is returned.
+func splitAtMarked(q *query.Query, comp []int, cr int, marked map[int]bool) [][]int {
+	if len(marked) == 0 {
+		return [][]int{comp}
+	}
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	var subs [][]int
+	var gather func(v int) []int
+	gather = func(v int) []int {
+		sub := []int{v}
+		var walk func(u int)
+		walk = func(u int) {
+			for _, ch := range q.Nodes[u].Children {
+				if q.Nodes[ch].Axis != query.Child || !inComp[ch] {
+					continue
+				}
+				if marked[ch] {
+					continue // starts its own sub-component
+				}
+				sub = append(sub, ch)
+				walk(ch)
+			}
+		}
+		walk(v)
+		return sub
+	}
+	// The component root always roots a sub-component; every marked
+	// node roots one too (the root may itself be marked).
+	roots := []int{cr}
+	for _, v := range comp {
+		if marked[v] && v != cr {
+			roots = append(roots, v)
+		}
+	}
+	for _, r := range roots {
+		subs = append(subs, gather(r))
+	}
+	return subs
+}
+
+// fetch reads the posting list of one cover piece, decoded into join
+// relation form. found=false means the key is absent (no matches).
+func (ix *Index) fetch(q *query.Query, p cover.Piece) (join.Relation, int, bool, error) {
+	pat, slots, err := q.SubPattern(p.Nodes)
+	if err != nil {
+		return join.Relation{}, 0, false, err
+	}
+	key := pat.Key()
+	val, found, err := ix.tree.Get([]byte(key))
+	if err != nil || !found {
+		return join.Relation{}, 0, false, err
+	}
+	count, n := binary.Uvarint(val)
+	if n <= 0 {
+		return join.Relation{}, 0, false, fmt.Errorf("core: corrupt posting count for %q", key)
+	}
+	payload := val[n:]
+	rel := join.Relation{Name: string(key)}
+	switch ix.meta.Coding {
+	case postings.RootSplit:
+		rel.Slots = []int{p.Root}
+		it := postings.NewRootIterator(payload)
+		for it.Next() {
+			e := it.Entry()
+			rel.Entries = append(rel.Entries, postings.IntervalEntry{
+				TID:   e.TID,
+				Nodes: []postings.NodeRef{e.NodeRef},
+			})
+		}
+		if err := it.Err(); err != nil {
+			return join.Relation{}, 0, false, err
+		}
+	case postings.SubtreeInterval:
+		rel.Slots = slots
+		it := postings.NewIntervalIterator(payload)
+		for it.Next() {
+			rel.Entries = append(rel.Entries, it.Entry())
+		}
+		if err := it.Err(); err != nil {
+			return join.Relation{}, 0, false, err
+		}
+		// Pieces with identical-encoding siblings admit several
+		// equivalent slot assignments per instance; expand postings by
+		// the pattern's automorphisms so joins that constrain the twins
+		// differently see every assignment (false-negative fix).
+		if perms := subtree.SlotAutomorphisms(pat); len(perms) > 1 {
+			expanded := make([]postings.IntervalEntry, 0, len(rel.Entries)*len(perms))
+			for _, e := range rel.Entries {
+				for _, pm := range perms {
+					nodes := make([]postings.NodeRef, len(e.Nodes))
+					for i, src := range pm {
+						nodes[i] = e.Nodes[src]
+					}
+					expanded = append(expanded, postings.IntervalEntry{TID: e.TID, Nodes: nodes})
+				}
+			}
+			rel.Entries = expanded
+		}
+	default:
+		return join.Relation{}, 0, false, fmt.Errorf("core: fetch with coding %v", ix.meta.Coding)
+	}
+	return rel, int(count), true, nil
+}
+
+// queryJoin evaluates q under root-split or subtree-interval coding.
+func (ix *Index) queryJoin(q *query.Query) ([]Match, *QueryStats, error) {
+	covers, err := ix.covers(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &QueryStats{}
+	var rels []join.Relation
+	for _, c := range covers {
+		st.Pieces += len(c)
+		for _, p := range c {
+			rel, _, found, err := ix.fetch(q, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !found {
+				return nil, st, nil // a piece with no postings: no matches
+			}
+			st.PostingsFetched += len(rel.Entries)
+			rels = append(rels, rel)
+		}
+	}
+	st.Joins = len(rels) - 1
+	ms, err := join.Execute(q, rels)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ms, st, nil
+}
+
+// queryFilter evaluates q under filter-based coding: intersect tid
+// lists of all pieces, then fetch candidate trees from the data file
+// and run the exact matcher (the costly filtering phase of §4.4.1).
+func (ix *Index) queryFilter(q *query.Query) ([]Match, *QueryStats, error) {
+	st := &QueryStats{}
+	var lists [][]uint32
+	for _, cr := range q.ComponentRoots() {
+		comp := q.ChildComponent(cr)
+		c, err := cover.Optimal(q, comp, ix.meta.MSS)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Pieces += len(c)
+		for _, p := range c {
+			pat, _, err := q.SubPattern(p.Nodes)
+			if err != nil {
+				return nil, nil, err
+			}
+			val, found, err := ix.tree.Get([]byte(pat.Key()))
+			if err != nil {
+				return nil, nil, err
+			}
+			if !found {
+				return nil, st, nil
+			}
+			_, n := binary.Uvarint(val)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("core: corrupt posting count for %q", pat.Key())
+			}
+			var tids []uint32
+			it := postings.NewFilterIterator(val[n:])
+			for it.Next() {
+				tids = append(tids, it.TID())
+			}
+			if err := it.Err(); err != nil {
+				return nil, nil, err
+			}
+			st.PostingsFetched += len(tids)
+			lists = append(lists, tids)
+		}
+	}
+	st.Joins = len(lists) - 1
+	cands := intersect(lists)
+	st.Candidates = len(cands)
+
+	m := match.New(q)
+	var out []Match
+	for _, tid := range cands {
+		t, err := ix.store.Tree(int(tid))
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Validated++
+		for _, root := range m.Roots(t) {
+			out = append(out, Match{TID: tid, Root: uint32(root)})
+		}
+	}
+	return out, st, nil
+}
+
+// intersect computes the intersection of sorted tid lists, smallest
+// list first (pairwise merge, §4.4.1's join phase).
+func intersect(lists [][]uint32) []uint32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	// Start from the smallest list for cheap early termination.
+	smallest := 0
+	for i := 1; i < len(lists); i++ {
+		if len(lists[i]) < len(lists[smallest]) {
+			smallest = i
+		}
+	}
+	cur := lists[smallest]
+	for i, l := range lists {
+		if i == smallest {
+			continue
+		}
+		cur = intersect2(cur, l)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func intersect2(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// LookupKey returns the posting count for an index key, or 0 if absent;
+// range statistics and the grammar-mining example use it.
+func (ix *Index) LookupKey(k subtree.Key) (int, error) {
+	val, found, err := ix.tree.Get([]byte(k))
+	if err != nil || !found {
+		return 0, err
+	}
+	count, n := binary.Uvarint(val)
+	if n <= 0 {
+		return 0, fmt.Errorf("core: corrupt posting count for %q", k)
+	}
+	return int(count), nil
+}
+
+// Keys iterates all index keys from start (nil = beginning), invoking
+// fn with each key and its posting count until fn returns false.
+func (ix *Index) Keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error {
+	it := ix.tree.Iterator([]byte(start))
+	for it.Next() {
+		count, n := binary.Uvarint(it.Value())
+		if n <= 0 {
+			return fmt.Errorf("core: corrupt posting count for %q", it.Key())
+		}
+		if !fn(subtree.Key(it.Key()), int(count)) {
+			return nil
+		}
+	}
+	return it.Err()
+}
+
+// Store exposes the underlying data file (read-only), for tools and
+// baselines that need raw trees.
+func (ix *Index) Store() *treebank.Store { return ix.store }

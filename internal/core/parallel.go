@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/lingtree"
+	"repro/internal/subtree"
+)
+
+// parallelExtract fans subtree extraction out over workers goroutines
+// while delivering results to fold strictly in tree order, so posting
+// accumulators (which require non-decreasing tids) and therefore the
+// built index are identical to a sequential build. A bounded reorder
+// window keeps memory proportional to workers, not corpus size.
+func parallelExtract(trees []*lingtree.Tree, mss, workers int, fold func(*lingtree.Tree, []subtree.Occurrence)) {
+	if workers > len(trees) {
+		workers = len(trees)
+	}
+	window := workers * 4
+	type result struct {
+		idx  int
+		occs []subtree.Occurrence
+	}
+	jobs := make(chan int, window)
+	results := make(chan result, window)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results <- result{idx: idx, occs: subtree.Extract(trees[idx], mss)}
+			}
+		}()
+	}
+	go func() {
+		for i := range trees {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder buffer: consume results as they arrive, fold them in
+	// index order.
+	pending := make(map[int][]subtree.Occurrence, window)
+	next := 0
+	for r := range results {
+		pending[r.idx] = r.occs
+		for {
+			occs, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			fold(trees[next], occs)
+			next++
+		}
+	}
+	for ; next < len(trees); next++ {
+		// Unreachable unless a result was lost; fold sequentially so
+		// the build still completes correctly.
+		fold(trees[next], subtree.Extract(trees[next], mss))
+	}
+}

@@ -1,0 +1,105 @@
+// Package corpusgen generates synthetic syntactically annotated corpora.
+//
+// The paper evaluates on AQUAINT news text parsed with the Stanford
+// parser — resources we do not ship. corpusgen substitutes a seeded PCFG
+// over Penn Treebank tags with Zipfian word frequencies, tuned to the
+// structural statistics the paper reports for its corpus (mean internal
+// branching ≈ 1.5, branching > 10 essentially absent, a compact set of
+// recurring productions). All of the paper's results depend only on those
+// distributional properties, which the tests in this package assert.
+//
+// Generation is random-access deterministic: tree i of a corpus with seed
+// s is always the same tree, independent of generation order, so corpora
+// of different sizes share a prefix (exactly like taking the first N
+// sentences of AQUAINT).
+package corpusgen
+
+import (
+	"repro/internal/lingtree"
+)
+
+// Generator produces the trees of one synthetic corpus.
+type Generator struct {
+	seed     uint64
+	grammar  grammar
+	vocabs   map[string]*vocab
+	maxDepth int
+}
+
+// DefaultMaxDepth bounds grammar recursion; deep enough for ~120-node
+// trees, shallow enough that generation of any tree is fast.
+const DefaultMaxDepth = 11
+
+// New returns a Generator for the corpus identified by seed.
+func New(seed uint64) *Generator {
+	return &Generator{
+		seed:     seed,
+		grammar:  newsGrammar(),
+		vocabs:   newVocabularies(),
+		maxDepth: DefaultMaxDepth,
+	}
+}
+
+// Tree generates tree number tid of the corpus. The result always has a
+// ROOT wrapper node, as Stanford parser output does.
+func (g *Generator) Tree(tid int) *lingtree.Tree {
+	// Mix the corpus seed and tid so each tree draws an independent,
+	// reproducible random stream.
+	r := newRNG(g.seed*0x9e3779b97f4a7c15 + uint64(tid)*0xd1b54a32d192ed03 + 0x632be59bd9b4e019)
+	b := lingtree.NewBuilder(tid)
+	root := b.Add(lingtree.NoParent, "ROOT")
+	g.expand(r, b, root, "S", 0)
+	return b.Tree()
+}
+
+// Trees generates trees [0, n) of the corpus.
+func (g *Generator) Trees(n int) []*lingtree.Tree {
+	out := make([]*lingtree.Tree, n)
+	for i := range out {
+		out[i] = g.Tree(i)
+	}
+	return out
+}
+
+// expand adds a node for symbol under parent and recursively expands it.
+func (g *Generator) expand(r *rng, b *lingtree.Builder, parent int, symbol string, depth int) {
+	v := b.Add(parent, symbol)
+	if voc, ok := g.vocabs[symbol]; ok {
+		// Preterminal: attach a sampled word as the leaf.
+		b.Add(v, voc.sample(r))
+		return
+	}
+	rules, ok := g.grammar[symbol]
+	if !ok {
+		// Unknown nonterminal: leave as a leaf. Does not happen with the
+		// built-in grammar (tests enforce closure) but keeps the
+		// generator total for user-supplied grammars.
+		return
+	}
+	var rhs []string
+	if depth >= g.maxDepth {
+		// Fallback: first alternative is non-recursive by construction.
+		rhs = rules[0].rhs
+	} else {
+		rhs = pick(r, rules)
+	}
+	for _, s := range rhs {
+		g.expand(r, b, v, s, depth+1)
+	}
+}
+
+// pick samples an alternative proportionally to rule weights.
+func pick(r *rng, rules []rule) []string {
+	total := 0.0
+	for _, rl := range rules {
+		total += rl.weight
+	}
+	u := r.float64() * total
+	for _, rl := range rules {
+		u -= rl.weight
+		if u < 0 {
+			return rl.rhs
+		}
+	}
+	return rules[len(rules)-1].rhs
+}

@@ -1,0 +1,109 @@
+package corpusgen
+
+// rule is one production of the PCFG: a weighted right-hand side.
+type rule struct {
+	weight float64
+	rhs    []string
+}
+
+// grammar maps each nonterminal to its weighted alternatives. The first
+// alternative of every nonterminal must be non-recursive: it is the
+// fallback used when the depth limit is reached, which guarantees
+// generation always terminates.
+type grammar map[string][]rule
+
+// newsGrammar is a hand-built constituency grammar over Penn Treebank
+// tags, shaped after the productions the Stanford parser emits on news
+// text. Weights are tuned so that:
+//   - internal nodes average ~1.5 children (paper: 1.52),
+//   - branching factors above 10 are vanishingly rare,
+//   - sentences yield trees of a few dozen to ~120 nodes,
+//   - a small recurring set of productions dominates, so the number of
+//     unique subtrees grows roughly linearly in corpus size (Figure 2).
+func newsGrammar() grammar {
+	return grammar{
+		"ROOT": {
+			{1, []string{"S"}},
+		},
+		"S": {
+			{0.46, []string{"NP", "VP", "."}},
+			{0.18, []string{"NP", "VP"}},
+			{0.08, []string{"PP", ",", "NP", "VP", "."}},
+			{0.06, []string{"ADVP", ",", "NP", "VP", "."}},
+			{0.06, []string{"NP", "VP", ",", "SBAR", "."}},
+			{0.05, []string{"SBAR", ",", "NP", "VP", "."}},
+			{0.05, []string{"S", "CC", "S"}},
+			{0.04, []string{"NP", "ADVP", "VP", "."}},
+			{0.02, []string{"EX", "VP", "."}},
+		},
+		"NP": {
+			{0.17, []string{"DT", "NN"}},
+			{0.11, []string{"DT", "JJ", "NN"}},
+			{0.10, []string{"NNP"}},
+			{0.07, []string{"NNP", "NNP"}},
+			{0.08, []string{"DT", "NNS"}},
+			{0.06, []string{"NNS"}},
+			{0.07, []string{"PRP"}},
+			{0.12, []string{"NP", "PP"}},
+			{0.04, []string{"DT", "NN", "NN"}},
+			{0.05, []string{"JJ", "NNS"}},
+			{0.03, []string{"NP", "SBAR"}},
+			{0.03, []string{"CD", "NNS"}},
+			{0.02, []string{"DT", "JJ", "JJ", "NN"}},
+			{0.03, []string{"PRP$", "NN"}},
+			{0.03, []string{"NP", "POS", "NN"}},
+			{0.03, []string{"NN"}},
+			{0.02, []string{"NP", ",", "NP", ","}},
+			{0.02, []string{"CD", "NN"}},
+			{0.02, []string{"DT", "VBG", "NN"}},
+		},
+		"VP": {
+			{0.13, []string{"VBZ", "NP"}},
+			{0.15, []string{"VBD", "NP"}},
+			{0.06, []string{"VBZ", "ADJP"}},
+			{0.05, []string{"VBD", "PP"}},
+			{0.09, []string{"VP", "PP"}},
+			{0.05, []string{"MD", "VP"}},
+			{0.04, []string{"VB", "NP"}},
+			{0.05, []string{"VBZ", "SBAR"}},
+			{0.05, []string{"VBD", "SBAR"}},
+			{0.08, []string{"VBZ", "NP", "PP"}},
+			{0.08, []string{"VBD", "NP", "PP"}},
+			{0.04, []string{"VBZ"}},
+			{0.04, []string{"VBD"}},
+			{0.03, []string{"VBZ", "VP"}},
+			{0.03, []string{"VBG", "NP"}},
+			{0.02, []string{"VBN", "PP"}},
+			{0.02, []string{"TO", "VP"}},
+			{0.02, []string{"VBD", "RP", "NP"}},
+			{0.02, []string{"VBZ", "NP", "NP"}},
+		},
+		"PP": {
+			{0.93, []string{"IN", "NP"}},
+			{0.05, []string{"TO", "NP"}},
+			{0.02, []string{"IN", "S"}},
+		},
+		"SBAR": {
+			{0.44, []string{"IN", "S"}},
+			{0.38, []string{"WHNP", "S"}},
+			{0.18, []string{"WHADVP", "S"}},
+		},
+		"ADJP": {
+			{0.58, []string{"JJ"}},
+			{0.28, []string{"RB", "JJ"}},
+			{0.09, []string{"JJ", "PP"}},
+			{0.05, []string{"JJ", "CC", "JJ"}},
+		},
+		"ADVP": {
+			{0.88, []string{"RB"}},
+			{0.12, []string{"RB", "RB"}},
+		},
+		"WHNP": {
+			{0.52, []string{"WP"}},
+			{0.48, []string{"WDT"}},
+		},
+		"WHADVP": {
+			{1, []string{"WRB"}},
+		},
+	}
+}

@@ -1,0 +1,39 @@
+package corpusgen
+
+// rng is a small, fast, version-stable PRNG (xorshift64* seeded through
+// splitmix64). The corpus must be bit-identical across Go releases so
+// experiments and recorded results stay comparable; math/rand makes no
+// such guarantee across its implementations, so we carry our own.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	// splitmix64 step guarantees a nonzero, well-mixed state.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: z}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("corpusgen: intn with non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,122 @@
+package corpusgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// vocab is a per-POS-tag word list sampled under a Zipf distribution, so
+// corpora exhibit the skewed term frequencies of real news text: a few
+// very frequent words (high-selectivity labels in the paper's sense) and
+// a long tail of rare ones. The FB query-set's H/M/L frequency classes
+// depend on exactly this skew.
+type vocab struct {
+	words []string
+	cum   []float64 // cumulative Zipf weights, normalized to end at 1
+}
+
+// zipfExponent controls frequency skew; ~1.1 matches English word
+// frequencies closely enough for the index-shape experiments.
+const zipfExponent = 1.1
+
+func newVocab(words []string) *vocab {
+	v := &vocab{words: words, cum: make([]float64, len(words))}
+	total := 0.0
+	for i := range words {
+		total += 1 / math.Pow(float64(i+1), zipfExponent)
+		v.cum[i] = total
+	}
+	for i := range v.cum {
+		v.cum[i] /= total
+	}
+	return v
+}
+
+// sample draws one word.
+func (v *vocab) sample(r *rng) string {
+	u := r.float64()
+	i := sort.SearchFloat64s(v.cum, u)
+	if i >= len(v.words) {
+		i = len(v.words) - 1
+	}
+	return v.words[i]
+}
+
+// synthWords builds a vocabulary of n words: the given seed words first
+// (they receive the highest Zipf ranks, i.e. become the frequent words),
+// padded with generated forms prefix0001, prefix0002, ...
+func synthWords(seeds []string, prefix string, n int) []string {
+	words := append([]string(nil), seeds...)
+	for i := 1; len(words) < n; i++ {
+		words = append(words, fmt.Sprintf("%s%04d", prefix, i))
+	}
+	return words[:n]
+}
+
+// newVocabularies returns the per-tag word distributions used by the
+// generator. Sizes are scaled-down but proportionate to English: open
+// classes (nouns, proper nouns, verbs, adjectives) are large, closed
+// classes (determiners, prepositions, pronouns) tiny.
+func newVocabularies() map[string]*vocab {
+	return map[string]*vocab{
+		"NN": newVocab(synthWords([]string{
+			"year", "time", "government", "company", "president", "state",
+			"city", "official", "market", "country", "group", "week",
+			"report", "animal", "rodent", "economy", "plan", "leader",
+		}, "noun", 1200)),
+		"NNS": newVocab(synthWords([]string{
+			"people", "years", "officials", "companies", "shares", "states",
+			"reports", "animals", "workers", "leaders", "prices", "agoutis",
+		}, "nouns", 900)),
+		"NNP": newVocab(synthWords([]string{
+			"Washington", "China", "Clinton", "Congress", "York", "Bank",
+			"Japan", "Europe", "Russia", "Iraq", "Agouti",
+		}, "Name", 1600)),
+		"VBZ": newVocab(synthWords([]string{
+			"is", "says", "has", "remains", "makes", "wants", "seems",
+		}, "verbz", 260)),
+		"VBD": newVocab(synthWords([]string{
+			"said", "was", "had", "made", "announced", "reported", "became",
+		}, "verbd", 340)),
+		"VB": newVocab(synthWords([]string{
+			"be", "make", "take", "help", "keep", "say", "buy",
+		}, "verb", 260)),
+		"VBG": newVocab(synthWords([]string{
+			"being", "making", "rising", "eating", "growing",
+		}, "verbg", 160)),
+		"VBN": newVocab(synthWords([]string{
+			"been", "made", "expected", "known", "reported",
+		}, "verbn", 200)),
+		"JJ": newVocab(synthWords([]string{
+			"new", "last", "other", "economic", "political", "big", "small",
+			"short-tailed", "plant-eating", "foreign", "national",
+		}, "adj", 600)),
+		"RB": newVocab(synthWords([]string{
+			"not", "also", "still", "very", "only", "already",
+		}, "adv", 260)),
+		"DT": newVocab([]string{"the", "a", "an", "this", "that", "some", "no", "any", "each", "these"}),
+		"IN": newVocab([]string{
+			"of", "in", "for", "on", "with", "at", "by", "from", "as",
+			"about", "after", "against", "between", "during", "under",
+			"over", "through", "before", "because", "while", "since",
+			"although", "if", "that", "whether",
+		}),
+		"PRP":  newVocab([]string{"it", "he", "they", "she", "we", "i", "you"}),
+		"PRP$": newVocab([]string{"its", "his", "their", "her", "our"}),
+		"CD": newVocab(synthWords([]string{
+			"one", "two", "three", "1990", "10", "100", "million",
+		}, "num", 280)),
+		"CC":  newVocab([]string{"and", "but", "or", "nor", "yet"}),
+		"MD":  newVocab([]string{"will", "would", "could", "can", "may", "should", "must"}),
+		"TO":  newVocab([]string{"to"}),
+		"POS": newVocab([]string{"'s", "'"}),
+		"WP":  newVocab([]string{"who", "what", "whom"}),
+		"WDT": newVocab([]string{"which", "that"}),
+		"WRB": newVocab([]string{"where", "when", "why", "how"}),
+		",":   newVocab([]string{","}),
+		".":   newVocab([]string{".", "!", "?"}),
+		"EX":  newVocab([]string{"there"}),
+		"RP":  newVocab([]string{"up", "out", "down", "off"}),
+	}
+}

@@ -1,0 +1,403 @@
+// Package cover implements the query-decomposition algorithms of §5 of
+// the paper: covers, max-covers, the FFD-based assign procedure, the
+// join-optimal optimalCover and the minimum root-split cover minRC,
+// plus the deep-branching-anomaly check of Definition 10.
+//
+// Decomposition operates on one parent-child component of a query at a
+// time (index keys cannot span // edges). A cover is a set of pieces —
+// connected, child-axis-only subtrees of the query of size at most mss —
+// that together cover every node and every edge of the component
+// (Definitions 5–7).
+package cover
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Piece is one subtree of a cover: query node indexes with Nodes[0] the
+// piece root; the rest follow in increasing index order.
+type Piece struct {
+	Root  int
+	Nodes []int
+}
+
+// Cover is an ordered set of pieces. Order reflects construction order,
+// which Example 3 of the paper also reports.
+type Cover []Piece
+
+// state tracks assignment of component nodes during decomposition.
+type state struct {
+	q        *query.Query
+	mss      int
+	inComp   map[int]bool
+	assigned map[int]bool
+}
+
+func newState(q *query.Query, comp []int, mss int) *state {
+	s := &state{
+		q:        q,
+		mss:      mss,
+		inComp:   make(map[int]bool, len(comp)),
+		assigned: make(map[int]bool, len(comp)),
+	}
+	for _, v := range comp {
+		s.inComp[v] = true
+	}
+	return s
+}
+
+// children returns v's child-axis children inside the component.
+func (s *state) children(v int) []int {
+	var out []int
+	for _, c := range s.q.Nodes[v].Children {
+		if s.q.Nodes[c].Axis == query.Child && s.inComp[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// need returns the size of the minimal connected subgraph of v's
+// subtree that contains v and every unassigned node below (and
+// including) v; 0 when nothing under v needs covering. This is the
+// effective "remaining size |c|" of the paper's pseudocode: previously
+// assigned interior nodes still count because a covering piece must
+// include them for connectivity.
+func (s *state) need(v int) int {
+	n, any := s.needRec(v)
+	if !any {
+		return 0
+	}
+	return n
+}
+
+func (s *state) needRec(v int) (size int, hasUnassigned bool) {
+	size = 1
+	hasUnassigned = !s.assigned[v]
+	for _, c := range s.children(v) {
+		cs, cu := s.needRec(c)
+		if cu {
+			size += cs
+			hasUnassigned = true
+		}
+	}
+	if !hasUnassigned {
+		return 0, false
+	}
+	return size, true
+}
+
+// fullSize returns the total size of v's subtree within the component.
+func (s *state) fullSize(v int) int {
+	n := 1
+	for _, c := range s.children(v) {
+		n += s.fullSize(c)
+	}
+	return n
+}
+
+// collectNeeded gathers the minimal connected subgraph counted by need:
+// v plus, for each child with unassigned work, that child's needed
+// subgraph. All gathered nodes are marked assigned.
+func (s *state) collectNeeded(v int, into *[]int) {
+	*into = append(*into, v)
+	s.assigned[v] = true
+	for _, c := range s.children(v) {
+		if s.need(c) > 0 {
+			s.collectNeeded(c, into)
+		}
+	}
+}
+
+// collectFull gathers v's whole subtree (for exactness padding).
+func (s *state) collectFull(v int, into *[]int) {
+	*into = append(*into, v)
+	for _, c := range s.children(v) {
+		s.collectFull(c, into)
+	}
+}
+
+// assign builds one piece rooted at r, following the paper's assign
+// (Figure 6): greedily take whole remaining child subtrees in
+// first-fit-decreasing order (the FFD bin packing Lemma 3 relies on),
+// then pad with already-assigned whole child subtrees while they fit,
+// so pieces approach the max-cover size mss. Padding never splits a
+// subtree, which keeps root-split covers free of the deep branching
+// anomaly (see Verify).
+func (s *state) assign(r int) Piece {
+	nodes := []int{r}
+	s.assigned[r] = true
+	budget := s.mss - 1
+
+	kids := s.children(r)
+	sort.SliceStable(kids, func(i, j int) bool { return s.need(kids[i]) > s.need(kids[j]) })
+	taken := make(map[int]bool)
+	for _, c := range kids {
+		n := s.need(c)
+		if n > 0 && n <= budget {
+			s.collectNeeded(c, &nodes)
+			budget -= n
+			taken[c] = true
+		}
+	}
+	if budget > 0 {
+		// Exactness padding with fully assigned child subtrees (lines
+		// 9-14 of the paper's assign, restricted to whole subtrees).
+		for _, c := range kids {
+			if taken[c] || s.need(c) > 0 {
+				continue
+			}
+			fs := s.fullSize(c)
+			if fs <= budget {
+				s.collectFull(c, &nodes)
+				budget -= fs
+				taken[c] = true
+			}
+		}
+	}
+	sortTail(nodes)
+	return Piece{Root: r, Nodes: nodes}
+}
+
+// sortTail sorts nodes[1:] ascending, keeping the root first.
+func sortTail(nodes []int) {
+	tail := nodes[1:]
+	sort.Ints(tail)
+}
+
+// Optimal computes a join-optimal cover of the component rooted at root
+// (the paper's optimalCover, Figure 6). The remainder of a non-root
+// subtree smaller than mss is deferred to the caller, so pieces may
+// bridge a node and its partially covered children — fine for
+// filter-based and subtree-interval codings, whose joins may use any
+// shared node.
+func Optimal(q *query.Query, comp []int, mss int) (Cover, error) {
+	if err := validate(q, comp, mss); err != nil {
+		return nil, err
+	}
+	s := newState(q, comp, mss)
+	var c Cover
+	s.optimal(comp[0], comp[0], &c)
+	return c, nil
+}
+
+func (s *state) optimal(v, componentRoot int, c *Cover) {
+	for _, ch := range s.children(v) {
+		n := s.need(ch)
+		switch {
+		case n == s.mss:
+			var nodes []int
+			s.collectNeeded(ch, &nodes)
+			sortTail(nodes)
+			*c = append(*c, Piece{Root: ch, Nodes: nodes})
+		case n > s.mss:
+			s.optimal(ch, componentRoot, c)
+		}
+	}
+	for s.need(v) >= s.mss {
+		*c = append(*c, s.assign(v))
+	}
+	if v == componentRoot && s.need(v) > 0 {
+		*c = append(*c, s.assign(v))
+	}
+}
+
+// MinRootSplit computes the smallest root-split cover (the paper's
+// minRC, Figure 7): bottom-up, every subtree is covered entirely —
+// each internal node before its ancestors — before returning, which
+// avoids the deep branching anomaly and keeps all joins on piece roots.
+func MinRootSplit(q *query.Query, comp []int, mss int) (Cover, error) {
+	if err := validate(q, comp, mss); err != nil {
+		return nil, err
+	}
+	s := newState(q, comp, mss)
+	var c Cover
+	s.minRC(comp[0], &c)
+	return c, nil
+}
+
+func (s *state) minRC(v int, c *Cover) {
+	for _, ch := range s.children(v) {
+		n := s.need(ch)
+		switch {
+		case n == s.mss:
+			var nodes []int
+			s.collectNeeded(ch, &nodes)
+			sortTail(nodes)
+			*c = append(*c, Piece{Root: ch, Nodes: nodes})
+		case n > s.mss:
+			s.minRC(ch, c)
+		}
+	}
+	for s.need(v) > 0 {
+		*c = append(*c, s.assign(v))
+	}
+}
+
+// Singles returns the trivial cover of single-node pieces — the node
+// approach the paper compares against (mss = 1, LPath-style).
+func Singles(q *query.Query, comp []int) Cover {
+	c := make(Cover, len(comp))
+	for i, v := range comp {
+		c[i] = Piece{Root: v, Nodes: []int{v}}
+	}
+	return c
+}
+
+func validate(q *query.Query, comp []int, mss int) error {
+	if mss < 1 {
+		return fmt.Errorf("cover: mss %d < 1", mss)
+	}
+	if len(comp) == 0 {
+		return fmt.Errorf("cover: empty component")
+	}
+	return nil
+}
+
+// Joins returns the number of joins needed to evaluate the cover: one
+// fewer than the number of pieces (left-deep plans, §5.1). Table 3 of
+// the paper reports this metric.
+func (c Cover) Joins() int {
+	if len(c) == 0 {
+		return 0
+	}
+	return len(c) - 1
+}
+
+// Verify checks cover validity against Definitions 5–7 and, when
+// rootSplit is set, the root-split property of Definition 8 and absence
+// of the deep branching anomaly of Definition 10. Tests and the query
+// planner's debug mode call it.
+func (c Cover) Verify(q *query.Query, comp []int, mss int, rootSplit bool) error {
+	inComp := map[int]bool{}
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	nodeCovered := map[int]bool{}
+	edgeCovered := map[[2]int]bool{}
+	for pi, p := range c {
+		if len(p.Nodes) == 0 || p.Nodes[0] != p.Root {
+			return fmt.Errorf("cover: piece %d malformed", pi)
+		}
+		if len(p.Nodes) > mss {
+			return fmt.Errorf("cover: piece %d has %d nodes > mss %d", pi, len(p.Nodes), mss)
+		}
+		in := map[int]bool{}
+		for _, v := range p.Nodes {
+			if !inComp[v] {
+				return fmt.Errorf("cover: piece %d contains node %d outside component", pi, v)
+			}
+			in[v] = true
+			nodeCovered[v] = true
+		}
+		for _, v := range p.Nodes {
+			if v == p.Root {
+				continue
+			}
+			pa := q.Nodes[v].Parent
+			if !in[pa] {
+				return fmt.Errorf("cover: piece %d node %d disconnected (parent %d missing)", pi, v, pa)
+			}
+			edgeCovered[[2]int{pa, v}] = true
+		}
+	}
+	roots := map[int]bool{}
+	for _, p := range c {
+		roots[p.Root] = true
+	}
+	for _, v := range comp {
+		if !nodeCovered[v] {
+			return fmt.Errorf("cover: node %d uncovered", v)
+		}
+		if v == comp[0] {
+			continue
+		}
+		pa := q.Nodes[v].Parent
+		if q.Nodes[v].Axis != query.Child || !inComp[pa] || edgeCovered[[2]int{pa, v}] {
+			continue
+		}
+		// An edge not inside any piece must be enforceable as a join
+		// predicate. Subtree-interval and filter-based codings can join
+		// (or validate) on any covered node, so node coverage suffices.
+		// Root-split joins see only piece roots: both endpoints must be
+		// roots (Definition 8's "set of individual nodes" degenerate
+		// cover is the extreme case).
+		if rootSplit && (!roots[pa] || !roots[v]) {
+			return fmt.Errorf("cover: edge %d->%d uncovered and not root-joinable", pa, v)
+		}
+	}
+	if rootSplit {
+		if err := c.verifyRootSplit(q); err != nil {
+			return err
+		}
+		if i, j, v := c.DeepBranchingAnomaly(q); v >= 0 {
+			return fmt.Errorf("cover: deep branching anomaly between pieces %d and %d at node %d", i, j, v)
+		}
+	}
+	return nil
+}
+
+// verifyRootSplit checks Definition 8: every piece shares a root with
+// another piece, or its root is the parent/child of another piece's
+// root (trivially true for single-piece covers).
+func (c Cover) verifyRootSplit(q *query.Query) error {
+	if len(c) <= 1 {
+		return nil
+	}
+	for i, p := range c {
+		ok := false
+		for j, o := range c {
+			if i == j {
+				continue
+			}
+			if p.Root == o.Root ||
+				q.Nodes[p.Root].Parent == o.Root ||
+				q.Nodes[o.Root].Parent == p.Root {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("cover: piece %d (root %d) not root-joinable with any other piece", i, p.Root)
+		}
+	}
+	return nil
+}
+
+// DeepBranchingAnomaly finds pieces si, sj sharing a node v — v root of
+// neither — such that v has a child in si not in sj and a child in sj
+// not in si (Definition 10). It returns (i, j, v), or v = -1 if none.
+func (c Cover) DeepBranchingAnomaly(q *query.Query) (int, int, int) {
+	sets := make([]map[int]bool, len(c))
+	for i, p := range c {
+		sets[i] = map[int]bool{}
+		for _, v := range p.Nodes {
+			sets[i][v] = true
+		}
+	}
+	for i := range c {
+		for j := i + 1; j < len(c); j++ {
+			for _, v := range c[i].Nodes {
+				if v == c[i].Root || v == c[j].Root || !sets[j][v] {
+					continue
+				}
+				inIOnly, inJOnly := false, false
+				for _, u := range q.Nodes[v].Children {
+					if sets[i][u] && !sets[j][u] {
+						inIOnly = true
+					}
+					if sets[j][u] && !sets[i][u] {
+						inJOnly = true
+					}
+				}
+				if inIOnly && inJOnly {
+					return i, j, v
+				}
+			}
+		}
+	}
+	return -1, -1, -1
+}

@@ -1,0 +1,260 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/query"
+)
+
+// paperQuery is Figure 1(a): the parse of "agouti is a ...".
+const paperQuery = "S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))"
+
+func comp(q *query.Query) []int { return q.ChildComponent(0) }
+
+func pieceKeys(t *testing.T, q *query.Query, c Cover) []string {
+	t.Helper()
+	out := make([]string, len(c))
+	for i, p := range c {
+		pat, _, err := q.SubPattern(p.Nodes)
+		if err != nil {
+			t.Fatalf("piece %d: %v", i, err)
+		}
+		out[i] = pat.String()
+	}
+	return out
+}
+
+func TestOptimalPaperExample2(t *testing.T) {
+	// Example 2 of the paper, mss = 3: optimalCover yields 5 pieces
+	// including NP(NNS(agouti)), NP(DT(a)), VP(VBZ(is)) and VP(NP(NN)).
+	q := query.MustParse(paperQuery)
+	c, err := Optimal(q, comp(q), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(q, comp(q), 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 5 {
+		t.Fatalf("pieces = %d, want 5 (join-optimal for |Q|=11, mss=3): %v",
+			len(c), pieceKeys(t, q, c))
+	}
+	keys := pieceKeys(t, q, c)
+	want := map[string]bool{
+		"NP(NNS(agouti))": true, "NP(DT(a))": true,
+		"VP(VBZ(is))": true, "VP(NP(NN))": true,
+	}
+	found := 0
+	for _, k := range keys {
+		if want[k] {
+			found++
+		}
+	}
+	if found != 4 {
+		t.Errorf("pieces %v missing paper pieces", keys)
+	}
+	if c.Joins() != 4 {
+		t.Errorf("joins = %d", c.Joins())
+	}
+}
+
+func TestMinRCPaperExample3(t *testing.T) {
+	// Example 3: minRC over the same query, mss = 3, is join optimal
+	// with the same number of pieces as Example 2's optimal cover.
+	q := query.MustParse(paperQuery)
+	c, err := MinRootSplit(q, comp(q), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(q, comp(q), 3, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 5 {
+		t.Errorf("pieces = %d, want 5: %v", len(c), pieceKeys(t, q, c))
+	}
+}
+
+func TestDeepBranchingAnomalyDetection(t *testing.T) {
+	// Example 1 / Figure 5: A(B(C(D)(E)(F))) with mss=4. The cover
+	// C1={A(B(C(D))), B(C(E)(F))} has the anomaly at node C.
+	q := query.MustParse("A(B(C(D)(E)(F)))")
+	// Indexes: A0 B1 C2 D3 E4 F5.
+	c1 := Cover{
+		{Root: 0, Nodes: []int{0, 1, 2, 3}}, // A(B(C(D)))
+		{Root: 1, Nodes: []int{1, 2, 4, 5}}, // B(C(E)(F))
+	}
+	i, j, v := c1.DeepBranchingAnomaly(q)
+	if v != 2 {
+		t.Fatalf("anomaly = (%d,%d,%d), want at node 2 (C)", i, j, v)
+	}
+	// The paper's fix C2 adds C(D)(E)(F), which repairs the *semantics*
+	// (a piece rooted at C now constrains all three children together);
+	// the pairwise condition of Definition 10 still holds between the
+	// first two pieces, so the detector keeps reporting it.
+	c2 := append(Cover{}, c1...)
+	c2 = append(c2, Piece{Root: 2, Nodes: []int{2, 3, 4, 5}})
+	if _, _, v := c2.DeepBranchingAnomaly(q); v != 2 {
+		t.Errorf("pairwise anomaly should persist in C2, got node %d", v)
+	}
+	// A cover whose pieces never share a non-root node is clean.
+	c3 := Cover{
+		{Root: 0, Nodes: []int{0, 1}},       // A(B)
+		{Root: 2, Nodes: []int{2, 3, 4, 5}}, // C(D)(E)(F)
+	}
+	if _, _, v := c3.DeepBranchingAnomaly(q); v != -1 {
+		t.Errorf("c3 should be anomaly-free, got node %d", v)
+	}
+}
+
+func TestMinRCAnomalyFreeOnFigure5(t *testing.T) {
+	q := query.MustParse("A(B(C(D)(E)(F)))")
+	for mss := 2; mss <= 5; mss++ {
+		c, err := MinRootSplit(q, comp(q), mss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Verify(q, comp(q), mss, true); err != nil {
+			t.Errorf("mss=%d: %v (%v)", mss, err, pieceKeys(t, q, c))
+		}
+	}
+}
+
+func TestSinglePieceWhenQueryFits(t *testing.T) {
+	q := query.MustParse("NP(DT)(NN)")
+	for _, algo := range []func(*query.Query, []int, int) (Cover, error){Optimal, MinRootSplit} {
+		c, err := algo(q, comp(q), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c) != 1 || len(c[0].Nodes) != 3 || c[0].Root != 0 {
+			t.Errorf("cover = %+v", c)
+		}
+		if c.Joins() != 0 {
+			t.Errorf("joins = %d", c.Joins())
+		}
+	}
+}
+
+func TestSingles(t *testing.T) {
+	q := query.MustParse(paperQuery)
+	c := Singles(q, comp(q))
+	if len(c) != q.Size() {
+		t.Fatalf("pieces = %d", len(c))
+	}
+	if err := c.Verify(q, comp(q), 1, false); err != nil {
+		t.Fatal(err)
+	}
+	// Singleton covers are valid root-split covers too (Def. 8: the set
+	// of individual nodes).
+	if err := c.verifyRootSplit(q); err != nil {
+		t.Fatal(err)
+	}
+	if c.Joins() != q.Size()-1 {
+		t.Errorf("joins = %d, want |Q|-1", c.Joins())
+	}
+}
+
+func TestMinRCNeverFewerPiecesThanOptimal(t *testing.T) {
+	qs := []string{
+		paperQuery,
+		"A(B(C(D(E))))",
+		"A(B)(C)(D)(E)",
+		"S(NP(DT)(JJ)(NN))(VP(VBZ)(NP(NP(NN))(PP(IN)(NP(NN)))))",
+		"X(Y(Z))",
+	}
+	for _, src := range qs {
+		q := query.MustParse(src)
+		for mss := 1; mss <= 5; mss++ {
+			co, err := Optimal(q, comp(q), mss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cr, err := MinRootSplit(q, comp(q), mss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cr) < len(co) {
+				t.Errorf("%s mss=%d: minRC %d pieces < optimal %d",
+					src, mss, len(cr), len(co))
+			}
+			if err := co.Verify(q, comp(q), mss, false); err != nil {
+				t.Errorf("%s mss=%d optimal: %v", src, mss, err)
+			}
+			if err := cr.Verify(q, comp(q), mss, true); err != nil {
+				t.Errorf("%s mss=%d minRC: %v", src, mss, err)
+			}
+		}
+	}
+}
+
+func TestJoinsDecreaseWithMSS(t *testing.T) {
+	// Table 3's trend: both algorithms need fewer joins as mss grows.
+	q := query.MustParse(paperQuery)
+	prevOpt, prevRC := 1<<30, 1<<30
+	for mss := 1; mss <= 5; mss++ {
+		co, _ := Optimal(q, comp(q), mss)
+		cr, _ := MinRootSplit(q, comp(q), mss)
+		if co.Joins() > prevOpt {
+			t.Errorf("optimal joins increased at mss=%d: %d > %d", mss, co.Joins(), prevOpt)
+		}
+		if cr.Joins() > prevRC {
+			t.Errorf("minRC joins increased at mss=%d: %d > %d", mss, cr.Joins(), prevRC)
+		}
+		prevOpt, prevRC = co.Joins(), cr.Joins()
+	}
+}
+
+// randomChainQuery builds a random child-axis query of n nodes.
+func randomQuery(rng *rand.Rand, n int) *query.Query {
+	labels := []string{"A", "B", "C", "D", "E", "F", "G"}
+	q := &query.Query{}
+	for i := 0; i < n; i++ {
+		parent := -1
+		if i > 0 {
+			parent = rng.Intn(i)
+		}
+		q.Nodes = append(q.Nodes, query.Node{
+			Label:  labels[rng.Intn(len(labels))],
+			Axis:   query.Child,
+			Parent: parent,
+		})
+		if parent >= 0 {
+			q.Nodes[parent].Children = append(q.Nodes[parent].Children, i)
+		}
+	}
+	return q
+}
+
+func TestQuickCoversValid(t *testing.T) {
+	f := func(seed int64, nRaw, mssRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%16) + 1
+		mss := int(mssRaw%5) + 1
+		q := randomQuery(rng, n)
+		cm := comp(q)
+		co, err := Optimal(q, cm, mss)
+		if err != nil {
+			t.Logf("optimal: %v", err)
+			return false
+		}
+		if err := co.Verify(q, cm, mss, false); err != nil {
+			t.Logf("optimal cover invalid (%s mss=%d): %v", q, mss, err)
+			return false
+		}
+		cr, err := MinRootSplit(q, cm, mss)
+		if err != nil {
+			t.Logf("minRC: %v", err)
+			return false
+		}
+		if err := cr.Verify(q, cm, mss, true); err != nil {
+			t.Logf("minRC cover invalid (%s mss=%d): %v", q, mss, err)
+			return false
+		}
+		return len(cr) >= len(co)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

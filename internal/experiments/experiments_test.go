@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/postings"
+)
+
+// Full-scale experiment runs live in bench_test.go at the repository
+// root; these tests exercise the drivers on miniature grids to keep the
+// suite fast while still asserting the paper's orderings.
+
+func TestFig2Shape(t *testing.T) {
+	// Run the driver logic on its smallest prefix via Scale=1 but a
+	// truncated size list: reuse Fig2 directly — its largest corpus at
+	// Scale 1 is 10k sentences, too slow for a unit test, so test the
+	// internal pieces on a small grid instead.
+	cfg := Config{Seed: 7}.normalize()
+	trees := cfg.corpus(300)
+	_ = trees
+	res, err := fig2On(cfg, []int{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Keys grow with both corpus size and mss.
+	prevLast := 0
+	for _, row := range res.Rows {
+		first := atoi(t, row[1])
+		last := atoi(t, row[5])
+		if last < first {
+			t.Errorf("keys shrink with mss: %v", row)
+		}
+		if last < prevLast {
+			t.Errorf("keys shrink with corpus size: %v", row)
+		}
+		prevLast = last
+	}
+	if !strings.Contains(res.Format(), "fig2") {
+		t.Error("Format misses the experiment id")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	res, err := fig3On(Config{Seed: 7}.normalize(), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("too few branching factors: %d", len(res.Rows))
+	}
+	// Subtree counts increase with branching factor for ss=5 (column 5).
+	first := atof(t, res.Rows[0][5])
+	last := atof(t, res.Rows[len(res.Rows)-1][5])
+	if last <= first {
+		t.Errorf("ss=5 counts do not grow with branching: %v .. %v", first, last)
+	}
+}
+
+func TestGridExperimentsSmall(t *testing.T) {
+	cfg := Config{Seed: 7, WorkDir: t.TempDir()}.normalize()
+	sizes := []int{50, 150}
+	grid, err := buildGrid(cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 8 ordering at every cell.
+	for _, n := range sizes {
+		for mss := 1; mss <= 5; mss++ {
+			f := grid[gridKey(n, postings.FilterBased, mss)].IndexBytes
+			r := grid[gridKey(n, postings.RootSplit, mss)].IndexBytes
+			i := grid[gridKey(n, postings.SubtreeInterval, mss)].IndexBytes
+			if !(f <= r && r <= i) {
+				t.Errorf("n=%d mss=%d size ordering: %d %d %d", n, mss, f, r, i)
+			}
+		}
+		// Figure 9: at mss=1 root-split and interval posting counts match.
+		r1 := grid[gridKey(n, postings.RootSplit, 1)].Postings
+		i1 := grid[gridKey(n, postings.SubtreeInterval, 1)].Postings
+		if r1 != i1 {
+			t.Errorf("n=%d mss=1 postings differ: %d vs %d", n, r1, i1)
+		}
+		// Table 1: ratio ordering root-split < filter < interval.
+		ratio := func(c postings.Coding) float64 {
+			return float64(grid[gridKey(n, c, 5)].IndexBytes) /
+				float64(grid[gridKey(n, c, 1)].IndexBytes)
+		}
+		rr, fr, ir := ratio(postings.RootSplit), ratio(postings.FilterBased), ratio(postings.SubtreeInterval)
+		if !(rr < ir && fr < ir) {
+			t.Errorf("n=%d tab1 ratios: filter=%.1f root-split=%.1f interval=%.1f", n, fr, rr, ir)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	res, err := Table3(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Columns: group, then (r, s) pairs for mss 2..5.
+		for c := 1; c < 9; c += 2 {
+			r := atof(t, row[c])
+			s := atof(t, row[c+1])
+			if r < s {
+				t.Errorf("group %s: r=%v < s=%v at column %d", row[0], r, s, c)
+			}
+		}
+		// Joins decrease with mss for both algorithms.
+		if atof(t, row[7]) > atof(t, row[1]) {
+			t.Errorf("group %s: r joins grew with mss: %v", row[0], row)
+		}
+		if atof(t, row[8]) > atof(t, row[2]) {
+			t.Errorf("group %s: s joins grew with mss: %v", row[0], row)
+		}
+	}
+}
+
+func TestFindAndAll(t *testing.T) {
+	if len(All()) != 11 {
+		t.Errorf("experiments = %d, want 11", len(All()))
+	}
+	if _, ok := Find("tab3"); !ok {
+		t.Error("tab3 not found")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("bogus id found")
+	}
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Title == "" {
+			t.Errorf("runner %s incomplete", r.ID)
+		}
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("atoi(%q): %v", s, err)
+	}
+	return v
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("atof(%q): %v", s, err)
+	}
+	return v
+}
+
+var _ = core.Options{} // keep import for the grid helpers

@@ -1,0 +1,361 @@
+// Package join evaluates decomposed queries over posting lists: the
+// paper's join phase (§4.3). Cover pieces become relations whose
+// columns are query nodes ("slots"); structural predicates derived from
+// the query connect them:
+//
+//   - equal     — two pieces bind the same query node,
+//   - parent    — a Child-axis query edge crosses pieces,
+//   - ancestor  — a Descendant-axis (//) query edge crosses components,
+//   - distinct  — same-label query siblings must bind different nodes
+//     (sibling injectivity, enforceable whenever both are bound).
+//
+// Relations are combined with sort-merge joins on (tid, pre) in the
+// spirit of MPMGJN [Zhang et al., SIGMOD'01], with all applicable
+// predicates applied as residuals. Plans are left-deep, ordered by
+// posting-list length (smallest first), the optimizer policy §5.1
+// assumes.
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/postings"
+	"repro/internal/query"
+)
+
+// Relation is one input: the postings of one cover piece. Slots[i]
+// names the query node bound by Nodes[i] of each entry. Root-split
+// relations have exactly one slot (the piece root); subtree-interval
+// relations bind every piece node.
+type Relation struct {
+	Name    string // for diagnostics: the piece's key
+	Slots   []int
+	Entries []postings.IntervalEntry
+}
+
+// Match is one result: the image of the query root in a tree.
+type Match struct {
+	TID  uint32
+	Root uint32 // pre number of the query root's image
+}
+
+// predKind enumerates structural predicates.
+type predKind uint8
+
+const (
+	predEqual predKind = iota
+	predParent
+	predAncestor
+	predDistinct
+)
+
+type pred struct {
+	kind predKind
+	u, v int // query nodes; for parent/ancestor, u is the upper node
+}
+
+// Execute joins the relations and returns the distinct (tid, root
+// image) matches of the query root. Every query node must be bound by
+// at least one relation slot *or* be enforceable transitively; the
+// query root must be bound.
+func Execute(q *query.Query, rels []Relation) ([]Match, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("join: no relations")
+	}
+	for _, r := range rels {
+		if len(r.Entries) == 0 {
+			return nil, nil // empty posting list: no matches anywhere
+		}
+		if len(r.Slots) == 0 {
+			return nil, fmt.Errorf("join: relation %q has no slots", r.Name)
+		}
+	}
+	preds := buildPredicates(q)
+
+	// Greedy left-deep order: start from the smallest relation; always
+	// add the smallest relation connected to the bound set.
+	order, err := planOrder(q, rels)
+	if err != nil {
+		return nil, err
+	}
+
+	cur := newTable(rels[order[0]])
+	for _, ri := range order[1:] {
+		cur = joinStep(cur, rels[ri], preds)
+		if len(cur.rows) == 0 {
+			return nil, nil
+		}
+	}
+	// Final residual pass: predicates whose nodes only became jointly
+	// bound at the end are already applied incrementally; what remains
+	// is projecting the root and deduplicating.
+	rootCol, ok := cur.col[q.Root()]
+	if !ok {
+		return nil, fmt.Errorf("join: query root is not bound by any relation")
+	}
+	seen := make(map[uint64]struct{}, len(cur.rows))
+	var out []Match
+	for _, row := range cur.rows {
+		k := uint64(row.tid)<<32 | uint64(row.bind[rootCol].Pre)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, Match{TID: row.tid, Root: row.bind[rootCol].Pre})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TID != out[j].TID {
+			return out[i].TID < out[j].TID
+		}
+		return out[i].Root < out[j].Root
+	})
+	return out, nil
+}
+
+// buildPredicates derives the full predicate set from the query.
+func buildPredicates(q *query.Query) []pred {
+	var ps []pred
+	for v := 1; v < q.Size(); v++ {
+		u := q.Nodes[v].Parent
+		if q.Nodes[v].Axis == query.Child {
+			ps = append(ps, pred{kind: predParent, u: u, v: v})
+		} else {
+			ps = append(ps, pred{kind: predAncestor, u: u, v: v})
+		}
+	}
+	// Sibling injectivity for same-label siblings.
+	for u := 0; u < q.Size(); u++ {
+		cs := q.Nodes[u].Children
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				if q.Nodes[cs[i]].Label == q.Nodes[cs[j]].Label {
+					ps = append(ps, pred{kind: predDistinct, u: cs[i], v: cs[j]})
+				}
+			}
+		}
+	}
+	return ps
+}
+
+// planOrder picks a left-deep join order: smallest relation first, then
+// repeatedly the smallest relation sharing a query node or a query edge
+// with the bound set.
+func planOrder(q *query.Query, rels []Relation) ([]int, error) {
+	n := len(rels)
+	used := make([]bool, n)
+	bound := map[int]bool{}
+	order := make([]int, 0, n)
+
+	smallest := 0
+	for i := 1; i < n; i++ {
+		if len(rels[i].Entries) < len(rels[smallest].Entries) {
+			smallest = i
+		}
+	}
+	take := func(i int) {
+		used[i] = true
+		order = append(order, i)
+		for _, s := range rels[i].Slots {
+			bound[s] = true
+		}
+	}
+	take(smallest)
+
+	connected := func(i int) bool {
+		for _, s := range rels[i].Slots {
+			if bound[s] {
+				return true
+			}
+			// A query edge between s and a bound node also connects.
+			if p := q.Nodes[s].Parent; p >= 0 && bound[p] {
+				return true
+			}
+			for _, c := range q.Nodes[s].Children {
+				if bound[c] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] || !connected(i) {
+				continue
+			}
+			if best == -1 || len(rels[i].Entries) < len(rels[best].Entries) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("join: relations do not connect (disconnected cover)")
+		}
+		take(best)
+	}
+	return order, nil
+}
+
+// table is an intermediate result: rows of bindings, with col mapping
+// query nodes to binding columns.
+type table struct {
+	col  map[int]int
+	rows []row
+}
+
+type row struct {
+	tid  uint32
+	bind []postings.NodeRef
+}
+
+func newTable(r Relation) *table {
+	t := &table{col: map[int]int{}}
+	for i, s := range r.Slots {
+		t.col[s] = i
+	}
+	t.rows = make([]row, len(r.Entries))
+	for i, e := range r.Entries {
+		t.rows[i] = row{tid: e.TID, bind: e.Nodes}
+	}
+	return t
+}
+
+// joinStep merge-joins cur with relation r, applying every predicate
+// that becomes checkable (both nodes bound) and keeping shared-slot
+// equality implicit predicates.
+func joinStep(cur *table, r Relation, preds []pred) *table {
+	// Columns of the result: existing + new slots of r.
+	out := &table{col: map[int]int{}}
+	for k, v := range cur.col {
+		out.col[k] = v
+	}
+	newSlots := make([]int, 0, len(r.Slots)) // slot indexes in r that are new
+	sharedSlots := make([][2]int, 0)         // (r slot index, cur column)
+	for i, s := range r.Slots {
+		if c, ok := cur.col[s]; ok {
+			sharedSlots = append(sharedSlots, [2]int{i, c})
+		} else {
+			out.col[s] = len(cur.col) + len(newSlots)
+			newSlots = append(newSlots, i)
+		}
+	}
+	// Predicates that become active: both nodes bound in out, at least
+	// one newly bound by r.
+	newlyBound := map[int]bool{}
+	for _, i := range newSlots {
+		newlyBound[r.Slots[i]] = true
+	}
+	var active []pred
+	for _, p := range preds {
+		_, okU := out.col[p.u]
+		_, okV := out.col[p.v]
+		if okU && okV && (newlyBound[p.u] || newlyBound[p.v]) {
+			active = append(active, p)
+		}
+	}
+
+	// Fast path: a pure structural step (no shared slots, a single
+	// parent/ancestor edge crossing the two sides) runs as a
+	// Stack-Tree structural join over (tid, pre)-sorted streams.
+	if !DisableStackJoin && len(sharedSlots) == 0 {
+		rSlots := map[int]int{}
+		for i, s := range r.Slots {
+			rSlots[s] = i
+		}
+		if driver, uInCur, ok := stackApplicable(cur, rSlots, active); ok {
+			residual := make([]pred, 0, len(active)-1)
+			for _, p := range active {
+				if p != driver {
+					residual = append(residual, p)
+				}
+			}
+			out.rows = stackJoin(cur, r, out, newSlots, driver, uInCur, residual)
+			return out
+		}
+	}
+
+	// Sort both sides by tid and merge per-tid blocks, applying shared
+	// slot equalities and active predicates with a block nested loop.
+	sort.Slice(cur.rows, func(i, j int) bool { return cur.rows[i].tid < cur.rows[j].tid })
+	entries := append([]postings.IntervalEntry(nil), r.Entries...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].TID < entries[j].TID })
+
+	var rows []row
+	i, j := 0, 0
+	for i < len(cur.rows) && j < len(entries) {
+		switch {
+		case cur.rows[i].tid < entries[j].TID:
+			i++
+		case cur.rows[i].tid > entries[j].TID:
+			j++
+		default:
+			tid := cur.rows[i].tid
+			i2, j2 := i, j
+			for i2 < len(cur.rows) && cur.rows[i2].tid == tid {
+				i2++
+			}
+			for j2 < len(entries) && entries[j2].TID == tid {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					if !sharedEqual(cur.rows[a], entries[b], sharedSlots) {
+						continue
+					}
+					nr := combine(cur.rows[a], entries[b], newSlots)
+					if satisfies(nr, out.col, active) {
+						rows = append(rows, nr)
+					}
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	out.rows = rows
+	return out
+}
+
+func sharedEqual(a row, e postings.IntervalEntry, shared [][2]int) bool {
+	for _, s := range shared {
+		if a.bind[s[1]].Pre != e.Nodes[s[0]].Pre {
+			return false
+		}
+	}
+	return true
+}
+
+func combine(a row, e postings.IntervalEntry, newSlots []int) row {
+	bind := make([]postings.NodeRef, len(a.bind), len(a.bind)+len(newSlots))
+	copy(bind, a.bind)
+	for _, i := range newSlots {
+		bind = append(bind, e.Nodes[i])
+	}
+	return row{tid: a.tid, bind: bind}
+}
+
+func satisfies(r row, col map[int]int, preds []pred) bool {
+	for _, p := range preds {
+		u := r.bind[col[p.u]]
+		v := r.bind[col[p.v]]
+		switch p.kind {
+		case predParent:
+			if !(u.Pre < v.Pre && u.Post > v.Post && v.Level == u.Level+1) {
+				return false
+			}
+		case predAncestor:
+			if !(u.Pre < v.Pre && u.Post > v.Post) {
+				return false
+			}
+		case predDistinct:
+			if u.Pre == v.Pre {
+				return false
+			}
+		case predEqual:
+			if u.Pre != v.Pre {
+				return false
+			}
+		}
+	}
+	return true
+}

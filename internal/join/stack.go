@@ -1,0 +1,168 @@
+package join
+
+import (
+	"sort"
+
+	"repro/internal/postings"
+)
+
+// DisableStackJoin switches joinStep back to the block-nested merge for
+// all predicates; the ablation benchmark flips it to quantify the
+// stack-based join's benefit (the paper's §7 future-work item of
+// adopting Stack-Tree-style structural joins [Al-Khalifa et al.,
+// ICDE'02] over the (tid, pre)-sorted streams).
+var DisableStackJoin bool
+
+// stackApplicable returns the driving structural predicate and
+// orientation if the step qualifies for the stack join: no shared
+// slots (those are equality joins) and at least one parent/ancestor
+// predicate between a node bound in cur and a node bound only in r.
+func stackApplicable(cur *table, rSlots map[int]int, active []pred) (driver pred, uInCur bool, ok bool) {
+	for _, p := range active {
+		if p.kind != predParent && p.kind != predAncestor {
+			continue
+		}
+		_, uCur := cur.col[p.u]
+		_, vCur := cur.col[p.v]
+		_, uR := rSlots[p.u]
+		_, vR := rSlots[p.v]
+		switch {
+		case uCur && vR && !vCur:
+			return p, true, true
+		case vCur && uR && !uCur:
+			return p, false, true
+		}
+	}
+	return pred{}, false, false
+}
+
+// stackItem is one element of either join side, keyed by the driving
+// node's structural numbers.
+type stackItem struct {
+	tid  uint32
+	ref  postings.NodeRef
+	side int // index into cur.rows or r.Entries
+}
+
+// stackJoin implements the Stack-Tree structural join: both sides are
+// sorted by (tid, pre of the driving node); a single pass maintains
+// the stack of currently-open ancestors and emits every
+// (ancestor, descendant) pair, O(|A| + |D| + |output|) instead of the
+// block join's per-tree nested loops. Residual predicates are applied
+// to each emitted row.
+func stackJoin(cur *table, r Relation, out *table, newSlots []int,
+	driver pred, uInCur bool, residual []pred) []row {
+
+	uCol := -1
+	if uInCur {
+		uCol = cur.col[driver.u]
+	} else {
+		uCol = slotIndex(r.Slots, driver.u)
+	}
+	vCol := -1
+	if uInCur {
+		vCol = slotIndex(r.Slots, driver.v)
+	} else {
+		vCol = cur.col[driver.v]
+	}
+
+	anc := make([]stackItem, 0)
+	desc := make([]stackItem, 0)
+	if uInCur {
+		for i, rw := range cur.rows {
+			anc = append(anc, stackItem{tid: rw.tid, ref: rw.bind[uCol], side: i})
+		}
+		for i, e := range r.Entries {
+			desc = append(desc, stackItem{tid: e.TID, ref: e.Nodes[vCol], side: i})
+		}
+	} else {
+		for i, e := range r.Entries {
+			anc = append(anc, stackItem{tid: e.TID, ref: e.Nodes[uCol], side: i})
+		}
+		for i, rw := range cur.rows {
+			desc = append(desc, stackItem{tid: rw.tid, ref: rw.bind[vCol], side: i})
+		}
+	}
+	byTidPre := func(items []stackItem) func(i, j int) bool {
+		return func(i, j int) bool {
+			if items[i].tid != items[j].tid {
+				return items[i].tid < items[j].tid
+			}
+			return items[i].ref.Pre < items[j].ref.Pre
+		}
+	}
+	sort.Slice(anc, byTidPre(anc))
+	sort.Slice(desc, byTidPre(desc))
+
+	contains := func(a, d stackItem) bool {
+		return a.tid == d.tid && a.ref.Pre < d.ref.Pre && a.ref.Post > d.ref.Post
+	}
+
+	var rows []row
+	emit := func(a, d stackItem) {
+		if driver.kind == predParent && d.ref.Level != a.ref.Level+1 {
+			return
+		}
+		var nr row
+		if uInCur {
+			nr = combine(cur.rows[a.side], r.Entries[d.side], newSlots)
+		} else {
+			nr = combine(cur.rows[d.side], r.Entries[a.side], newSlots)
+		}
+		if satisfies(nr, out.col, residual) {
+			rows = append(rows, nr)
+		}
+	}
+
+	// Group ancestor items sharing the same (tid, pre): distinct
+	// intermediate rows routinely bind the same ancestor node, and the
+	// nesting-chain argument only holds for distinct intervals. Each
+	// stack level is therefore a group of items on one tree node.
+	type group struct {
+		head  stackItem
+		items []stackItem
+	}
+	var groups []group
+	for _, a := range anc {
+		n := len(groups)
+		if n > 0 && groups[n-1].head.tid == a.tid && groups[n-1].head.ref.Pre == a.ref.Pre {
+			groups[n-1].items = append(groups[n-1].items, a)
+			continue
+		}
+		groups = append(groups, group{head: a, items: []stackItem{a}})
+	}
+
+	var stack []group
+	i := 0
+	for _, d := range desc {
+		// Open every ancestor group that starts before d.
+		for i < len(groups) && (groups[i].head.tid < d.tid ||
+			(groups[i].head.tid == d.tid && groups[i].head.ref.Pre < d.ref.Pre)) {
+			for len(stack) > 0 && !contains(stack[len(stack)-1].head, groups[i].head) {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, groups[i])
+			i++
+		}
+		// Close groups that do not contain d; the remainder is the
+		// nesting chain of d's open ancestors.
+		for len(stack) > 0 && !contains(stack[len(stack)-1].head, d) {
+			stack = stack[:len(stack)-1]
+		}
+		for _, g := range stack {
+			for _, a := range g.items {
+				emit(a, d)
+			}
+		}
+	}
+	return rows
+}
+
+func slotIndex(slots []int, node int) int {
+	for i, s := range slots {
+		if s == node {
+			return i
+		}
+	}
+	return -1
+}

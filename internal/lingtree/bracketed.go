@@ -1,0 +1,177 @@
+package lingtree
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseBracketed parses a single tree in Penn-Treebank bracketed form,
+// e.g. "(S (NP (NNS agouti)) (VP (VBZ is) (NP (DT a) (NN rodent))))".
+// Terminal words appear as bare tokens and become leaf nodes whose label
+// is the word itself, so queries can constrain both tags and terms
+// uniformly. Labels containing whitespace or parentheses can be escaped
+// with backslashes.
+func ParseBracketed(tid int, s string) (*Tree, error) {
+	p := &bracketedParser{src: s}
+	p.skipSpace()
+	b := NewBuilder(tid)
+	if err := p.parseNode(b, NoParent); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("lingtree: trailing input at offset %d", p.pos)
+	}
+	t := b.Tree()
+	return t, nil
+}
+
+type bracketedParser struct {
+	src string
+	pos int
+}
+
+func (p *bracketedParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *bracketedParser) parseNode(b *Builder, parent int) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return fmt.Errorf("lingtree: unexpected end of input")
+	}
+	if p.src[p.pos] != '(' {
+		// Bare token: a leaf node.
+		label, err := p.token()
+		if err != nil {
+			return err
+		}
+		b.Add(parent, label)
+		return nil
+	}
+	p.pos++ // consume '('
+	p.skipSpace()
+	label, err := p.token()
+	if err != nil {
+		return err
+	}
+	v := b.Add(parent, label)
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return fmt.Errorf("lingtree: unclosed '(' for %q", label)
+		}
+		if p.src[p.pos] == ')' {
+			p.pos++
+			return nil
+		}
+		if err := p.parseNode(b, v); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *bracketedParser) token() (string, error) {
+	start := p.pos
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case ' ', '\t', '\n', '\r', '(', ')':
+			goto done
+		case '\\':
+			if p.pos+1 < len(p.src) {
+				sb.WriteByte(p.src[p.pos+1])
+				p.pos += 2
+				continue
+			}
+			return "", fmt.Errorf("lingtree: dangling escape at offset %d", p.pos)
+		default:
+			sb.WriteByte(c)
+			p.pos++
+		}
+	}
+done:
+	if p.pos == start {
+		return "", fmt.Errorf("lingtree: expected label at offset %d", p.pos)
+	}
+	return sb.String(), nil
+}
+
+func escapeLabel(label string) string {
+	if !strings.ContainsAny(label, " \t\n\r()\\") {
+		return label
+	}
+	var sb strings.Builder
+	for i := 0; i < len(label); i++ {
+		switch label[i] {
+		case ' ', '\t', '\n', '\r', '(', ')', '\\':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(label[i])
+	}
+	return sb.String()
+}
+
+// Reader streams trees from a bracketed-format text source, one tree per
+// line. Blank lines and lines starting with '#' are skipped. Tree
+// identifiers are assigned sequentially from the given base.
+type Reader struct {
+	sc   *bufio.Scanner
+	next int
+	err  error
+}
+
+// NewReader returns a Reader over r assigning tree identifiers starting
+// at firstTID.
+func NewReader(r io.Reader, firstTID int) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	return &Reader{sc: sc, next: firstTID}
+}
+
+// Read returns the next tree, or (nil, io.EOF) at end of input.
+func (r *Reader) Read() (*Tree, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	for r.sc.Scan() {
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseBracketed(r.next, line)
+		if err != nil {
+			r.err = err
+			return nil, err
+		}
+		r.next++
+		return t, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = err
+		return nil, err
+	}
+	r.err = io.EOF
+	return nil, io.EOF
+}
+
+// WriteBracketed writes t to w in single-line bracketed form followed by
+// a newline.
+func WriteBracketed(w io.Writer, t *Tree) error {
+	_, err := io.WriteString(w, t.String())
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,65 @@
+package lingtree
+
+// Stats aggregates structural statistics over a set of trees. It backs
+// the corpus-shape assertions in corpusgen tests and the Figure 3
+// branching-factor experiment.
+type Stats struct {
+	Trees          int
+	Nodes          int
+	InternalNodes  int
+	Leaves         int
+	MaxDepth       int
+	MaxBranch      int
+	branchSum      int   // sum of child counts over internal nodes
+	BranchHist     []int // BranchHist[b] = number of internal nodes with b children
+	LabelFrequency map[string]int
+}
+
+// NewStats returns an empty Stats accumulator.
+func NewStats() *Stats {
+	return &Stats{LabelFrequency: make(map[string]int)}
+}
+
+// Observe folds one tree into the statistics.
+func (s *Stats) Observe(t *Tree) {
+	s.Trees++
+	s.Nodes += len(t.Nodes)
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		s.LabelFrequency[n.Label]++
+		if n.Level > s.MaxDepth {
+			s.MaxDepth = n.Level
+		}
+		b := len(n.Children)
+		if b == 0 {
+			s.Leaves++
+			continue
+		}
+		s.InternalNodes++
+		s.branchSum += b
+		if b > s.MaxBranch {
+			s.MaxBranch = b
+		}
+		for len(s.BranchHist) <= b {
+			s.BranchHist = append(s.BranchHist, 0)
+		}
+		s.BranchHist[b]++
+	}
+}
+
+// AvgBranching returns the mean number of children over internal nodes,
+// the quantity the paper reports as 1.52 for its news corpus.
+func (s *Stats) AvgBranching() float64 {
+	if s.InternalNodes == 0 {
+		return 0
+	}
+	return float64(s.branchSum) / float64(s.InternalNodes)
+}
+
+// AvgTreeSize returns the mean number of nodes per tree.
+func (s *Stats) AvgTreeSize() float64 {
+	if s.Trees == 0 {
+		return 0
+	}
+	return float64(s.Nodes) / float64(s.Trees)
+}

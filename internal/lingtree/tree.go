@@ -1,0 +1,310 @@
+// Package lingtree defines the syntactically annotated tree model used
+// throughout the repository: rooted, labelled trees in the sense of
+// Definition 1 of Chubak & Rafiei (VLDB 2012), together with the
+// pre/post/level interval numbering that the index codings rely on.
+//
+// A tree is stored as a flat slice of nodes in pre-order, so a node's
+// identifier, its slice index and its pre number coincide. This makes
+// interval tests (ancestorship, containment) O(1) and keeps trees compact
+// enough to stream millions of them through the index builder.
+package lingtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NoParent marks the parent of a root node.
+const NoParent = -1
+
+// Node is a single node of a syntactically annotated tree. Nodes are
+// value types owned by their Tree; Children holds indexes into the same
+// Tree's Nodes slice.
+type Node struct {
+	Label    string // constituent tag (S, NP, VBZ, ...) or terminal word
+	Parent   int    // index of parent node, NoParent for the root
+	Children []int  // indexes of children, in surface order
+	Pre      int    // pre-visit rank in a DFS traversal (== node index)
+	Post     int    // post-visit rank in the same traversal
+	Level    int    // depth; root has level 0
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Tree is a syntactically annotated tree. Nodes[0] is the root and the
+// slice is in pre-order. The zero Tree is empty and invalid; build trees
+// with NewBuilder, ParseBracketed or corpusgen.
+type Tree struct {
+	TID   int    // corpus-wide tree identifier
+	Nodes []Node // pre-order node storage; Nodes[i].Pre == i
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Root returns the index of the root node (always 0 for non-empty trees).
+func (t *Tree) Root() int { return 0 }
+
+// Label returns the label of node v.
+func (t *Tree) Label(v int) string { return t.Nodes[v].Label }
+
+// IsAncestor reports whether node a is a proper ancestor of node d,
+// using the interval property: a's pre is smaller and its post is larger.
+func (t *Tree) IsAncestor(a, d int) bool {
+	return t.Nodes[a].Pre < t.Nodes[d].Pre && t.Nodes[a].Post > t.Nodes[d].Post
+}
+
+// IsParent reports whether node p is the parent of node c.
+func (t *Tree) IsParent(p, c int) bool { return t.Nodes[c].Parent == p }
+
+// SubtreeSize returns the number of nodes in the complete subtree rooted
+// at v (v itself included). Because nodes are in pre-order, the subtree
+// of v occupies the contiguous index range [v, DescEnd(v)].
+func (t *Tree) SubtreeSize(v int) int { return t.DescEnd(v) - v + 1 }
+
+// DescEnd returns the index of the last pre-order descendant of v (v
+// itself if v is a leaf).
+func (t *Tree) DescEnd(v int) int {
+	last := v
+	for {
+		cs := t.Nodes[last].Children
+		if len(cs) == 0 {
+			return last
+		}
+		last = cs[len(cs)-1]
+	}
+}
+
+// renumber recomputes Pre, Post and Level for all nodes. It assumes
+// Parent/Children links are consistent and Nodes is in pre-order.
+func (t *Tree) renumber() {
+	post := 0
+	var dfs func(v, level int)
+	dfs = func(v, level int) {
+		t.Nodes[v].Pre = v
+		t.Nodes[v].Level = level
+		for _, c := range t.Nodes[v].Children {
+			dfs(c, level+1)
+		}
+		t.Nodes[v].Post = post
+		post++
+	}
+	if len(t.Nodes) > 0 {
+		dfs(0, 0)
+	}
+}
+
+// Validate checks the structural invariants of the tree: pre-order
+// storage, consistent parent/child links and interval numbering. It is
+// used by tests and by the treebank loader to reject corrupt input.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("lingtree: empty tree")
+	}
+	if t.Nodes[0].Parent != NoParent {
+		return fmt.Errorf("lingtree: node 0 is not a root (parent %d)", t.Nodes[0].Parent)
+	}
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Pre != i {
+			return fmt.Errorf("lingtree: node %d has pre %d, want %d", i, n.Pre, i)
+		}
+		if i > 0 {
+			p := n.Parent
+			if p < 0 || p >= len(t.Nodes) {
+				return fmt.Errorf("lingtree: node %d has invalid parent %d", i, p)
+			}
+			if p >= i {
+				return fmt.Errorf("lingtree: node %d has parent %d not before it in pre-order", i, p)
+			}
+			found := false
+			for _, c := range t.Nodes[p].Children {
+				if c == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("lingtree: node %d missing from children of %d", i, p)
+			}
+		}
+		for _, c := range n.Children {
+			if c <= i || c >= len(t.Nodes) {
+				return fmt.Errorf("lingtree: node %d has invalid child %d", i, c)
+			}
+			if t.Nodes[c].Parent != i {
+				return fmt.Errorf("lingtree: child %d of %d has parent %d", c, i, t.Nodes[c].Parent)
+			}
+		}
+		if n.Label == "" {
+			return fmt.Errorf("lingtree: node %d has empty label", i)
+		}
+	}
+	// Pre-order storage: a DFS over children must visit indexes 0..n-1
+	// in sequence, so every subtree occupies a contiguous index range.
+	next := 0
+	var dfs func(v int) error
+	dfs = func(v int) error {
+		if v != next {
+			return fmt.Errorf("lingtree: node %d out of pre-order position (expected %d)", v, next)
+		}
+		next++
+		for _, c := range t.Nodes[v].Children {
+			if err := dfs(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(0); err != nil {
+		return err
+	}
+	if next != len(t.Nodes) {
+		return fmt.Errorf("lingtree: %d unreachable nodes", len(t.Nodes)-next)
+	}
+	// Interval invariants.
+	seen := make([]bool, len(t.Nodes))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		if n.Post < 0 || n.Post >= len(t.Nodes) || seen[n.Post] {
+			return fmt.Errorf("lingtree: node %d has bad post %d", i, n.Post)
+		}
+		seen[n.Post] = true
+		if i > 0 {
+			p := &t.Nodes[n.Parent]
+			if !(p.Pre < n.Pre && p.Post > n.Post) {
+				return fmt.Errorf("lingtree: node %d not interval-contained in parent %d", i, n.Parent)
+			}
+			if n.Level != p.Level+1 {
+				return fmt.Errorf("lingtree: node %d level %d, parent level %d", i, n.Level, p.Level)
+			}
+		} else if n.Level != 0 {
+			return fmt.Errorf("lingtree: root level %d, want 0", n.Level)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	nt := &Tree{TID: t.TID, Nodes: make([]Node, len(t.Nodes))}
+	copy(nt.Nodes, t.Nodes)
+	for i := range nt.Nodes {
+		if len(t.Nodes[i].Children) > 0 {
+			nt.Nodes[i].Children = append([]int(nil), t.Nodes[i].Children...)
+		}
+	}
+	return nt
+}
+
+// String renders the tree in single-line Penn bracketed form.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.writeBracketed(&sb, 0)
+	return sb.String()
+}
+
+func (t *Tree) writeBracketed(sb *strings.Builder, v int) {
+	n := &t.Nodes[v]
+	if n.IsLeaf() {
+		sb.WriteString(escapeLabel(n.Label))
+		return
+	}
+	sb.WriteByte('(')
+	sb.WriteString(escapeLabel(n.Label))
+	for _, c := range n.Children {
+		sb.WriteByte(' ')
+		t.writeBracketed(sb, c)
+	}
+	sb.WriteByte(')')
+}
+
+// Builder constructs trees incrementally. Nodes must be added parent
+// before child, which yields pre-order storage by construction.
+type Builder struct {
+	t *Tree
+}
+
+// NewBuilder returns a Builder for a tree with the given identifier.
+func NewBuilder(tid int) *Builder {
+	return &Builder{t: &Tree{TID: tid}}
+}
+
+// Add appends a node with the given label under parent (NoParent for the
+// root, which must be added first) and returns its index.
+func (b *Builder) Add(parent int, label string) int {
+	id := len(b.t.Nodes)
+	b.t.Nodes = append(b.t.Nodes, Node{Label: label, Parent: parent})
+	if parent != NoParent {
+		b.t.Nodes[parent].Children = append(b.t.Nodes[parent].Children, id)
+	}
+	return id
+}
+
+// Tree finalizes the tree: nodes are permuted into DFS pre-order (Add
+// only requires parent-before-child, which is weaker), the interval
+// numbering is computed, and the built tree is returned. The Builder
+// must not be reused afterwards.
+func (b *Builder) Tree() *Tree {
+	b.t.reorderPreOrder()
+	b.t.renumber()
+	return b.t
+}
+
+// reorderPreOrder permutes Nodes into DFS pre-order (children visited
+// in their list order) and rewrites Parent/Children indexes. Storage in
+// pre-order is what makes subtree ranges contiguous, which DescEnd,
+// SubtreeSize and the matcher's descendant pools rely on.
+func (t *Tree) reorderPreOrder() {
+	n := len(t.Nodes)
+	if n == 0 {
+		return
+	}
+	newIdx := make([]int, n) // old index -> new index
+	order := make([]int, 0, n)
+	var dfs func(v int)
+	dfs = func(v int) {
+		newIdx[v] = len(order)
+		order = append(order, v)
+		for _, c := range t.Nodes[v].Children {
+			dfs(c)
+		}
+	}
+	dfs(0)
+	if len(order) != n {
+		panic("lingtree: tree has unreachable nodes")
+	}
+	sorted := true
+	for i, old := range order {
+		if i != old {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	nodes := make([]Node, n)
+	for newI, oldI := range order {
+		nd := t.Nodes[oldI]
+		if nd.Parent != NoParent {
+			nd.Parent = newIdx[nd.Parent]
+		}
+		for j, c := range nd.Children {
+			nd.Children[j] = newIdx[c]
+		}
+		nodes[newI] = nd
+	}
+	t.Nodes = nodes
+}
+
+// MustParse parses a bracketed tree and panics on error; it is a
+// convenience for tests and examples.
+func MustParse(tid int, s string) *Tree {
+	t, err := ParseBracketed(tid, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,250 @@
+package lingtree
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(7)
+	s := b.Add(NoParent, "S")
+	np := b.Add(s, "NP")
+	b.Add(np, "NNS")
+	vp := b.Add(s, "VP")
+	b.Add(vp, "VBZ")
+	tr := b.Tree()
+	if tr.TID != 7 {
+		t.Errorf("TID = %d, want 7", tr.TID)
+	}
+	if tr.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := tr.String(); got != "(S (NP NNS) (VP VBZ))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIntervalNumbering(t *testing.T) {
+	tr := MustParse(0, "(A (B (C c) (D d)) (E e))")
+	// Pre-order: A=0 B=1 C=2 c=3 D=4 d=5 E=6 e=7
+	wantPost := map[string]int{"A": 7, "B": 4, "C": 1, "c": 0, "D": 3, "d": 2, "E": 6, "e": 5}
+	wantLevel := map[string]int{"A": 0, "B": 1, "C": 2, "c": 3, "D": 2, "d": 3, "E": 1, "e": 2}
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if n.Post != wantPost[n.Label] {
+			t.Errorf("post(%s) = %d, want %d", n.Label, n.Post, wantPost[n.Label])
+		}
+		if n.Level != wantLevel[n.Label] {
+			t.Errorf("level(%s) = %d, want %d", n.Label, n.Level, wantLevel[n.Label])
+		}
+	}
+}
+
+func TestIsAncestorAndParent(t *testing.T) {
+	tr := MustParse(0, "(A (B (C c)) (D))")
+	idx := map[string]int{}
+	for i := range tr.Nodes {
+		idx[tr.Nodes[i].Label] = i
+	}
+	if !tr.IsAncestor(idx["A"], idx["c"]) {
+		t.Error("A should be ancestor of c")
+	}
+	if !tr.IsAncestor(idx["B"], idx["C"]) {
+		t.Error("B should be ancestor of C")
+	}
+	if tr.IsAncestor(idx["B"], idx["D"]) {
+		t.Error("B should not be ancestor of D")
+	}
+	if tr.IsAncestor(idx["C"], idx["C"]) {
+		t.Error("a node is not its own proper ancestor")
+	}
+	if !tr.IsParent(idx["B"], idx["C"]) {
+		t.Error("B should be parent of C")
+	}
+	if tr.IsParent(idx["A"], idx["C"]) {
+		t.Error("A should not be parent of C")
+	}
+}
+
+func TestSubtreeSize(t *testing.T) {
+	tr := MustParse(0, "(A (B (C c) (D d)) (E e))")
+	wants := map[string]int{"A": 8, "B": 5, "C": 2, "c": 1, "D": 2, "d": 1, "E": 2, "e": 1}
+	for i := range tr.Nodes {
+		if got := tr.SubtreeSize(i); got != wants[tr.Nodes[i].Label] {
+			t.Errorf("SubtreeSize(%s) = %d, want %d", tr.Nodes[i].Label, got, wants[tr.Nodes[i].Label])
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"(S (NP (NNS agouti)) (VP (VBZ is) (NP (DT a) (NN rodent))))",
+		"(ROOT (S (NP (DT The) (NNS agouti))))",
+		"(A b)",
+	}
+	for _, c := range cases {
+		tr, err := ParseBracketed(0, c)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("validate %q: %v", c, err)
+		}
+		if got := tr.String(); got != c {
+			t.Errorf("round trip %q -> %q", c, got)
+		}
+	}
+	// Explicit leaf brackets are accepted and canonicalized away.
+	tr, err := ParseBracketed(0, "(A (B) (C))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.String(); got != "(A B C)" {
+		t.Errorf("leaf canonicalization: %q", got)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	tr, err := ParseBracketed(0, `(NN a\ b\))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes[1].Label != "a b)" {
+		t.Errorf("label = %q, want %q", tr.Nodes[1].Label, "a b)")
+	}
+	if got := tr.String(); got != `(NN a\ b\))` {
+		t.Errorf("round trip = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, c := range []string{"", "(", "(A", "(A))", ")", "(A (B)", "( )", "(A b) x"} {
+		if _, err := ParseBracketed(0, c); err == nil {
+			t.Errorf("parse %q: want error", c)
+		}
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	tr, err := ParseBracketed(0, "word")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 1 || tr.Nodes[0].Label != "word" {
+		t.Fatalf("bad single node tree: %+v", tr.Nodes)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReader(t *testing.T) {
+	src := "# comment\n(A b)\n\n(C (D e))\n"
+	r := NewReader(strings.NewReader(src), 10)
+	t1, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.TID != 10 || t1.String() != "(A b)" {
+		t.Errorf("first tree: tid=%d %s", t1.TID, t1)
+	}
+	t2, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.TID != 11 || t2.String() != "(C (D e))" {
+		t.Errorf("second tree: tid=%d %s", t2.TID, t2)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := MustParse(3, "(A (B c) (D))")
+	cl := tr.Clone()
+	cl.Nodes[0].Label = "X"
+	cl.Nodes[0].Children[0] = 2
+	if tr.Nodes[0].Label != "A" || tr.Nodes[0].Children[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if cl.TID != 3 {
+		t.Errorf("clone TID = %d", cl.TID)
+	}
+}
+
+// randomTree builds a random tree with n nodes and random labels from a
+// small alphabet, used by property tests across packages.
+func randomTree(rng *rand.Rand, tid, n int, labels []string) *Tree {
+	b := NewBuilder(tid)
+	b.Add(NoParent, labels[rng.Intn(len(labels))])
+	for i := 1; i < n; i++ {
+		parent := rng.Intn(i)
+		b.Add(parent, labels[rng.Intn(len(labels))])
+	}
+	return b.Tree()
+}
+
+func TestRandomTreeInvariants(t *testing.T) {
+	labels := []string{"A", "B", "C", "D", "E"}
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 0, n, labels)
+		if err := tr.Validate(); err != nil {
+			t.Logf("invalid tree: %v", err)
+			return false
+		}
+		// Round-trip through bracketed text preserves structure.
+		back, err := ParseBracketed(0, tr.String())
+		if err != nil {
+			t.Logf("reparse: %v", err)
+			return false
+		}
+		return back.String() == tr.String() && back.Size() == tr.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	s.Observe(MustParse(0, "(A (B c) (D e) (E))"))
+	s.Observe(MustParse(1, "(A (B (C x)))"))
+	if s.Trees != 2 {
+		t.Errorf("Trees = %d", s.Trees)
+	}
+	if s.Nodes != 10 {
+		t.Errorf("Nodes = %d", s.Nodes)
+	}
+	// First tree: A has 3 children, B and D have 1 each; E, c, e leaves.
+	// Second tree: A, B, C have 1 child each; x leaf.
+	if s.InternalNodes != 6 {
+		t.Errorf("InternalNodes = %d", s.InternalNodes)
+	}
+	if s.Leaves != 4 {
+		t.Errorf("Leaves = %d", s.Leaves)
+	}
+	if got := s.AvgBranching(); got < 1.3 || got > 1.4 {
+		t.Errorf("AvgBranching = %v, want 8/6", got)
+	}
+	if s.MaxBranch != 3 {
+		t.Errorf("MaxBranch = %d", s.MaxBranch)
+	}
+	if s.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d", s.MaxDepth)
+	}
+	if s.LabelFrequency["A"] != 2 || s.LabelFrequency["B"] != 2 {
+		t.Errorf("label frequencies: %v", s.LabelFrequency)
+	}
+	if got := s.AvgTreeSize(); got != 5 {
+		t.Errorf("AvgTreeSize = %v", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package match implements exact matching of tree queries against
+// syntactically annotated trees (Definition 3 of the paper), by
+// backtracking over unordered embeddings.
+//
+// Semantics: a match maps query nodes to tree nodes preserving labels
+// and axes; children of the same query node map to *distinct* tree
+// nodes (sibling injectivity — the property index keys guarantee by
+// construction). Matches are identified by the image of the query root,
+// and the "number of matches" the paper bins queries by is the number
+// of distinct (tree, root image) pairs.
+//
+// The matcher triples as: the ground truth in cross-coding equivalence
+// tests, the post-validation (filtering) phase of filter-based coding,
+// and the whole-corpus scan baseline (TGrep2/CorpusSearch model).
+package match
+
+import (
+	"repro/internal/lingtree"
+	"repro/internal/query"
+)
+
+// Matcher matches one query against trees, memoizing per-tree
+// embeddability of query subtrees.
+type Matcher struct {
+	q *query.Query
+	// byLabel caches, per tree, the nodes of each label (built lazily).
+}
+
+// New returns a Matcher for q.
+func New(q *query.Query) *Matcher {
+	return &Matcher{q: q}
+}
+
+// Roots returns, in increasing order, every tree node v such that the
+// query embeds with its root mapped to v.
+func (m *Matcher) Roots(t *lingtree.Tree) []int {
+	e := newEmbedder(m.q, t)
+	var out []int
+	rootLabel := m.q.Nodes[0].Label
+	for v := range t.Nodes {
+		if t.Nodes[v].Label != rootLabel {
+			continue
+		}
+		if e.embeds(0, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// At reports whether the query embeds with its root mapped to v.
+func (m *Matcher) At(t *lingtree.Tree, v int) bool {
+	return newEmbedder(m.q, t).embeds(0, v)
+}
+
+// embedder carries the memo table for one (query, tree) pair.
+type embedder struct {
+	q    *query.Query
+	t    *lingtree.Tree
+	memo []int8 // index qn*len(t.Nodes)+tn; 0 unknown, 1 yes, -1 no
+}
+
+func newEmbedder(q *query.Query, t *lingtree.Tree) *embedder {
+	return &embedder{q: q, t: t, memo: make([]int8, len(q.Nodes)*len(t.Nodes))}
+}
+
+// embeds reports whether the query subtree rooted at qn embeds with qn
+// mapped to tree node tn.
+func (e *embedder) embeds(qn, tn int) bool {
+	idx := qn*len(e.t.Nodes) + tn
+	if v := e.memo[idx]; v != 0 {
+		return v == 1
+	}
+	ok := e.compute(qn, tn)
+	if ok {
+		e.memo[idx] = 1
+	} else {
+		e.memo[idx] = -1
+	}
+	return ok
+}
+
+func (e *embedder) compute(qn, tn int) bool {
+	if e.q.Nodes[qn].Label != e.t.Nodes[tn].Label {
+		return false
+	}
+	qkids := e.q.Nodes[qn].Children
+	if len(qkids) == 0 {
+		return true
+	}
+	// Candidate tree nodes per query child.
+	cands := make([][]int, len(qkids))
+	for i, qc := range qkids {
+		var pool []int
+		if e.q.Nodes[qc].Axis == query.Child {
+			pool = e.t.Nodes[tn].Children
+		} else {
+			// Proper descendants occupy the contiguous pre-order range
+			// (tn, DescEnd(tn)].
+			end := e.t.DescEnd(tn)
+			pool = make([]int, 0, end-tn)
+			for v := tn + 1; v <= end; v++ {
+				pool = append(pool, v)
+			}
+		}
+		var cs []int
+		for _, v := range pool {
+			if e.embeds(qc, v) {
+				cs = append(cs, v)
+			}
+		}
+		if len(cs) == 0 {
+			return false
+		}
+		cands[i] = cs
+	}
+	// Injective assignment of query children to distinct tree nodes:
+	// backtracking over children, scarcest candidate list first.
+	order := make([]int, len(qkids))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && len(cands[order[j]]) < len(cands[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	used := make(map[int]bool, len(qkids))
+	var assign func(k int) bool
+	assign = func(k int) bool {
+		if k == len(order) {
+			return true
+		}
+		for _, v := range cands[order[k]] {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			if assign(k + 1) {
+				return true
+			}
+			delete(used, v)
+		}
+		return false
+	}
+	return assign(0)
+}
+
+// CountMatches returns the total number of (tree, root) matches of q
+// over the given trees.
+func CountMatches(trees []*lingtree.Tree, q *query.Query) int {
+	m := New(q)
+	n := 0
+	for _, t := range trees {
+		n += len(m.Roots(t))
+	}
+	return n
+}

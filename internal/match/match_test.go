@@ -1,0 +1,151 @@
+package match
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/corpusgen"
+	"repro/internal/lingtree"
+	"repro/internal/query"
+)
+
+func roots(t *testing.T, tree, q string) []int {
+	t.Helper()
+	tr := lingtree.MustParse(0, tree)
+	return New(query.MustParse(q)).Roots(tr)
+}
+
+func TestSimpleChildMatch(t *testing.T) {
+	got := roots(t, "(S (NP (NNS agouti)) (VP (VBZ is)))", "S(NP)(VP)")
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("roots = %v", got)
+	}
+	if got := roots(t, "(S (NP x) (VP y))", "S(VP)(NP)"); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("unordered match failed: %v", got)
+	}
+	if got := roots(t, "(S (NP x))", "S(NP)(VP)"); got != nil {
+		t.Errorf("missing VP still matched: %v", got)
+	}
+}
+
+func TestSingleNodeQuery(t *testing.T) {
+	got := roots(t, "(S (NP (NP x)) (VP y))", "NP")
+	if len(got) != 2 {
+		t.Errorf("NP roots = %v, want 2 nodes", got)
+	}
+}
+
+func TestDescendantAxis(t *testing.T) {
+	tree := "(S (NP (ADJP (JJ tall))) (VP x))"
+	if got := roots(t, tree, "S(//JJ)"); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("S(//JJ) = %v", got)
+	}
+	if got := roots(t, tree, "S(JJ)"); got != nil {
+		t.Errorf("S(JJ) should not match via child axis: %v", got)
+	}
+	if got := roots(t, tree, "NP(//tall)"); len(got) != 1 {
+		t.Errorf("NP(//tall) = %v", got)
+	}
+	// Descendant axis is proper: a node is not its own descendant.
+	if got := roots(t, "(A x)", "A(//A)"); got != nil {
+		t.Errorf("A(//A) matched a single A: %v", got)
+	}
+	if got := roots(t, "(A (A x))", "A(//A)"); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("nested A(//A) = %v", got)
+	}
+}
+
+func TestSiblingInjectivity(t *testing.T) {
+	// A(B)(B) requires two distinct B children.
+	if got := roots(t, "(A (B x))", "A(B)(B)"); got != nil {
+		t.Errorf("A(B)(B) matched a single B: %v", got)
+	}
+	if got := roots(t, "(A (B x) (B y))", "A(B)(B)"); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("A(B)(B) over two Bs = %v", got)
+	}
+	// Injectivity with structure: the two Bs must carry D and E.
+	tree := "(A (B (D x)) (B (E y)))"
+	if got := roots(t, tree, "A(B(D))(B(E))"); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("A(B(D))(B(E)) = %v", got)
+	}
+	if got := roots(t, "(A (B (D x) (E y)))", "A(B(D))(B(E))"); got != nil {
+		t.Errorf("single B satisfied both branches: %v", got)
+	}
+}
+
+func TestBacktrackingOrderMatters(t *testing.T) {
+	// The greedy choice for the first branch must be undone: B(D) can
+	// match b1 or b2, but B(E) only b2, so B(D) must take b1.
+	tree := "(A (B (D x) (E y)) (B (D z)))"
+	if got := roots(t, tree, "A(B(E))(B(D))"); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("backtracking failed: %v", got)
+	}
+}
+
+func TestPaperQueryExample(t *testing.T) {
+	// Figure 1: the query parse embeds in the sentence parse.
+	sentence := "(ROOT (S (NP (DT The) (NNS agouti)) (VP (VBZ is) (NP (DT a) (JJ short-tailed) (, ,) (JJ plant-eating) (NN rodent)))))"
+	q := "S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))"
+	tr := lingtree.MustParse(0, sentence)
+	got := New(query.MustParse(q)).Roots(tr)
+	if len(got) != 1 {
+		t.Fatalf("agouti query roots = %v, want the S node", got)
+	}
+	if tr.Nodes[got[0]].Label != "S" {
+		t.Errorf("matched label %q", tr.Nodes[got[0]].Label)
+	}
+}
+
+func TestDeepBranchingExample(t *testing.T) {
+	// Example 1 / Figure 5: query A(B(C(D))(C(E)(F))) variants. The
+	// anomalous structures from Figure 5(b) must NOT match the query
+	// A(B(C(D)(E)(F))) — D, E, F must hang off the same C.
+	q := "A(B(C(D)(E)(F)))"
+	good := "(A (B (C (D x) (E y) (F z))))"
+	bad := "(A (B (C (D x)) (C (E y) (F z))))"
+	if got := roots(t, good, q); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("good tree = %v", got)
+	}
+	if got := roots(t, bad, q); got != nil {
+		t.Errorf("anomalous tree matched: %v", got)
+	}
+}
+
+func TestCountMatches(t *testing.T) {
+	trees := []*lingtree.Tree{
+		lingtree.MustParse(0, "(S (NP x) (VP y))"),
+		lingtree.MustParse(1, "(S (NP (NP a) (NP b)) (VP y))"),
+		lingtree.MustParse(2, "(X y)"),
+	}
+	if got := CountMatches(trees, query.MustParse("NP")); got != 4 {
+		t.Errorf("CountMatches(NP) = %d, want 4", got)
+	}
+	if got := CountMatches(trees, query.MustParse("S(NP)(VP)")); got != 2 {
+		t.Errorf("CountMatches(S(NP)(VP)) = %d, want 2", got)
+	}
+}
+
+func TestMatcherOnGeneratedCorpus(t *testing.T) {
+	trees := corpusgen.New(11).Trees(100)
+	// ROOT(S) must match every generated tree at its root.
+	m := New(query.MustParse("ROOT(S)"))
+	for _, tr := range trees {
+		got := m.Roots(tr)
+		if len(got) != 1 || got[0] != 0 {
+			t.Fatalf("tree %d: ROOT(S) roots = %v", tr.TID, got)
+		}
+	}
+	// Something absent never matches.
+	if n := CountMatches(trees, query.MustParse("ZZZ(QQQ)")); n != 0 {
+		t.Errorf("absent query matched %d times", n)
+	}
+}
+
+func BenchmarkMatcherCorpus(b *testing.B) {
+	trees := corpusgen.New(2).Trees(200)
+	q := query.MustParse("VP(VBZ)(NP(DT))")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CountMatches(trees, q)
+	}
+}

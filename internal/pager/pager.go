@@ -1,0 +1,153 @@
+// Package pager provides fixed-size page IO over a file, the storage
+// substrate of the disk-based B+Tree. Matching the paper's setup, no
+// user-level page cache is layered on top: reads go through the
+// operating system's page buffering (§6.1).
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// DefaultPageSize matches the system page size of the paper's testbed.
+const DefaultPageSize = 4096
+
+const (
+	magic      = 0x53495047 // "SIPG"
+	headerSize = 16
+)
+
+// File is a page-addressed file. Page 0 holds the pager's own header;
+// pages are allocated sequentially and never freed (index files are
+// write-once, read-many).
+type File struct {
+	f        *os.File
+	pageSize int
+	npages   uint32
+	readonly bool
+}
+
+// Create creates (truncating) a page file at path with the given page
+// size, which must be at least 64 bytes.
+func Create(path string, pageSize int) (*File, error) {
+	if pageSize < 64 {
+		return nil, fmt.Errorf("pager: page size %d too small", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	p := &File{f: f, pageSize: pageSize, npages: 1}
+	if err := p.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// Open opens an existing page file read-only.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s is not a page file", path)
+	}
+	p := &File{
+		f:        f,
+		pageSize: int(binary.LittleEndian.Uint32(hdr[4:])),
+		npages:   binary.LittleEndian.Uint32(hdr[8:]),
+		readonly: true,
+	}
+	if p.pageSize < 64 {
+		f.Close()
+		return nil, fmt.Errorf("pager: corrupt header in %s", path)
+	}
+	return p, nil
+}
+
+func (p *File) writeHeader() error {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(p.pageSize))
+	binary.LittleEndian.PutUint32(hdr[8:], p.npages)
+	_, err := p.f.WriteAt(hdr[:], 0)
+	return err
+}
+
+// PageSize returns the page size in bytes.
+func (p *File) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of allocated pages, including page 0.
+func (p *File) NumPages() uint32 { return p.npages }
+
+// SizeBytes returns the total file size implied by the allocated pages.
+func (p *File) SizeBytes() int64 { return int64(p.npages) * int64(p.pageSize) }
+
+// Alloc allocates a fresh page and returns its id.
+func (p *File) Alloc() (uint32, error) {
+	if p.readonly {
+		return 0, fmt.Errorf("pager: alloc on read-only file")
+	}
+	id := p.npages
+	p.npages++
+	return id, nil
+}
+
+// Read fills buf (which must be exactly one page long) with page id.
+func (p *File) Read(id uint32, buf []byte) error {
+	if len(buf) != p.pageSize {
+		return fmt.Errorf("pager: read buffer is %d bytes, want %d", len(buf), p.pageSize)
+	}
+	if id == 0 || id >= p.npages {
+		return fmt.Errorf("pager: read of unallocated page %d (have %d)", id, p.npages)
+	}
+	_, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize))
+	return err
+}
+
+// Write stores buf (exactly one page) at page id, which must have been
+// allocated.
+func (p *File) Write(id uint32, buf []byte) error {
+	if p.readonly {
+		return fmt.Errorf("pager: write on read-only file")
+	}
+	if len(buf) != p.pageSize {
+		return fmt.Errorf("pager: write buffer is %d bytes, want %d", len(buf), p.pageSize)
+	}
+	if id == 0 || id >= p.npages {
+		return fmt.Errorf("pager: write of unallocated page %d", id)
+	}
+	_, err := p.f.WriteAt(buf, int64(id)*int64(p.pageSize))
+	return err
+}
+
+// Sync flushes the header and file contents to stable storage.
+func (p *File) Sync() error {
+	if p.readonly {
+		return nil
+	}
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
+// Close syncs (when writable) and closes the file.
+func (p *File) Close() error {
+	if !p.readonly {
+		if err := p.Sync(); err != nil {
+			p.f.Close()
+			return err
+		}
+	}
+	return p.f.Close()
+}

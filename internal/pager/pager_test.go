@@ -1,0 +1,117 @@
+package pager
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.db")
+	f, err := Create(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == 0 || id2 == 0 || id1 == id2 {
+		t.Fatalf("bad ids %d %d", id1, id2)
+	}
+	page := make([]byte, 128)
+	for i := range page {
+		page[i] = byte(i)
+	}
+	if err := f.Write(id2, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.PageSize() != 128 {
+		t.Errorf("PageSize = %d", r.PageSize())
+	}
+	if r.NumPages() != 3 {
+		t.Errorf("NumPages = %d, want 3", r.NumPages())
+	}
+	got := make([]byte, 128)
+	if err := r.Read(id2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Error("page contents differ")
+	}
+	if r.SizeBytes() != 3*128 {
+		t.Errorf("SizeBytes = %d", r.SizeBytes())
+	}
+}
+
+func TestBoundsAndModeErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.db")
+	f, err := Create(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := f.Read(0, buf); err == nil {
+		t.Error("read of page 0 should fail")
+	}
+	if err := f.Read(9, buf); err == nil {
+		t.Error("read of unallocated page should fail")
+	}
+	if err := f.Write(9, buf); err == nil {
+		t.Error("write of unallocated page should fail")
+	}
+	if err := f.Write(1, buf[:10]); err == nil {
+		t.Error("short write buffer should fail")
+	}
+	f.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Alloc(); err == nil {
+		t.Error("alloc on read-only file should fail")
+	}
+	if err := r.Write(1, buf); err == nil {
+		t.Error("write on read-only file should fail")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Error("want error for missing file")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := writeFile(bad, []byte("not a page file at all, definitely")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Error("want error for non-page file")
+	}
+}
+
+func TestTooSmallPageSize(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "p"), 8); err == nil {
+		t.Error("want error for tiny page size")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

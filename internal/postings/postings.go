@@ -1,0 +1,375 @@
+// Package postings implements the three posting-list coding schemes of
+// the paper (§4.4) as compact wire formats with streaming iterators:
+//
+//   - filter-based: a delta-varint sorted list of tree identifiers; no
+//     structural information, so query evaluation needs a filtering
+//     (post-validation) phase;
+//   - root-split: one ⟨tid, pre, post, level⟩ record per *distinct root
+//     occurrence* of the key — instances sharing tid and root collapse
+//     into one posting (§6.2.1), and lists are (tid, pre)-sorted so root
+//     joins are pure merge joins;
+//   - subtree-interval: one record per *instance*, carrying
+//     ⟨pre, post, level, order⟩ for every node of the key in canonical
+//     slot order (§4.4.2).
+//
+// All integers are unsigned varints; tids are delta-coded across
+// records.
+package postings
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Coding identifies one of the three schemes.
+type Coding uint8
+
+const (
+	FilterBased Coding = iota
+	RootSplit
+	SubtreeInterval
+)
+
+// String returns the scheme name as used in the paper's figures.
+func (c Coding) String() string {
+	switch c {
+	case FilterBased:
+		return "filter-based"
+	case RootSplit:
+		return "root-split"
+	case SubtreeInterval:
+		return "subtree-interval"
+	default:
+		return fmt.Sprintf("Coding(%d)", uint8(c))
+	}
+}
+
+// ParseCoding converts a scheme name to its Coding.
+func ParseCoding(s string) (Coding, error) {
+	switch s {
+	case "filter-based", "filter":
+		return FilterBased, nil
+	case "root-split", "rootsplit":
+		return RootSplit, nil
+	case "subtree-interval", "interval":
+		return SubtreeInterval, nil
+	}
+	return 0, fmt.Errorf("postings: unknown coding %q", s)
+}
+
+// NodeRef is the structural record of one node of an instance: the
+// ⟨l, r, v, o⟩ tuple of §4.4.2 under our dense pre/post numbering.
+type NodeRef struct {
+	Pre   uint32
+	Post  uint32
+	Level uint32
+	Order uint32 // pre-order rank in the data tree (== Pre here; kept for paper parity)
+}
+
+// RootEntry is one root-split posting.
+type RootEntry struct {
+	TID uint32
+	NodeRef
+}
+
+// IntervalEntry is one subtree-interval posting: an instance of a key
+// with one NodeRef per key slot (canonical pre-order).
+type IntervalEntry struct {
+	TID   uint32
+	Nodes []NodeRef
+}
+
+func putUvarint(buf []byte, x uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], x)
+	return append(buf, tmp[:n]...)
+}
+
+// ---------- filter-based ----------
+
+// FilterAccumulator builds a filter-based posting list. TIDs must be
+// added in non-decreasing order; duplicates collapse.
+type FilterAccumulator struct {
+	buf     []byte
+	lastTID uint32
+	n       int
+}
+
+// Add records that the key occurs in tree tid.
+func (a *FilterAccumulator) Add(tid uint32) {
+	if a.n > 0 && tid == a.lastTID {
+		return
+	}
+	if a.n > 0 && tid < a.lastTID {
+		panic("postings: filter tids out of order")
+	}
+	a.buf = putUvarint(a.buf, uint64(tid-a.lastTID))
+	a.lastTID = tid
+	a.n++
+}
+
+// Count returns the number of postings.
+func (a *FilterAccumulator) Count() int { return a.n }
+
+// Bytes returns the wire form.
+func (a *FilterAccumulator) Bytes() []byte { return a.buf }
+
+// FilterIterator streams tids out of a filter-based posting list.
+type FilterIterator struct {
+	buf []byte
+	off int
+	tid uint32
+	err error
+}
+
+// NewFilterIterator returns an iterator over the wire form buf.
+func NewFilterIterator(buf []byte) *FilterIterator {
+	return &FilterIterator{buf: buf}
+}
+
+// Next advances and returns false at the end of the list.
+func (it *FilterIterator) Next() bool {
+	if it.err != nil || it.off >= len(it.buf) {
+		return false
+	}
+	d, n := binary.Uvarint(it.buf[it.off:])
+	if n <= 0 {
+		it.err = fmt.Errorf("postings: corrupt filter list at offset %d", it.off)
+		return false
+	}
+	it.off += n
+	it.tid += uint32(d)
+	return true
+}
+
+// TID returns the current tree identifier.
+func (it *FilterIterator) TID() uint32 { return it.tid }
+
+// Err reports a decoding error, if any.
+func (it *FilterIterator) Err() error { return it.err }
+
+// ---------- root-split ----------
+
+// RootAccumulator builds a root-split posting list. Occurrences must be
+// added in (tid, pre) order; occurrences with identical (tid, pre)
+// collapse into a single posting — the size reduction the paper credits
+// root-split coding with.
+type RootAccumulator struct {
+	buf      []byte
+	lastTID  uint32
+	lastPre  uint32
+	n        int
+	dedupOff bool // when true, symmetric instances are NOT collapsed (ablation)
+}
+
+// NewRootAccumulator returns an empty accumulator. dedup should be true
+// except in the ablation bench.
+func NewRootAccumulator(dedup bool) *RootAccumulator {
+	return &RootAccumulator{dedupOff: !dedup}
+}
+
+// Add records an occurrence with the given root structural numbers.
+func (a *RootAccumulator) Add(tid uint32, root NodeRef) {
+	if a.n > 0 {
+		if tid < a.lastTID || (tid == a.lastTID && root.Pre < a.lastPre) {
+			panic("postings: root-split occurrences out of order")
+		}
+		if !a.dedupOff && tid == a.lastTID && root.Pre == a.lastPre {
+			return
+		}
+	}
+	if a.n == 0 || tid != a.lastTID {
+		a.buf = putUvarint(a.buf, uint64(tid-a.lastTID)+1) // tid delta+1, 0 reserved
+		a.buf = putUvarint(a.buf, uint64(root.Pre))
+	} else {
+		a.buf = putUvarint(a.buf, 0) // same tid marker
+		a.buf = putUvarint(a.buf, uint64(root.Pre-a.lastPre))
+	}
+	a.buf = putUvarint(a.buf, uint64(root.Post))
+	a.buf = putUvarint(a.buf, uint64(root.Level))
+	a.lastTID = tid
+	a.lastPre = root.Pre
+	a.n++
+}
+
+// Count returns the number of postings.
+func (a *RootAccumulator) Count() int { return a.n }
+
+// Bytes returns the wire form.
+func (a *RootAccumulator) Bytes() []byte { return a.buf }
+
+// RootIterator streams root-split postings in (tid, pre) order.
+type RootIterator struct {
+	buf   []byte
+	off   int
+	cur   RootEntry
+	first bool
+	err   error
+}
+
+// NewRootIterator returns an iterator over the wire form buf.
+func NewRootIterator(buf []byte) *RootIterator {
+	return &RootIterator{buf: buf, first: true}
+}
+
+// Next advances; false at end or on error.
+func (it *RootIterator) Next() bool {
+	if it.err != nil || it.off >= len(it.buf) {
+		return false
+	}
+	marker, ok := it.uv()
+	if !ok {
+		return false
+	}
+	if marker == 0 {
+		if it.first {
+			it.err = fmt.Errorf("postings: root-split list starts with same-tid marker")
+			return false
+		}
+		d, ok := it.uv()
+		if !ok {
+			return false
+		}
+		it.cur.Pre += uint32(d)
+	} else {
+		it.cur.TID += uint32(marker - 1)
+		p, ok := it.uv()
+		if !ok {
+			return false
+		}
+		it.cur.Pre = uint32(p)
+	}
+	post, ok1 := it.uv()
+	level, ok2 := it.uv()
+	if !ok1 || !ok2 {
+		return false
+	}
+	it.cur.Post = uint32(post)
+	it.cur.Level = uint32(level)
+	it.cur.Order = it.cur.Pre
+	it.first = false
+	return true
+}
+
+func (it *RootIterator) uv() (uint64, bool) {
+	v, n := binary.Uvarint(it.buf[it.off:])
+	if n <= 0 {
+		it.err = fmt.Errorf("postings: corrupt root-split list at offset %d", it.off)
+		return 0, false
+	}
+	it.off += n
+	return v, true
+}
+
+// Entry returns the current posting.
+func (it *RootIterator) Entry() RootEntry { return it.cur }
+
+// Err reports a decoding error, if any.
+func (it *RootIterator) Err() error { return it.err }
+
+// ---------- subtree-interval ----------
+
+// IntervalAccumulator builds a subtree-interval posting list: one record
+// per instance, in (tid, root pre) order.
+type IntervalAccumulator struct {
+	buf     []byte
+	lastTID uint32
+	n       int
+}
+
+// Add records one instance with the structural numbers of all its key
+// slots (canonical order; nodes[0] is the root).
+func (a *IntervalAccumulator) Add(tid uint32, nodes []NodeRef) {
+	if a.n > 0 && tid < a.lastTID {
+		panic("postings: interval occurrences out of order")
+	}
+	a.buf = putUvarint(a.buf, uint64(tid-a.lastTID))
+	a.buf = putUvarint(a.buf, uint64(len(nodes)))
+	for _, nd := range nodes {
+		a.buf = putUvarint(a.buf, uint64(nd.Pre))
+		a.buf = putUvarint(a.buf, uint64(nd.Post))
+		a.buf = putUvarint(a.buf, uint64(nd.Level))
+		a.buf = putUvarint(a.buf, uint64(nd.Order))
+	}
+	a.lastTID = tid
+	a.n++
+}
+
+// Count returns the number of postings.
+func (a *IntervalAccumulator) Count() int { return a.n }
+
+// Bytes returns the wire form.
+func (a *IntervalAccumulator) Bytes() []byte { return a.buf }
+
+// IntervalIterator streams subtree-interval postings.
+type IntervalIterator struct {
+	buf   []byte
+	off   int
+	tid   uint32
+	nodes []NodeRef
+	err   error
+}
+
+// NewIntervalIterator returns an iterator over the wire form buf.
+func NewIntervalIterator(buf []byte) *IntervalIterator {
+	return &IntervalIterator{buf: buf}
+}
+
+// Next advances; false at end or on error.
+func (it *IntervalIterator) Next() bool {
+	if it.err != nil || it.off >= len(it.buf) {
+		return false
+	}
+	d, ok := it.uv()
+	if !ok {
+		return false
+	}
+	it.tid += uint32(d)
+	m, ok := it.uv()
+	if !ok {
+		return false
+	}
+	if m == 0 || m > 64 {
+		it.err = fmt.Errorf("postings: implausible instance size %d", m)
+		return false
+	}
+	it.nodes = it.nodes[:0]
+	for i := uint64(0); i < m; i++ {
+		pre, ok1 := it.uv()
+		post, ok2 := it.uv()
+		level, ok3 := it.uv()
+		order, ok4 := it.uv()
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return false
+		}
+		it.nodes = append(it.nodes, NodeRef{
+			Pre: uint32(pre), Post: uint32(post), Level: uint32(level), Order: uint32(order),
+		})
+	}
+	return true
+}
+
+func (it *IntervalIterator) uv() (uint64, bool) {
+	v, n := binary.Uvarint(it.buf[it.off:])
+	if n <= 0 {
+		it.err = fmt.Errorf("postings: corrupt interval list at offset %d", it.off)
+		return 0, false
+	}
+	it.off += n
+	return v, true
+}
+
+// TID returns the current posting's tree identifier.
+func (it *IntervalIterator) TID() uint32 { return it.tid }
+
+// Nodes returns the current posting's slot records; the slice is reused
+// across Next calls — copy it to retain.
+func (it *IntervalIterator) Nodes() []NodeRef { return it.nodes }
+
+// Entry returns a copy of the current posting.
+func (it *IntervalIterator) Entry() IntervalEntry {
+	return IntervalEntry{TID: it.tid, Nodes: append([]NodeRef(nil), it.nodes...)}
+}
+
+// Err reports a decoding error, if any.
+func (it *IntervalIterator) Err() error { return it.err }

@@ -1,0 +1,221 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodingNames(t *testing.T) {
+	for _, c := range []Coding{FilterBased, RootSplit, SubtreeInterval} {
+		got, err := ParseCoding(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCoding(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCoding("nope"); err == nil {
+		t.Error("want error for unknown coding")
+	}
+	if Coding(99).String() == "" {
+		t.Error("unknown coding should still render")
+	}
+}
+
+func TestFilterRoundTrip(t *testing.T) {
+	var a FilterAccumulator
+	tids := []uint32{0, 3, 3, 3, 7, 100, 100, 4096}
+	for _, tid := range tids {
+		a.Add(tid)
+	}
+	if a.Count() != 5 {
+		t.Errorf("Count = %d, want 5 (duplicates collapse)", a.Count())
+	}
+	it := NewFilterIterator(a.Bytes())
+	var got []uint32
+	for it.Next() {
+		got = append(got, it.TID())
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	want := []uint32{0, 3, 7, 100, 4096}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestFilterOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on out-of-order tids")
+		}
+	}()
+	var a FilterAccumulator
+	a.Add(5)
+	a.Add(4)
+}
+
+func TestRootSplitRoundTripAndDedup(t *testing.T) {
+	a := NewRootAccumulator(true)
+	a.Add(1, NodeRef{Pre: 2, Post: 9, Level: 1})
+	a.Add(1, NodeRef{Pre: 2, Post: 9, Level: 1}) // symmetric instance: collapses
+	a.Add(1, NodeRef{Pre: 5, Post: 4, Level: 2})
+	a.Add(4, NodeRef{Pre: 0, Post: 12, Level: 0})
+	if a.Count() != 3 {
+		t.Errorf("Count = %d, want 3", a.Count())
+	}
+	it := NewRootIterator(a.Bytes())
+	var got []RootEntry
+	for it.Next() {
+		got = append(got, it.Entry())
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	want := []RootEntry{
+		{TID: 1, NodeRef: NodeRef{Pre: 2, Post: 9, Level: 1, Order: 2}},
+		{TID: 1, NodeRef: NodeRef{Pre: 5, Post: 4, Level: 2, Order: 5}},
+		{TID: 4, NodeRef: NodeRef{Pre: 0, Post: 12, Level: 0, Order: 0}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestRootSplitNoDedupAblation(t *testing.T) {
+	a := NewRootAccumulator(false)
+	a.Add(1, NodeRef{Pre: 2, Post: 9, Level: 1})
+	a.Add(1, NodeRef{Pre: 2, Post: 9, Level: 1})
+	if a.Count() != 2 {
+		t.Errorf("Count = %d, want 2 without dedup", a.Count())
+	}
+}
+
+func TestIntervalRoundTrip(t *testing.T) {
+	var a IntervalAccumulator
+	a.Add(2, []NodeRef{{Pre: 1, Post: 5, Level: 1, Order: 1}, {Pre: 3, Post: 2, Level: 2, Order: 3}})
+	a.Add(2, []NodeRef{{Pre: 1, Post: 5, Level: 1, Order: 1}, {Pre: 4, Post: 3, Level: 2, Order: 4}})
+	a.Add(9, []NodeRef{{Pre: 0, Post: 9, Level: 0, Order: 0}})
+	if a.Count() != 3 {
+		t.Errorf("Count = %d", a.Count())
+	}
+	it := NewIntervalIterator(a.Bytes())
+	var got []IntervalEntry
+	for it.Next() {
+		got = append(got, it.Entry())
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(got) != 3 || got[0].TID != 2 || got[2].TID != 9 {
+		t.Fatalf("entries: %+v", got)
+	}
+	if got[1].Nodes[1].Pre != 4 || got[1].Nodes[1].Order != 4 {
+		t.Errorf("second entry nodes: %+v", got[1].Nodes)
+	}
+	if len(got[2].Nodes) != 1 {
+		t.Errorf("third entry nodes: %+v", got[2].Nodes)
+	}
+}
+
+func TestCorruptInputs(t *testing.T) {
+	// Truncated varints must surface as errors, not panics.
+	bad := []byte{0x80} // incomplete varint
+	fit := NewFilterIterator(bad)
+	for fit.Next() {
+	}
+	if fit.Err() == nil {
+		t.Error("filter: want error on corrupt input")
+	}
+	rit := NewRootIterator([]byte{0x00}) // same-tid marker first
+	for rit.Next() {
+	}
+	if rit.Err() == nil {
+		t.Error("root-split: want error on leading same-tid marker")
+	}
+	iit := NewIntervalIterator([]byte{0x01, 0xFF, 0x01}) // m = 255 implausible
+	for iit.Next() {
+	}
+	if iit.Err() == nil {
+		t.Error("interval: want error on implausible size")
+	}
+}
+
+func TestQuickFilterRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		tids := append([]uint32(nil), raw...)
+		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+		var a FilterAccumulator
+		for _, tid := range tids {
+			a.Add(tid)
+		}
+		var uniq []uint32
+		for i, tid := range tids {
+			if i == 0 || tid != tids[i-1] {
+				uniq = append(uniq, tid)
+			}
+		}
+		it := NewFilterIterator(a.Bytes())
+		var got []uint32
+		for it.Next() {
+			got = append(got, it.TID())
+		}
+		return it.Err() == nil && reflect.DeepEqual(got, uniq) && a.Count() == len(uniq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRootSplitRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 60)
+		var entries []RootEntry
+		tid := uint32(0)
+		pre := uint32(0)
+		for i := 0; i < n; i++ {
+			if i == 0 {
+				tid = uint32(rng.Intn(5))
+				pre = uint32(rng.Intn(10))
+			} else if rng.Intn(3) == 0 {
+				tid += uint32(rng.Intn(4) + 1) // strictly new tid: pre may reset
+				pre = uint32(rng.Intn(10))
+			} else {
+				pre += uint32(rng.Intn(6)) // same tid: pre non-decreasing (0 = duplicate)
+			}
+			entries = append(entries, RootEntry{TID: tid, NodeRef: NodeRef{
+				Pre: pre, Post: uint32(rng.Intn(100)), Level: uint32(rng.Intn(20)), Order: pre,
+			}})
+		}
+		// Deduplicate exact (tid, pre) repeats as the accumulator would.
+		var want []RootEntry
+		a := NewRootAccumulator(true)
+		for _, e := range entries {
+			a.Add(e.TID, e.NodeRef)
+			if len(want) == 0 || want[len(want)-1].TID != e.TID || want[len(want)-1].Pre != e.Pre {
+				want = append(want, e)
+			}
+		}
+		it := NewRootIterator(a.Bytes())
+		var got []RootEntry
+		for it.Next() {
+			got = append(got, it.Entry())
+		}
+		if it.Err() != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			// Post/Level of a deduped posting come from its first instance.
+			if got[i].TID != want[i].TID || got[i].Pre != want[i].Pre {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

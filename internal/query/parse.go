@@ -1,0 +1,126 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses the textual query syntax:
+//
+//	query    := node
+//	node     := label group* pathTail?
+//	group    := '(' axis? node ')'
+//	pathTail := axis node           (path shorthand, single spine)
+//	axis     := '//' | '/'          ('/' may be omitted inside groups)
+//
+// Examples: "NP(DT)(NN)", "VP(//NN)", "S/VP//NN", "A(B(C))(//D)".
+func Parse(s string) (*Query, error) {
+	p := &parser{src: s}
+	q := &Query{}
+	if err := p.node(q, -1, Child); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("query: trailing input at offset %d in %q", p.pos, s)
+	}
+	return q, nil
+}
+
+// MustParse parses a query and panics on error; for tests and examples.
+func MustParse(s string) *Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// axis consumes an optional axis marker, defaulting to Child.
+func (p *parser) axis() Axis {
+	if strings.HasPrefix(p.src[p.pos:], "//") {
+		p.pos += 2
+		return Descendant
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '/' {
+		p.pos++
+		return Child
+	}
+	return Child
+}
+
+func (p *parser) node(q *Query, parent int, axis Axis) error {
+	p.skipSpace()
+	label, err := p.label()
+	if err != nil {
+		return err
+	}
+	idx := len(q.Nodes)
+	q.Nodes = append(q.Nodes, Node{Label: label, Axis: axis, Parent: parent})
+	if parent >= 0 {
+		q.Nodes[parent].Children = append(q.Nodes[parent].Children, idx)
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil
+		}
+		switch {
+		case p.src[p.pos] == '(':
+			p.pos++
+			p.skipSpace()
+			a := p.axis()
+			if err := p.node(q, idx, a); err != nil {
+				return err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+				return fmt.Errorf("query: missing ')' at offset %d in %q", p.pos, p.src)
+			}
+			p.pos++
+		case p.src[p.pos] == '/':
+			// Path shorthand: the tail hangs off this node.
+			a := p.axis()
+			return p.node(q, idx, a)
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) label() (string, error) {
+	start := p.pos
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case '(', ')', '/', ' ', '\t':
+			goto done
+		case '\\':
+			if p.pos+1 >= len(p.src) {
+				return "", fmt.Errorf("query: dangling escape at offset %d", p.pos)
+			}
+			sb.WriteByte(p.src[p.pos+1])
+			p.pos += 2
+		default:
+			sb.WriteByte(c)
+			p.pos++
+		}
+	}
+done:
+	if p.pos == start {
+		return "", fmt.Errorf("query: expected label at offset %d in %q", p.pos, p.src)
+	}
+	return sb.String(), nil
+}

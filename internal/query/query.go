@@ -1,0 +1,272 @@
+// Package query defines tree queries over syntactically annotated trees
+// (Definition 2 of the paper): rooted, unordered, labelled trees whose
+// edges carry navigational axes — parent-child (/) or
+// ancestor-descendant (//).
+//
+// The textual form is bracketed, with an optional leading "//" inside a
+// bracket group marking a descendant edge:
+//
+//	S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))
+//	VP(//NN)          — VP with a NN descendant
+//	A(B)(//C(D))      — A with child B and descendant C, C with child D
+//
+// A path shorthand is also accepted: A/B//C parses as A with child B
+// and B with descendant C.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/subtree"
+)
+
+// Axis is the navigational relationship of a query edge.
+type Axis uint8
+
+const (
+	// Child is the parent-child axis (/).
+	Child Axis = iota
+	// Descendant is the ancestor-descendant axis (//).
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Node is one node of a query. The Axis describes the edge to the
+// node's parent; it is meaningless on the root.
+type Node struct {
+	Label    string
+	Axis     Axis
+	Parent   int
+	Children []int
+}
+
+// Query is a tree query stored in pre-order, root at index 0.
+type Query struct {
+	Nodes []Node
+}
+
+// Size returns the number of query nodes, |Q|.
+func (q *Query) Size() int { return len(q.Nodes) }
+
+// Root returns the root node index (always 0).
+func (q *Query) Root() int { return 0 }
+
+// HasDescendantAxis reports whether any edge is a // edge.
+func (q *Query) HasDescendantAxis() bool {
+	for i := 1; i < len(q.Nodes); i++ {
+		if q.Nodes[i].Axis == Descendant {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the query in the bracketed syntax.
+func (q *Query) String() string {
+	var sb strings.Builder
+	q.write(&sb, 0)
+	return sb.String()
+}
+
+func (q *Query) write(sb *strings.Builder, v int) {
+	sb.WriteString(escapeLabel(q.Nodes[v].Label))
+	for _, c := range q.Nodes[v].Children {
+		sb.WriteByte('(')
+		if q.Nodes[c].Axis == Descendant {
+			sb.WriteString("//")
+		}
+		q.write(sb, c)
+		sb.WriteByte(')')
+	}
+}
+
+func escapeLabel(label string) string {
+	if !strings.ContainsAny(label, "()/\\ ") {
+		return label
+	}
+	var sb strings.Builder
+	for i := 0; i < len(label); i++ {
+		switch label[i] {
+		case '(', ')', '/', '\\', ' ':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(label[i])
+	}
+	return sb.String()
+}
+
+// ChildComponent returns the node indexes of the maximal parent-child
+// connected component containing v: v plus everything reachable through
+// Child-axis edges without crossing a Descendant edge. The result is in
+// pre-order. Cover computation decomposes queries component by
+// component, since index keys only represent parent-child edges.
+func (q *Query) ChildComponent(v int) []int {
+	var out []int
+	var dfs func(u int)
+	dfs = func(u int) {
+		out = append(out, u)
+		for _, c := range q.Nodes[u].Children {
+			if q.Nodes[c].Axis == Child {
+				dfs(c)
+			}
+		}
+	}
+	dfs(v)
+	return out
+}
+
+// ComponentRoots returns the roots of all child components: the query
+// root plus every node entered through a Descendant edge, in pre-order.
+func (q *Query) ComponentRoots() []int {
+	roots := []int{0}
+	for i := 1; i < len(q.Nodes); i++ {
+		if q.Nodes[i].Axis == Descendant {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Pattern converts the child component rooted at v (which must contain
+// only Child edges) into a subtree.Pattern, also returning the mapping
+// from the canonical pattern's pre-order slots to query node indexes.
+func (q *Query) Pattern(v int) (*subtree.Pattern, []int) {
+	type kid struct {
+		key   string
+		pat   *subtree.Pattern
+		order []int
+	}
+	var build func(u int) (*subtree.Pattern, []int)
+	build = func(u int) (*subtree.Pattern, []int) {
+		p := &subtree.Pattern{Label: q.Nodes[u].Label}
+		order := []int{u}
+		var kids []kid
+		for _, c := range q.Nodes[u].Children {
+			if q.Nodes[c].Axis != Child {
+				continue
+			}
+			cp, co := build(c)
+			kids = append(kids, kid{key: string(cp.Key()), pat: cp, order: co})
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i].key < kids[j].key })
+		for _, k := range kids {
+			p.Children = append(p.Children, k.pat)
+			order = append(order, k.order...)
+		}
+		return p, order
+	}
+	return build(v)
+}
+
+// SubPattern builds the pattern induced by an arbitrary set of query
+// nodes connected via Child edges (a cover piece), with slot mapping.
+// nodes[0] need not be first; the minimum index is the root.
+func (q *Query) SubPattern(nodes []int) (*subtree.Pattern, []int, error) {
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("query: empty node set")
+	}
+	in := make(map[int]bool, len(nodes))
+	root := nodes[0]
+	for _, v := range nodes {
+		in[v] = true
+		if v < root {
+			root = v
+		}
+	}
+	for _, v := range nodes {
+		if v == root {
+			continue
+		}
+		if q.Nodes[v].Axis != Child {
+			return nil, nil, fmt.Errorf("query: node %d reached by a // edge inside a cover piece", v)
+		}
+		if !in[q.Nodes[v].Parent] {
+			return nil, nil, fmt.Errorf("query: node %d disconnected from piece root %d", v, root)
+		}
+	}
+	type kid struct {
+		key   string
+		pat   *subtree.Pattern
+		order []int
+	}
+	var build func(u int) (*subtree.Pattern, []int)
+	build = func(u int) (*subtree.Pattern, []int) {
+		p := &subtree.Pattern{Label: q.Nodes[u].Label}
+		order := []int{u}
+		var kids []kid
+		for _, c := range q.Nodes[u].Children {
+			if !in[c] || q.Nodes[c].Axis != Child {
+				continue
+			}
+			cp, co := build(c)
+			kids = append(kids, kid{key: string(cp.Key()), pat: cp, order: co})
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i].key < kids[j].key })
+		for _, k := range kids {
+			p.Children = append(p.Children, k.pat)
+			order = append(order, k.order...)
+		}
+		return p, order
+	}
+	p, slots := build(root)
+	if len(slots) != len(nodes) {
+		return nil, nil, fmt.Errorf("query: cover piece not connected")
+	}
+	return p, slots, nil
+}
+
+// FromPattern builds a child-axis-only query from a pattern; used by
+// workload generators that extract query trees from corpus subtrees.
+func FromPattern(p *subtree.Pattern) *Query {
+	q := &Query{}
+	var add func(pt *subtree.Pattern, parent int, axis Axis)
+	add = func(pt *subtree.Pattern, parent int, axis Axis) {
+		idx := len(q.Nodes)
+		q.Nodes = append(q.Nodes, Node{Label: pt.Label, Axis: axis, Parent: parent})
+		if parent >= 0 {
+			q.Nodes[parent].Children = append(q.Nodes[parent].Children, idx)
+		}
+		for _, c := range pt.Children {
+			add(c, idx, Child)
+		}
+	}
+	add(p, -1, Child)
+	return q
+}
+
+// HasIdenticalSiblingPatterns reports whether some node has two
+// children related by the same axis whose full sub-query patterns are
+// identical. For such queries, cover-based evaluation cannot enforce
+// that the twins map to distinct nodes when they fall into different
+// cover pieces (a limitation shared with the paper's codings); tests
+// that compare codings against the exact matcher exclude them.
+func (q *Query) HasIdenticalSiblingPatterns() bool {
+	var enc func(v int) string
+	enc = func(v int) string {
+		keys := make([]string, 0, len(q.Nodes[v].Children))
+		for _, c := range q.Nodes[v].Children {
+			keys = append(keys, q.Nodes[c].Axis.String()+enc(c))
+		}
+		sort.Strings(keys)
+		return escapeLabel(q.Nodes[v].Label) + "[" + strings.Join(keys, ",") + "]"
+	}
+	for v := range q.Nodes {
+		seen := map[string]bool{}
+		for _, c := range q.Nodes[v].Children {
+			k := q.Nodes[c].Axis.String() + enc(c)
+			if seen[k] {
+				return true
+			}
+			seen[k] = true
+		}
+	}
+	return false
+}

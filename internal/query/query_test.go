@@ -1,0 +1,172 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/subtree"
+)
+
+func TestParseBracketed(t *testing.T) {
+	q := MustParse("S(NP(NNS))(VP(VBZ)(NP))")
+	if q.Size() != 6 {
+		t.Fatalf("Size = %d", q.Size())
+	}
+	if q.Nodes[0].Label != "S" || len(q.Nodes[0].Children) != 2 {
+		t.Errorf("root: %+v", q.Nodes[0])
+	}
+	if q.HasDescendantAxis() {
+		t.Error("no // axis expected")
+	}
+	if got := q.String(); got != "S(NP(NNS))(VP(VBZ)(NP))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseDescendantAxis(t *testing.T) {
+	q := MustParse("A(B)(//C(D))")
+	if !q.HasDescendantAxis() {
+		t.Fatal("want // axis")
+	}
+	var cIdx int
+	for i := range q.Nodes {
+		if q.Nodes[i].Label == "C" {
+			cIdx = i
+		}
+	}
+	if q.Nodes[cIdx].Axis != Descendant {
+		t.Error("C should be a descendant edge")
+	}
+	if q.Nodes[cIdx].Parent != 0 {
+		t.Error("C's parent should be A")
+	}
+	dIdx := q.Nodes[cIdx].Children[0]
+	if q.Nodes[dIdx].Axis != Child || q.Nodes[dIdx].Label != "D" {
+		t.Errorf("D node: %+v", q.Nodes[dIdx])
+	}
+	if got := q.String(); got != "A(B)(//C(D))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParsePathShorthand(t *testing.T) {
+	q := MustParse("A/B//C")
+	if q.Size() != 3 {
+		t.Fatalf("Size = %d", q.Size())
+	}
+	if q.Nodes[1].Label != "B" || q.Nodes[1].Axis != Child || q.Nodes[1].Parent != 0 {
+		t.Errorf("B: %+v", q.Nodes[1])
+	}
+	if q.Nodes[2].Label != "C" || q.Nodes[2].Axis != Descendant || q.Nodes[2].Parent != 1 {
+		t.Errorf("C: %+v", q.Nodes[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "(", "A(", "A(B", "A)", "A(B))", "A(/)", "A\\"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error", s)
+		}
+	}
+}
+
+func TestChildComponents(t *testing.T) {
+	q := MustParse("A(B(C))(//D(E)(//F))")
+	roots := q.ComponentRoots()
+	if len(roots) != 3 {
+		t.Fatalf("ComponentRoots = %v", roots)
+	}
+	comp0 := q.ChildComponent(0)
+	if len(comp0) != 3 { // A, B, C
+		t.Errorf("component of A: %v", comp0)
+	}
+	labels := func(ids []int) []string {
+		out := make([]string, len(ids))
+		for i, id := range ids {
+			out[i] = q.Nodes[id].Label
+		}
+		return out
+	}
+	if !reflect.DeepEqual(labels(comp0), []string{"A", "B", "C"}) {
+		t.Errorf("component labels: %v", labels(comp0))
+	}
+	compD := q.ChildComponent(roots[1])
+	if !reflect.DeepEqual(labels(compD), []string{"D", "E"}) {
+		t.Errorf("D component labels: %v", labels(compD))
+	}
+	compF := q.ChildComponent(roots[2])
+	if !reflect.DeepEqual(labels(compF), []string{"F"}) {
+		t.Errorf("F component labels: %v", labels(compF))
+	}
+}
+
+func TestPatternAndSlots(t *testing.T) {
+	q := MustParse("A(D)(B)")
+	p, slots := q.Pattern(0)
+	if p.String() != "A(B)(D)" {
+		t.Errorf("pattern = %q", p)
+	}
+	// Slots follow canonical order: A, B, D -> query nodes 0, 2, 1.
+	if !reflect.DeepEqual(slots, []int{0, 2, 1}) {
+		t.Errorf("slots = %v", slots)
+	}
+}
+
+func TestSubPattern(t *testing.T) {
+	q := MustParse("A(B(C))(D)")
+	// Piece {A, B, D} (indexes 0, 1, 3).
+	p, slots, err := q.SubPattern([]int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Key() != subtree.P("A", subtree.P("B"), subtree.P("D")).Key() {
+		t.Errorf("piece key = %q", p.Key())
+	}
+	if slots[0] != 0 {
+		t.Errorf("slots = %v", slots)
+	}
+	// Disconnected piece {A, C} must fail.
+	if _, _, err := q.SubPattern([]int{0, 2}); err == nil {
+		t.Error("want error for disconnected piece")
+	}
+	// Piece crossing a // edge must fail.
+	qd := MustParse("A(//B)")
+	if _, _, err := qd.SubPattern([]int{0, 1}); err == nil {
+		t.Error("want error for piece crossing //")
+	}
+}
+
+func TestFromPattern(t *testing.T) {
+	p := subtree.P("NP", subtree.P("DT", subtree.P("a")), subtree.P("NN"))
+	q := FromPattern(p)
+	if q.Size() != 4 {
+		t.Fatalf("Size = %d", q.Size())
+	}
+	if q.HasDescendantAxis() {
+		t.Error("FromPattern should produce child axes only")
+	}
+	got, _ := q.Pattern(0)
+	if got.Key() != p.Clone().Key() {
+		t.Errorf("round trip key: %q vs %q", got.Key(), p.Clone().Key())
+	}
+}
+
+func TestHasIdenticalSiblingPatterns(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"A(B)(C)", false},
+		{"A(B)(B)", true},
+		{"A(B(C))(B(D))", false},
+		{"A(B(C))(B(C))", true},
+		{"A(//B)(B)", false}, // different axes
+		{"A(//B)(//B)", true},
+		{"S(NP(NNS))(VP(VBZ)(NP))", false},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.q).HasIdenticalSiblingPatterns(); got != c.want {
+			t.Errorf("HasIdenticalSiblingPatterns(%q) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package subtree
+
+// SlotAutomorphisms returns every automorphism of the canonical pattern
+// as a slot permutation: perm[i] is the source slot whose binding can
+// equivalently occupy slot i. Patterns without identical-encoding
+// siblings have exactly one automorphism (the identity).
+//
+// Why this exists: a subtree-interval posting stores one instance under
+// *one* canonical slot assignment, but when two sibling subtrees encode
+// identically (A(B)(B)), the assignment of instance nodes to the twin
+// slots is arbitrary. A join that constrains the twins differently
+// (e.g. a // predicate hangs off one of them) must consider both
+// assignments or it produces false negatives; the query engine expands
+// fetched postings by these permutations.
+//
+// The group size is the product of g! over identical-sibling groups
+// (recursively); cover pieces have at most mss ≤ 6 nodes, so it is
+// bounded by 5! = 120.
+func SlotAutomorphisms(p *Pattern) [][]int {
+	return arrangements(p)
+}
+
+// arrangements returns slot-source sequences relative to p's own range:
+// result[k][i] = index (within p's pre-order slots) of the node that
+// can stand at slot i.
+func arrangements(p *Pattern) [][]int {
+	if len(p.Children) == 0 {
+		return [][]int{{0}}
+	}
+	// Per-child internal arrangements and slot offsets (canonical
+	// pre-order: root, then children blocks in order).
+	childArr := make([][][]int, len(p.Children))
+	offsets := make([]int, len(p.Children))
+	sizes := make([]int, len(p.Children))
+	off := 1
+	for i, c := range p.Children {
+		childArr[i] = arrangements(c)
+		offsets[i] = off
+		sizes[i] = c.Size()
+		off += c.Size()
+	}
+	// Group consecutive identical-encoding children (canonical order
+	// puts equal keys adjacent).
+	keys := make([]string, len(p.Children))
+	for i, c := range p.Children {
+		keys[i] = string(c.Clone().Key())
+	}
+	type group struct{ lo, hi int } // child index range [lo, hi)
+	var groups []group
+	for i := 0; i < len(p.Children); {
+		j := i + 1
+		for j < len(p.Children) && keys[j] == keys[i] {
+			j++
+		}
+		groups = append(groups, group{lo: i, hi: j})
+		i = j
+	}
+	// Enumerate, per group, the permutations of its members; the
+	// overall child order is the concatenation of group choices.
+	orders := [][]int{{}}
+	for _, g := range groups {
+		members := make([]int, 0, g.hi-g.lo)
+		for i := g.lo; i < g.hi; i++ {
+			members = append(members, i)
+		}
+		var next [][]int
+		for _, base := range orders {
+			for _, perm := range permutations(members) {
+				next = append(next, append(append([]int(nil), base...), perm...))
+			}
+		}
+		orders = next
+	}
+	// For each child order and each combination of internal child
+	// arrangements, build the slot-source sequence.
+	var out [][]int
+	for _, order := range orders {
+		partial := [][]int{{0}}
+		for pos, srcChild := range order {
+			// Identical keys mean identical sizes, so the target block
+			// at position pos has the same width as the source child.
+			_ = pos
+			var next [][]int
+			for _, seq := range partial {
+				for _, arr := range childArr[srcChild] {
+					ext := append(append([]int(nil), seq...), applyOffset(arr, offsets[srcChild])...)
+					next = append(next, ext)
+				}
+			}
+			partial = next
+		}
+		out = append(out, partial...)
+	}
+	return dedupSeqs(out)
+}
+
+func applyOffset(arr []int, off int) []int {
+	out := make([]int, len(arr))
+	for i, v := range arr {
+		out[i] = v + off
+	}
+	return out
+}
+
+func permutations(xs []int) [][]int {
+	if len(xs) <= 1 {
+		return [][]int{append([]int(nil), xs...)}
+	}
+	var out [][]int
+	for i := range xs {
+		rest := make([]int, 0, len(xs)-1)
+		rest = append(rest, xs[:i]...)
+		rest = append(rest, xs[i+1:]...)
+		for _, sub := range permutations(rest) {
+			out = append(out, append([]int{xs[i]}, sub...))
+		}
+	}
+	return out
+}
+
+func dedupSeqs(seqs [][]int) [][]int {
+	seen := map[string]bool{}
+	var out [][]int
+	for _, s := range seqs {
+		key := make([]byte, 0, len(s)*2)
+		for _, v := range s {
+			key = append(key, byte(v), byte(v>>8))
+		}
+		if !seen[string(key)] {
+			seen[string(key)] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

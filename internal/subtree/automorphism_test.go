@@ -1,0 +1,119 @@
+package subtree
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSlotAutomorphismsIdentityOnly(t *testing.T) {
+	for _, p := range []*Pattern{
+		P("A"),
+		P("A", P("B")),
+		P("A", P("B"), P("C")).Canonical(),
+		P("NP", P("DT", P("a")), P("NN")).Canonical(),
+		P("A", P("B", P("D")), P("B", P("E"))).Canonical(), // twins differ inside
+	} {
+		perms := SlotAutomorphisms(p)
+		if len(perms) != 1 {
+			t.Errorf("%s: %d automorphisms, want 1 (%v)", p, len(perms), perms)
+			continue
+		}
+		id := make([]int, p.Size())
+		for i := range id {
+			id[i] = i
+		}
+		if !reflect.DeepEqual(perms[0], id) {
+			t.Errorf("%s: non-identity sole automorphism %v", p, perms[0])
+		}
+	}
+}
+
+func TestSlotAutomorphismsTwins(t *testing.T) {
+	p := P("A", P("B"), P("B")).Canonical()
+	perms := SlotAutomorphisms(p)
+	if len(perms) != 2 {
+		t.Fatalf("A(B)(B): %d automorphisms, want 2: %v", len(perms), perms)
+	}
+	// Identity and the swap of slots 1 and 2 (root is slot 0).
+	want := map[string]bool{"[0 1 2]": false, "[0 2 1]": false}
+	for _, pm := range perms {
+		s := intsString(pm)
+		if _, ok := want[s]; !ok {
+			t.Errorf("unexpected permutation %v", pm)
+		}
+		want[s] = true
+	}
+	for s, seen := range want {
+		if !seen {
+			t.Errorf("missing permutation %s", s)
+		}
+	}
+}
+
+func TestSlotAutomorphismsTriplets(t *testing.T) {
+	p := P("A", P("B"), P("B"), P("B")).Canonical()
+	if got := len(SlotAutomorphisms(p)); got != 6 {
+		t.Errorf("A(B)(B)(B): %d automorphisms, want 3! = 6", got)
+	}
+}
+
+func TestSlotAutomorphismsNested(t *testing.T) {
+	// A(B(C)(C))(B(C)(C)): block swap of the Bs (2) times inner swaps
+	// (2 each) = 8.
+	p := P("A",
+		P("B", P("C"), P("C")),
+		P("B", P("C"), P("C")),
+	).Canonical()
+	perms := SlotAutomorphisms(p)
+	if len(perms) != 8 {
+		t.Fatalf("%d automorphisms, want 8", len(perms))
+	}
+	// Every permutation must preserve the pattern: relabeling slots by
+	// the permutation maps the pre-order label sequence to itself.
+	labels := preorderLabels(p)
+	for _, pm := range perms {
+		for i, src := range pm {
+			if labels[i] != labels[src] {
+				t.Errorf("permutation %v maps %q to slot of %q", pm, labels[src], labels[i])
+			}
+		}
+	}
+	// Block swap must move the whole child block: slot 1 (first B) can
+	// be sourced from slot 4 (second B).
+	found := false
+	for _, pm := range perms {
+		if pm[1] == 4 && pm[4] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing whole-block swap")
+	}
+}
+
+func TestSlotAutomorphismsMixedSiblings(t *testing.T) {
+	// A(B)(B)(C): only the two Bs swap.
+	p := P("A", P("B"), P("B"), P("C")).Canonical()
+	if got := len(SlotAutomorphisms(p)); got != 2 {
+		t.Errorf("%d automorphisms, want 2", got)
+	}
+}
+
+func preorderLabels(p *Pattern) []string {
+	out := []string{p.Label}
+	for _, c := range p.Children {
+		out = append(out, preorderLabels(c)...)
+	}
+	return out
+}
+
+func intsString(a []int) string {
+	s := "["
+	for i, v := range a {
+		if i > 0 {
+			s += " "
+		}
+		s += string(rune('0' + v))
+	}
+	return s + "]"
+}

@@ -1,0 +1,128 @@
+package subtree
+
+import (
+	"repro/internal/lingtree"
+)
+
+// EnumerateRooted returns every connected subtree of t with exactly m
+// nodes rooted at node v. Each result is a slice of node indexes in
+// increasing (pre-) order, beginning with v. The count of results is
+// what Figure 3 of the paper plots against branching factor; for a root
+// with k leaf children it is C(k, m-1).
+func EnumerateRooted(t *lingtree.Tree, v, m int) [][]int {
+	if m < 1 {
+		return nil
+	}
+	if m == 1 {
+		return [][]int{{v}}
+	}
+	if t.SubtreeSize(v) < m {
+		return nil
+	}
+	children := t.Nodes[v].Children
+	combos := enumerateForests(t, children, 0, m-1)
+	out := make([][]int, 0, len(combos))
+	for _, combo := range combos {
+		nodes := make([]int, 0, m)
+		nodes = append(nodes, v)
+		nodes = append(nodes, combo...)
+		sortInts(nodes)
+		out = append(out, nodes)
+	}
+	return out
+}
+
+// enumerateForests returns all ways of picking subtrees rooted at a
+// sub-multiset of children[i:] whose sizes sum to exactly rem.
+func enumerateForests(t *lingtree.Tree, children []int, i, rem int) [][]int {
+	if rem == 0 {
+		return [][]int{nil}
+	}
+	if i == len(children) {
+		return nil
+	}
+	// Skip child i entirely.
+	out := enumerateForests(t, children, i+1, rem)
+	// Or give child i a subtree of each feasible size s.
+	c := children[i]
+	maxS := t.SubtreeSize(c)
+	if maxS > rem {
+		maxS = rem
+	}
+	for s := 1; s <= maxS; s++ {
+		subs := EnumerateRooted(t, c, s)
+		if len(subs) == 0 {
+			continue
+		}
+		rests := enumerateForests(t, children, i+1, rem-s)
+		for _, sub := range subs {
+			for _, rest := range rests {
+				combo := make([]int, 0, len(sub)+len(rest))
+				combo = append(combo, sub...)
+				combo = append(combo, rest...)
+				out = append(out, combo)
+			}
+		}
+	}
+	return out
+}
+
+// CountRooted returns the number of connected subtrees of exactly size m
+// rooted at v, without materializing them.
+func CountRooted(t *lingtree.Tree, v, m int) int64 {
+	if m < 1 {
+		return 0
+	}
+	if m == 1 {
+		return 1
+	}
+	if t.SubtreeSize(v) < m {
+		return 0
+	}
+	return countForests(t, t.Nodes[v].Children, 0, m-1)
+}
+
+func countForests(t *lingtree.Tree, children []int, i, rem int) int64 {
+	if rem == 0 {
+		return 1
+	}
+	if i == len(children) {
+		return 0
+	}
+	n := countForests(t, children, i+1, rem)
+	c := children[i]
+	maxS := t.SubtreeSize(c)
+	if maxS > rem {
+		maxS = rem
+	}
+	for s := 1; s <= maxS; s++ {
+		cs := CountRooted(t, c, s)
+		if cs == 0 {
+			continue
+		}
+		n += cs * countForests(t, children, i+1, rem-s)
+	}
+	return n
+}
+
+// CountAllSizes returns, for each size 1..mss, the total number of
+// connected subtrees of that size over all roots of t. Index 0 of the
+// result corresponds to size 1.
+func CountAllSizes(t *lingtree.Tree, mss int) []int64 {
+	out := make([]int64, mss)
+	for v := range t.Nodes {
+		for m := 1; m <= mss; m++ {
+			out[m-1] += CountRooted(t, v, m)
+		}
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	// Insertion sort: slices are tiny (≤ mss elements) and almost sorted.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package subtree
+
+import (
+	"repro/internal/lingtree"
+)
+
+// Occurrence is one instance of an index key in a data tree: the key,
+// the instance's root node and the instance nodes in canonical-key
+// pre-order (the slot mapping used by subtree-interval postings).
+type Occurrence struct {
+	Key   Key
+	Root  int   // data-tree node index of the subtree root
+	Nodes []int // instance nodes, Nodes[i] = data node at key slot i; Nodes[0] == Root
+}
+
+// Extract enumerates every connected subtree of t with 1..mss nodes and
+// returns one Occurrence per instance. This is the index builder's
+// extraction phase (paper §4.2).
+func Extract(t *lingtree.Tree, mss int) []Occurrence {
+	var out []Occurrence
+	for v := range t.Nodes {
+		for m := 1; m <= mss; m++ {
+			for _, nodes := range EnumerateRooted(t, v, m) {
+				p, slots, err := InducedPattern(t, nodes)
+				if err != nil {
+					// Enumeration produces connected sets by construction.
+					panic("subtree: extraction produced disconnected set: " + err.Error())
+				}
+				out = append(out, Occurrence{Key: p.Key(), Root: v, Nodes: slots})
+			}
+		}
+	}
+	return out
+}
+
+// keyOfInstance computes the canonical key of the subtree induced by
+// nodes without retaining the pattern.
+func keyOfInstance(t *lingtree.Tree, nodes []int) Key {
+	p, _, err := InducedPattern(t, nodes)
+	if err != nil {
+		panic("subtree: " + err.Error())
+	}
+	return p.Key()
+}
+
+// UniqueKeys returns the set of distinct keys of sizes 1..mss occurring
+// in t. It backs the Figure 2 experiment (number of index keys).
+func UniqueKeys(t *lingtree.Tree, mss int, into map[Key]struct{}) {
+	for v := range t.Nodes {
+		for m := 1; m <= mss; m++ {
+			for _, nodes := range EnumerateRooted(t, v, m) {
+				into[keyOfInstance(t, nodes)] = struct{}{}
+			}
+		}
+	}
+}

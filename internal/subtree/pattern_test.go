@@ -1,0 +1,170 @@
+package subtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lingtree"
+)
+
+func TestPatternSizeAndClone(t *testing.T) {
+	p := P("A", P("B", P("C")), P("D"))
+	if p.Size() != 4 {
+		t.Errorf("Size = %d, want 4", p.Size())
+	}
+	cl := p.Clone()
+	cl.Children[0].Label = "X"
+	if p.Children[0].Label != "B" {
+		t.Error("Clone shares nodes")
+	}
+}
+
+func TestCanonicalUnorderedEquality(t *testing.T) {
+	a := P("A", P("B"), P("C"))
+	b := P("A", P("C"), P("B"))
+	if a.Key() != b.Key() {
+		t.Errorf("A(B)(C) and A(C)(B) keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	// Children with equal labels but different structures are
+	// distinguished by their full encoding.
+	c := P("A", P("B", P("D")), P("B", P("E")))
+	d := P("A", P("B", P("E")), P("B", P("D")))
+	if c.Key() != d.Key() {
+		t.Errorf("symmetric nesting keys differ: %q vs %q", c.Key(), d.Key())
+	}
+	e := P("A", P("B", P("D")), P("B", P("D")))
+	if c.Key() == e.Key() {
+		t.Error("distinct patterns share a key")
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	p := P("NP", P("DT", P("a")), P("NN"))
+	key := p.Key()
+	if key != "4:NP 1:NN 2:DT 1:a" && key != "4:NP 2:DT 1:a 1:NN" {
+		t.Errorf("unexpected key %q", key)
+	}
+	back, err := ParseKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != key {
+		t.Errorf("round trip %q -> %q", key, back.Key())
+	}
+}
+
+func TestKeyEscaping(t *testing.T) {
+	p := P("N N", P(":x\\"))
+	key := p.Key()
+	back, err := ParseKey(key)
+	if err != nil {
+		t.Fatalf("parse %q: %v", key, err)
+	}
+	if back.Label != "N N" || back.Children[0].Label != ":x\\" {
+		t.Errorf("labels after round trip: %q %q", back.Label, back.Children[0].Label)
+	}
+}
+
+func TestParseKeyErrors(t *testing.T) {
+	for _, k := range []Key{"", "x", "2:A", "1:A 1:B", "0:A", "2:A 2:B 1:C", ":A"} {
+		if _, err := ParseKey(k); err == nil {
+			t.Errorf("ParseKey(%q): want error", k)
+		}
+	}
+}
+
+// randomPattern builds a random pattern with n nodes.
+func randomPattern(rng *rand.Rand, n int, labels []string) *Pattern {
+	nodes := make([]*Pattern, n)
+	for i := range nodes {
+		nodes[i] = &Pattern{Label: labels[rng.Intn(len(labels))]}
+		if i > 0 {
+			p := nodes[rng.Intn(i)]
+			p.Children = append(p.Children, nodes[i])
+		}
+	}
+	return nodes[0]
+}
+
+// shuffleChildren returns a deep copy with every child list randomly
+// permuted.
+func shuffleChildren(rng *rand.Rand, p *Pattern) *Pattern {
+	cp := &Pattern{Label: p.Label, Children: make([]*Pattern, len(p.Children))}
+	for i, c := range p.Children {
+		cp.Children[i] = shuffleChildren(rng, c)
+	}
+	rng.Shuffle(len(cp.Children), func(i, j int) {
+		cp.Children[i], cp.Children[j] = cp.Children[j], cp.Children[i]
+	})
+	return cp
+}
+
+func TestQuickCanonicalInvariantUnderPermutation(t *testing.T) {
+	labels := []string{"A", "B", "C"}
+	f := func(seed int64, szRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(szRaw%12) + 1
+		p := randomPattern(rng, n, labels)
+		k1 := p.Clone().Key()
+		k2 := shuffleChildren(rng, p).Key()
+		if k1 != k2 {
+			t.Logf("keys differ: %q vs %q", k1, k2)
+			return false
+		}
+		back, err := ParseKey(k1)
+		if err != nil {
+			t.Logf("parse: %v", err)
+			return false
+		}
+		return back.Key() == k1 && back.Size() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInducedPattern(t *testing.T) {
+	// (A (B (C c) (D d)) (E e)); indexes: A0 B1 C2 c3 D4 d5 E6 e7
+	tr := lingtree.MustParse(0, "(A (B (C c) (D d)) (E e))")
+	p, slots, err := InducedPattern(tr, []int{0, 1, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Key() != P("A", P("B"), P("E")).Key() {
+		t.Errorf("induced key %q", p.Key())
+	}
+	if slots[0] != 0 {
+		t.Errorf("root slot = %d", slots[0])
+	}
+	// Slot order must follow canonical pattern pre-order: B before E.
+	if !(slots[1] == 1 && slots[2] == 6) {
+		t.Errorf("slots = %v", slots)
+	}
+	// Disconnected set is rejected.
+	if _, _, err := InducedPattern(tr, []int{0, 2}); err == nil {
+		t.Error("want error for disconnected node set")
+	}
+	if _, _, err := InducedPattern(tr, nil); err == nil {
+		t.Error("want error for empty node set")
+	}
+}
+
+func TestInducedPatternSlotsFollowCanonicalOrder(t *testing.T) {
+	// Children of A: D (index 1) then B (index 3). Canonical order sorts
+	// B before D, so slots must be [A, B, D] = [0, 3, 1].
+	tr := lingtree.MustParse(0, "(A (D x) (B y))")
+	p, slots, err := InducedPattern(tr, []int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "A(B)(D)" {
+		t.Errorf("canonical pattern = %q", got)
+	}
+	want := []int{0, 3, 1}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slots = %v, want %v", slots, want)
+		}
+	}
+}

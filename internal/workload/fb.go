@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/lingtree"
+	"repro/internal/query"
+	"repro/internal/subtree"
+)
+
+// FBClass is a label-frequency class of the FB query set.
+type FBClass string
+
+// The seven classes of §6.1, in the paper's reporting order (Table 2).
+const (
+	L   FBClass = "L"
+	M   FBClass = "M"
+	ML  FBClass = "ML"
+	H   FBClass = "H"
+	HL  FBClass = "HL"
+	HM  FBClass = "HM"
+	HML FBClass = "HML"
+)
+
+// FBClasses lists all classes in the paper's order.
+var FBClasses = []FBClass{L, M, ML, H, HL, HM, HML}
+
+// categories returns the frequency categories a class permits.
+func (c FBClass) categories() map[byte]bool {
+	out := map[byte]bool{}
+	for i := 0; i < len(c); i++ {
+		out[c[i]] = true
+	}
+	return out
+}
+
+// FBQuerySize is the largest query size generated per class (the paper
+// uses sizes 1 to 10).
+const FBQuerySize = 10
+
+// LabelClassifier buckets labels into High/Medium/Low frequency from
+// corpus statistics.
+type LabelClassifier struct {
+	class map[string]byte
+}
+
+// NewLabelClassifier ranks labels of the training corpus by frequency:
+// the top band (covering the most frequent structural tags) is H, the
+// bottom half of the ranked vocabulary is L, the rest M. Labels never
+// seen are L.
+func NewLabelClassifier(trees []*lingtree.Tree) *LabelClassifier {
+	freq := map[string]int{}
+	for _, t := range trees {
+		for i := range t.Nodes {
+			freq[t.Nodes[i].Label]++
+		}
+	}
+	type lf struct {
+		l string
+		f int
+	}
+	ranked := make([]lf, 0, len(freq))
+	for l, f := range freq {
+		ranked = append(ranked, lf{l, f})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].f != ranked[j].f {
+			return ranked[i].f > ranked[j].f
+		}
+		return ranked[i].l < ranked[j].l
+	})
+	cls := make(map[string]byte, len(ranked))
+	hCut := len(ranked) / 50 // top 2% of the vocabulary: the frequent tags
+	if hCut < 8 {
+		hCut = 8
+	}
+	lCut := len(ranked) / 2
+	for i, e := range ranked {
+		switch {
+		case i < hCut:
+			cls[e.l] = 'H'
+		case i >= lCut:
+			cls[e.l] = 'L'
+		default:
+			cls[e.l] = 'M'
+		}
+	}
+	return &LabelClassifier{class: cls}
+}
+
+// Class returns the category byte ('H', 'M' or 'L') of a label.
+func (lc *LabelClassifier) Class(label string) byte {
+	if c, ok := lc.class[label]; ok {
+		return c
+	}
+	return 'L'
+}
+
+// FBQuerySet extracts, for each class, one query of each size 1..
+// FBQuerySize from the held-out trees (70 queries total with the
+// paper's 7 classes). Queries are connected subtrees whose labels all
+// belong to the class's categories and which realize as many distinct
+// categories of the class as their size allows. Generation is
+// deterministic in seed.
+func FBQuerySet(classifier *LabelClassifier, heldOut []*lingtree.Tree, seed uint64) map[FBClass][]*query.Query {
+	out := map[FBClass][]*query.Query{}
+	for _, cls := range FBClasses {
+		for size := 1; size <= FBQuerySize; size++ {
+			q := findQuery(classifier, heldOut, cls, size, seed)
+			if q != nil {
+				out[cls] = append(out[cls], q)
+			}
+		}
+	}
+	return out
+}
+
+// findQuery searches the held-out trees for a connected subtree of the
+// given size satisfying the class constraint. Frequency categories are
+// judged over *term nodes* (leaves of the source tree, i.e. words);
+// interior constituent tags are structural and carry no class — parse
+// trees have no connected all-rare-label subtrees of interesting sizes,
+// so the paper's L/M/H stratification only makes sense at the lexical
+// level, where Zipf skew lives.
+func findQuery(lc *LabelClassifier, trees []*lingtree.Tree, cls FBClass, size int, seed uint64) *query.Query {
+	allowed := cls.categories()
+	rng := splitmix(seed ^ uint64(size)*0x9e3779b97f4a7c15 ^ hashClass(cls))
+	const attempts = 6000
+	for a := 0; a < attempts; a++ {
+		t := trees[int(rng()%uint64(len(trees)))]
+		v := int(rng() % uint64(t.Size()))
+		nodes, ok := growSubtree(lc, t, v, size, allowed, rng)
+		if !ok {
+			continue
+		}
+		// The term categories present must be exactly the class's set
+		// (or a maximal subset when the subtree has fewer terms than
+		// the class has categories), and at least one term must exist
+		// so the class constraint is meaningful.
+		cats := map[byte]bool{}
+		terms := 0
+		for _, n := range nodes {
+			if t.Nodes[n].IsLeaf() {
+				terms++
+				cats[lc.Class(t.Nodes[n].Label)] = true
+			}
+		}
+		need := len(allowed)
+		if terms < need {
+			need = terms
+		}
+		if terms == 0 || len(cats) < need {
+			continue
+		}
+		pat, _, err := subtree.InducedPattern(t, nodes)
+		if err != nil {
+			continue
+		}
+		return query.FromPattern(pat)
+	}
+	return nil
+}
+
+// growSubtree grows a connected subtree of exactly size nodes starting
+// at v. Term nodes (source-tree leaves) must have labels in allowed
+// categories; interior tags are unconstrained.
+func growSubtree(lc *LabelClassifier, t *lingtree.Tree, v, size int, allowed map[byte]bool, rng func() uint64) ([]int, bool) {
+	admissible := func(u int) bool {
+		return !t.Nodes[u].IsLeaf() || allowed[lc.Class(t.Nodes[u].Label)]
+	}
+	if !admissible(v) {
+		return nil, false
+	}
+	nodes := []int{v}
+	in := map[int]bool{v: true}
+	var frontier []int
+	addFrontier := func(u int) {
+		for _, c := range t.Nodes[u].Children {
+			if !in[c] && admissible(c) {
+				frontier = append(frontier, c)
+			}
+		}
+	}
+	addFrontier(v)
+	for len(nodes) < size {
+		if len(frontier) == 0 {
+			return nil, false
+		}
+		i := int(rng() % uint64(len(frontier)))
+		u := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if in[u] {
+			continue
+		}
+		in[u] = true
+		nodes = append(nodes, u)
+		addFrontier(u)
+	}
+	sort.Ints(nodes)
+	return nodes, true
+}
+
+func hashClass(c FBClass) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(c); i++ {
+		h ^= uint64(c[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix returns a deterministic uint64 stream.
+func splitmix(seed uint64) func() uint64 {
+	s := seed
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/corpusgen"
+)
+
+func TestWHQuerySetShape(t *testing.T) {
+	set := WHQuerySet()
+	if len(set) != 4 {
+		t.Fatalf("groups = %d", len(set))
+	}
+	total := 0
+	for _, g := range WHGroups {
+		qs := set[g]
+		if len(qs) != 12 {
+			t.Errorf("group %s has %d queries, want 12", g, len(qs))
+		}
+		total += len(qs)
+		for i, q := range qs {
+			if q.Size() < 4 {
+				t.Errorf("group %s query %d suspiciously small: %s", g, i, q)
+			}
+			if q.HasDescendantAxis() {
+				t.Errorf("group %s query %d uses //: WH queries are parsed structures", g, i)
+			}
+			// Structure-only: every label must be an uppercase-ish tag,
+			// not a lexical term (terms were striped per §6.1).
+			for _, n := range q.Nodes {
+				if n.Label[0] >= 'a' && n.Label[0] <= 'z' {
+					t.Errorf("group %s query %d has lexical leaf %q", g, i, n.Label)
+				}
+			}
+		}
+	}
+	if total != 48 {
+		t.Errorf("total WH queries = %d, want 48", total)
+	}
+}
+
+func TestLabelClassifier(t *testing.T) {
+	trees := corpusgen.New(42).Trees(300)
+	lc := NewLabelClassifier(trees)
+	// Core structural tags must be High frequency.
+	for _, tag := range []string{"NP", "VP", "S", "ROOT", "DT"} {
+		if got := lc.Class(tag); got != 'H' {
+			t.Errorf("Class(%s) = %c, want H", tag, got)
+		}
+	}
+	// Unknown labels are Low.
+	if lc.Class("never-seen-label-xyz") != 'L' {
+		t.Error("unknown label should be L")
+	}
+	// There must be all three bands.
+	bands := map[byte]int{}
+	for l := range lc.class {
+		bands[lc.Class(l)]++
+	}
+	if bands['H'] == 0 || bands['M'] == 0 || bands['L'] == 0 {
+		t.Errorf("bands = %v", bands)
+	}
+	if bands['L'] < bands['H'] {
+		t.Errorf("L should dominate the vocabulary: %v", bands)
+	}
+}
+
+func TestFBQuerySet(t *testing.T) {
+	g := corpusgen.New(42)
+	trees := g.Trees(300)
+	held := corpusgen.New(43).Trees(100)
+	lc := NewLabelClassifier(trees)
+	set := FBQuerySet(lc, held, 7)
+	total := 0
+	for _, cls := range FBClasses {
+		qs := set[cls]
+		total += len(qs)
+		if len(qs) < 7 {
+			t.Errorf("class %s has only %d queries", cls, len(qs))
+		}
+		allowed := cls.categories()
+		for _, q := range qs {
+			// Frequency classes constrain term nodes (words); query
+			// nodes that are clearly lexical (lowercase or generated
+			// word forms with digits) must be in the class categories.
+			for _, n := range q.Nodes {
+				c := n.Label[0]
+				isWord := (c >= 'a' && c <= 'z') || hasDigit(n.Label)
+				if isWord && !allowed[lc.Class(n.Label)] {
+					t.Errorf("class %s query %s contains %c-word %q",
+						cls, q, lc.Class(n.Label), n.Label)
+				}
+			}
+		}
+		// Sizes must be increasing (one query per size).
+		for i := 1; i < len(qs); i++ {
+			if qs[i].Size() <= qs[i-1].Size() {
+				t.Errorf("class %s sizes not increasing: %d then %d",
+					cls, qs[i-1].Size(), qs[i].Size())
+			}
+		}
+	}
+	// The paper's FB set has 70 queries; small deficits are allowed
+	// when a large rare-label subtree does not exist in the held-out
+	// sample, but the bulk must be there.
+	if total < 60 {
+		t.Errorf("FB set has %d queries, want close to 70", total)
+	}
+	// Determinism.
+	set2 := FBQuerySet(lc, held, 7)
+	for _, cls := range FBClasses {
+		if len(set[cls]) != len(set2[cls]) {
+			t.Fatalf("class %s not deterministic", cls)
+		}
+		for i := range set[cls] {
+			if set[cls][i].String() != set2[cls][i].String() {
+				t.Errorf("class %s query %d differs across runs", cls, i)
+			}
+		}
+	}
+}
+
+func hasDigit(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			return true
+		}
+	}
+	return false
+}

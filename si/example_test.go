@@ -1,0 +1,107 @@
+package si_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/si"
+)
+
+// Example demonstrates the build-open-search cycle on a tiny corpus.
+func Example() {
+	dir := filepath.Join(os.TempDir(), "si-example")
+	defer os.RemoveAll(dir)
+
+	corpus := []string{
+		"(ROOT (S (NP (DT The) (NNS agoutis)) (VP (VBZ are) (NP (NNS rodents)))))",
+		"(ROOT (S (NP (DT A) (NN dog)) (VP (VBD barked))))",
+		"(ROOT (S (NP (NNS Cats)) (VP (VBP sleep))))",
+	}
+	var trees []*si.Tree
+	for i, src := range corpus {
+		t, err := si.ParseTree(i, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trees = append(trees, t)
+	}
+	if _, err := si.Build(dir, trees, si.DefaultBuildOptions()); err != nil {
+		log.Fatal(err)
+	}
+	ix, err := si.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	n, err := ix.Count("NP(DT)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("NP with determiner:", n)
+
+	n, err = ix.Count("S(//NNS)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("clauses containing a plural noun:", n)
+	// Output:
+	// NP with determiner: 2
+	// clauses containing a plural noun: 2
+}
+
+// ExampleIndex_Search shows match structure: tree id plus the matched
+// node, which can be resolved back to the parse.
+func ExampleIndex_Search() {
+	dir := filepath.Join(os.TempDir(), "si-example-search")
+	defer os.RemoveAll(dir)
+
+	t, err := si.ParseTree(0, "(S (NP (NNS agoutis)) (VP (VBZ are) (NP (NNS rodents))))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := si.Build(dir, []*si.Tree{t}, si.BuildOptions{MSS: 2, Coding: si.RootSplit}); err != nil {
+		log.Fatal(err)
+	}
+	ix, err := si.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	matches, err := ix.Search("NP(NNS)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range matches {
+		tree, err := ix.Tree(int(m.TID))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tree %d node %d label %s\n", m.TID, m.Root, tree.Nodes[m.Root].Label)
+	}
+	// Output:
+	// tree 0 node 1 label NP
+	// tree 0 node 7 label NP
+}
+
+// ExampleParseQuery shows the accepted query syntax.
+func ExampleParseQuery() {
+	for _, src := range []string{
+		"NP(DT)(NN)",
+		"S(NP)(//PP(IN(of)))",
+		"A/B//C",
+	} {
+		q, err := si.ParseQuery(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s has %d nodes, descendant axis: %v\n", q, q.Size(), q.HasDescendantAxis())
+	}
+	// Output:
+	// NP(DT)(NN) has 3 nodes, descendant axis: false
+	// S(NP)(//PP(IN(of))) has 5 nodes, descendant axis: true
+	// A(B(//C)) has 3 nodes, descendant axis: true
+}

@@ -1,0 +1,229 @@
+// Package si is the public API of the Subtree Index library — an
+// implementation of "Efficient Indexing and Querying over Syntactically
+// Annotated Trees" (Chubak & Rafiei, PVLDB 5(11), 2012).
+//
+// The library indexes corpora of constituency parse trees by their
+// unique subtrees of sizes 1..MSS and answers tree-structured queries
+// with parent-child (/) and ancestor-descendant (//) axes by
+// decomposing them into covers and joining posting lists; with the
+// default root-split coding no post-validation is needed.
+//
+// Quick start:
+//
+//	trees := si.GenerateCorpus(42, 10000) // or si.ReadTrees(file)
+//	info, err := si.Build("idx", trees, si.BuildOptions{MSS: 3})
+//	ix, err := si.Open("idx")
+//	defer ix.Close()
+//	matches, err := ix.Search("VP(VBZ(is))(NP(DT(a))(NN))")
+//
+// See the examples directory for runnable programs.
+package si
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/corpusgen"
+	"repro/internal/lingtree"
+	"repro/internal/postings"
+	"repro/internal/query"
+	"repro/internal/subtree"
+)
+
+// Tree is a syntactically annotated tree: a constituency parse with
+// pre/post/level interval numbering. Construct trees with ParseTree,
+// ReadTrees or GenerateCorpus.
+type Tree = lingtree.Tree
+
+// Query is a parsed tree query; see ParseQuery for the syntax.
+type Query = query.Query
+
+// Match is one query result: the tree identifier and the pre-order
+// rank of the node the query root matched.
+type Match = core.Match
+
+// Key is a flattened canonical subtree, the index key unit.
+type Key = subtree.Key
+
+// Coding selects the posting-list scheme of an index.
+type Coding = postings.Coding
+
+// The three coding schemes of the paper. RootSplit is the recommended
+// default: it stores only each subtree root's structural numbers,
+// which makes the index several times smaller than SubtreeInterval and
+// queries faster than both alternatives for MSS >= 2.
+const (
+	FilterBased     = postings.FilterBased
+	RootSplit       = postings.RootSplit
+	SubtreeInterval = postings.SubtreeInterval
+)
+
+// BuildOptions configure index construction.
+type BuildOptions struct {
+	// MSS is the maximum indexed subtree size, 1..6. Larger values
+	// speed up large queries at the cost of index size; the paper
+	// recommends 3..5. Zero defaults to 3.
+	MSS int
+	// Coding selects the posting scheme; the zero value is FilterBased,
+	// so set RootSplit explicitly or use DefaultBuildOptions.
+	Coding Coding
+	// PageSize is the B+Tree page size in bytes (0 = 4096).
+	PageSize int
+}
+
+// DefaultBuildOptions returns the recommended configuration:
+// root-split coding with MSS 3.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{MSS: 3, Coding: RootSplit}
+}
+
+// BuildInfo reports what a build produced.
+type BuildInfo struct {
+	Keys       int   // unique subtrees indexed
+	Postings   int   // total posting records
+	IndexBytes int64 // B+Tree file size
+	DataBytes  int64 // flattened corpus (data file) size
+}
+
+// Build constructs a Subtree Index over trees in directory dir,
+// overwriting any previous index there. The corpus itself is stored
+// alongside the index (the "data file"), so dir is self-contained.
+func Build(dir string, trees []*Tree, opts BuildOptions) (BuildInfo, error) {
+	if opts.MSS == 0 {
+		opts.MSS = 3
+	}
+	meta, err := core.Build(dir, trees, core.Options{
+		MSS:      opts.MSS,
+		Coding:   opts.Coding,
+		PageSize: opts.PageSize,
+	})
+	if err != nil {
+		return BuildInfo{}, err
+	}
+	return BuildInfo{
+		Keys:       meta.Keys,
+		Postings:   meta.Postings,
+		IndexBytes: meta.IndexBytes,
+		DataBytes:  meta.DataBytes,
+	}, nil
+}
+
+// Index is an opened Subtree Index.
+type Index struct {
+	ix *core.Index
+}
+
+// Open opens the index stored in dir.
+func Open(dir string) (*Index, error) {
+	ix, err := core.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// Close releases the index files.
+func (i *Index) Close() error { return i.ix.Close() }
+
+// MSS returns the index's maximum subtree size.
+func (i *Index) MSS() int { return i.ix.Meta().MSS }
+
+// Coding returns the index's posting scheme.
+func (i *Index) Coding() Coding { return i.ix.Meta().Coding }
+
+// NumTrees returns the number of indexed trees.
+func (i *Index) NumTrees() int { return i.ix.Meta().NumTrees }
+
+// Info returns the build statistics of the index.
+func (i *Index) Info() BuildInfo {
+	m := i.ix.Meta()
+	return BuildInfo{Keys: m.Keys, Postings: m.Postings, IndexBytes: m.IndexBytes, DataBytes: m.DataBytes}
+}
+
+// Query evaluates a parsed query and returns matches sorted by
+// (tree, root).
+func (i *Index) Query(q *Query) ([]Match, error) { return i.ix.Query(q) }
+
+// Search parses and evaluates a query in one call.
+func (i *Index) Search(querySrc string) ([]Match, error) {
+	q, err := ParseQuery(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	return i.ix.Query(q)
+}
+
+// Count returns only the number of matches of a query.
+func (i *Index) Count(querySrc string) (int, error) {
+	ms, err := i.Search(querySrc)
+	return len(ms), err
+}
+
+// Tree fetches an indexed tree by identifier (e.g. to display a match).
+func (i *Index) Tree(tid int) (*Tree, error) { return i.ix.Store().Tree(tid) }
+
+// Keys iterates index keys in order starting at start ("" = first),
+// with each key's posting count, until fn returns false. Combined with
+// subtree statistics this supports mining frequent grammatical
+// constructions (see examples/grammarmine).
+func (i *Index) Keys(start Key, fn func(k Key, postings int) bool) error {
+	return i.ix.Keys(start, fn)
+}
+
+// KeyCount returns the posting count of one key (0 when absent).
+func (i *Index) KeyCount(k Key) (int, error) { return i.ix.LookupKey(k) }
+
+// ParseQuery parses the textual query syntax: bracketed structure with
+// optional // markers for ancestor-descendant edges, e.g.
+//
+//	NP(DT)(NN)             NP with children DT and NN
+//	VP(VBZ(is))            VP -> VBZ -> word "is"
+//	S(//NN(rodent))        S with a descendant NN over "rodent"
+//	A/B//C                 path shorthand
+func ParseQuery(src string) (*Query, error) { return query.Parse(src) }
+
+// ParseTree parses one tree in Penn bracketed form, e.g.
+// "(S (NP (NNS agouti)) (VP (VBZ is)))". The assigned identifier is tid.
+func ParseTree(tid int, src string) (*Tree, error) {
+	return lingtree.ParseBracketed(tid, src)
+}
+
+// ReadTrees reads a whole corpus, one bracketed tree per line; blank
+// lines and '#' comments are skipped. Identifiers are assigned 0..n-1.
+func ReadTrees(r io.Reader) ([]*Tree, error) {
+	var out []*Tree
+	rd := lingtree.NewReader(r, 0)
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// WriteTree writes one tree in bracketed form followed by a newline.
+func WriteTree(w io.Writer, t *Tree) error { return lingtree.WriteBracketed(w, t) }
+
+// GenerateCorpus deterministically generates n synthetic news-like
+// parse trees (see internal/corpusgen for the grammar). Two calls with
+// the same seed yield identical corpora, and a corpus of size n is a
+// prefix of any larger corpus with the same seed.
+func GenerateCorpus(seed uint64, n int) []*Tree {
+	return corpusgen.New(seed).Trees(n)
+}
+
+// KeyOf returns the canonical index key of a child-axis-only query —
+// useful with KeyCount for selectivity probing. It errors on queries
+// with // edges.
+func KeyOf(q *Query) (Key, error) {
+	if q.HasDescendantAxis() {
+		return "", fmt.Errorf("si: KeyOf requires a //-free query")
+	}
+	p, _ := q.Pattern(0)
+	return p.Key(), nil
+}
