@@ -115,6 +115,86 @@ func BenchmarkTable3JoinCounts(b *testing.B) {
 	b.ReportMetric(v, "joins-mss2-rootsplit")
 }
 
+// --- sharding benches -------------------------------------------------
+
+// BenchmarkShardedBuild times building the generated 10k-tree corpus as
+// a single directory vs. 4 concurrently built shards. On a multi-core
+// machine the sharded build wins roughly linearly in cores; results are
+// asserted identical across shard counts (Count parity) so the timing
+// comparison cannot drift from correctness.
+func BenchmarkShardedBuild(b *testing.B) {
+	trees := si.GenerateCorpus(2012, 10000)
+	queries := []string{"NP(DT)(NN)", "S(NP)(VP)", "S(//NN)"}
+	want := map[string]int{} // filled by the first sub-benchmark to run
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			opts := si.DefaultBuildOptions()
+			opts.Shards = shards
+			var dir string
+			for i := 0; i < b.N; i++ {
+				dir = filepath.Join(b.TempDir(), "ix")
+				if _, err := si.Build(dir, trees, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ix, err := si.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			if ix.Shards() != shards {
+				b.Fatalf("Shards() = %d, want %d", ix.Shards(), shards)
+			}
+			for _, q := range queries {
+				n, err := ix.Count(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if prev, ok := want[q]; !ok {
+					want[q] = n
+				} else if n != prev {
+					b.Fatalf("shards=%d %s: Count = %d, want %d", shards, q, n, prev)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedQuery measures query latency through the 4-shard
+// fan-out, uncached (the paper's §6.1 setup) and with a per-shard LRU
+// page cache.
+func BenchmarkShardedQuery(b *testing.B) {
+	trees := si.GenerateCorpus(2012, 4000)
+	dir := filepath.Join(b.TempDir(), "ix")
+	opts := si.DefaultBuildOptions()
+	opts.Shards = 4
+	if _, err := si.Build(dir, trees, opts); err != nil {
+		b.Fatal(err)
+	}
+	qs := []string{"NP(DT)(NN)", "VP(VBZ)(NP)", "S(//NN)"}
+	for _, cache := range []struct {
+		name  string
+		bytes int64
+	}{{"uncached", 0}, {"cache1MiB", 1 << 20}} {
+		b.Run(cache.name, func(b *testing.B) {
+			ix, err := si.OpenWith(dir, si.OpenOptions{CacheSize: cache.bytes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, err := ix.Search(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // --- ablation benches -------------------------------------------------
 
 // BenchmarkAblationRootDedup quantifies §6.2.1's posting deduplication:

@@ -99,7 +99,22 @@ func TestToolPipeline(t *testing.T) {
 		t.Errorf("file-built and gen-built indexes disagree: %d vs %d", c1, c2)
 	}
 
-	// 5. siexp runs the cheap decomposition experiment.
+	// 5. A sharded build answers identically, queried through a cache.
+	idx3 := filepath.Join(work, "idx3")
+	out = run(t, sibuild, "-gen", "300", "-seed", "7", "-out", idx3,
+		"-mss", "3", "-coding", "root-split", "-shards", "3", "-workers", "2")
+	if !strings.Contains(out, "3 shards") {
+		t.Errorf("sibuild sharded output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(idx3, "shard-0002", "subtree.idx")); err != nil {
+		t.Errorf("shard directory missing: %v", err)
+	}
+	c3 := matchCount(t, run(t, siquery, "-index", idx3, "-cache", "1048576", "NP(DT)(NN)"))
+	if c3 != c1 {
+		t.Errorf("sharded index disagrees: %d vs %d", c3, c1)
+	}
+
+	// 6. siexp runs the cheap decomposition experiment.
 	out = run(t, siexp, "-exp", "tab3")
 	if !strings.Contains(out, "tab3") || !strings.Contains(out, "who") {
 		t.Errorf("siexp output: %s", out)

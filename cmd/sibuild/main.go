@@ -5,7 +5,9 @@
 //	sibuild -corpus corpus.mrg -out idxdir -mss 3 -coding root-split
 //
 // With -gen N the corpus is generated in-process instead of read from
-// a file, which makes end-to-end experiments one command.
+// a file, which makes end-to-end experiments one command. -shards N
+// partitions the corpus by tid into N index shards built concurrently;
+// -workers W parallelises subtree extraction within each shard.
 package main
 
 import (
@@ -24,6 +26,8 @@ func main() {
 	out := flag.String("out", "si-index", "output index directory")
 	mss := flag.Int("mss", 3, "maximum subtree size (1..6)")
 	codingName := flag.String("coding", "root-split", "posting coding: filter-based | root-split | subtree-interval")
+	shards := flag.Int("shards", 1, "partition the index into N shards built concurrently")
+	workers := flag.Int("workers", 1, "subtree-extraction goroutines per shard")
 	flag.Parse()
 
 	coding, err := postings.ParseCoding(*codingName)
@@ -48,12 +52,17 @@ func main() {
 		fatal(fmt.Errorf("need -corpus FILE or -gen N"))
 	}
 
-	info, err := si.Build(*out, trees, si.BuildOptions{MSS: *mss, Coding: coding})
+	info, err := si.Build(*out, trees, si.BuildOptions{
+		MSS:     *mss,
+		Coding:  coding,
+		Shards:  *shards,
+		Workers: *workers,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("built %s: %d trees, %d keys, %d postings, index %d bytes, data %d bytes\n",
-		*out, len(trees), info.Keys, info.Postings, info.IndexBytes, info.DataBytes)
+	fmt.Printf("built %s: %d trees, %d shards, %d keys, %d postings, index %d bytes, data %d bytes\n",
+		*out, len(trees), info.Shards, info.Keys, info.Postings, info.IndexBytes, info.DataBytes)
 }
 
 func fatal(err error) {

@@ -21,12 +21,13 @@ import (
 func main() {
 	dir := flag.String("index", "si-index", "index directory")
 	show := flag.Int("show", 0, "print up to N matching trees per query")
+	cache := flag.Int64("cache", 0, "LRU page cache bytes per index file (0 = uncached, the paper's setup)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: siquery -index DIR QUERY...")
 		os.Exit(2)
 	}
-	ix, err := si.Open(*dir)
+	ix, err := si.OpenWith(*dir, si.OpenOptions{CacheSize: *cache})
 	if err != nil {
 		fatal(err)
 	}

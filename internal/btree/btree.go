@@ -2,9 +2,15 @@
 // Index is stored in (paper §6.1): variable-length keys mapping to
 // posting-list blobs, values larger than a page spilling into overflow
 // chains, and leaves chained for range scans. Indexes are built once by
-// a bulk loader from a sorted key stream and then opened read-only; no
-// user-level page cache is layered over the pager (the paper relies on
-// OS page buffering, and so do we).
+// a bulk loader from a sorted key stream and then opened read-only; by
+// default no user-level page cache is layered over the pager (the paper
+// relies on OS page buffering, and so do we), while OpenCached opts a
+// tree into the pager's sharded LRU page cache for serving workloads.
+//
+// An opened Tree is safe for concurrent use: Get and Iterator keep all
+// mutable state (page buffers, cursors) per call or per Iterator, and
+// the shared pager's read path is itself thread-safe, so any number of
+// goroutines may search and scan one Tree at once.
 package btree
 
 import (
@@ -74,12 +80,27 @@ type Tree struct {
 	keys   uint64
 }
 
-// Open opens the B+Tree stored in the page file at path.
+// Open opens the B+Tree stored in the page file at path with no
+// user-level page cache.
 func Open(path string) (*Tree, error) {
 	pf, err := pager.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	return fromPager(pf)
+}
+
+// OpenCached opens the B+Tree with a pager page cache of roughly
+// cacheBytes; 0 or less is equivalent to Open.
+func OpenCached(path string, cacheBytes int64) (*Tree, error) {
+	pf, err := pager.OpenCached(path, cacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	return fromPager(pf)
+}
+
+func fromPager(pf *pager.File) (*Tree, error) {
 	buf := make([]byte, pf.PageSize())
 	if err := pf.Read(1, buf); err != nil {
 		pf.Close()
@@ -100,6 +121,10 @@ func Open(path string) (*Tree, error) {
 
 // Close releases the underlying file.
 func (t *Tree) Close() error { return t.pf.Close() }
+
+// CacheStats reports the pager's page-cache counters (zero when the
+// tree was opened without a cache).
+func (t *Tree) CacheStats() pager.CacheStats { return t.pf.CacheStats() }
 
 // Stats returns size statistics for the tree.
 func (t *Tree) Stats() Stats {

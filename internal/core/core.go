@@ -9,7 +9,6 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,6 +27,16 @@ import (
 const (
 	indexFileName = "subtree.idx"
 	metaFileName  = "meta.json"
+)
+
+// meta.json format versions. Version 1 is a single-directory index;
+// version 2 is a sharded root whose meta aggregates per-shard metas and
+// whose Shards field names the partition count. Indexes written before
+// versioning carry 0 and are read as version 1.
+const (
+	FormatSingle         = 1
+	FormatSharded        = 2
+	CurrentFormatVersion = FormatSharded
 )
 
 // Options configure index construction.
@@ -62,6 +71,14 @@ func (o *Options) normalize() error {
 // index file and is the source of the index-size and posting-count
 // experiments (Figures 8–10).
 type Meta struct {
+	// FormatVersion is the meta.json schema version (see FormatSingle,
+	// FormatSharded); 0 in pre-versioning indexes means FormatSingle.
+	FormatVersion int `json:"format_version,omitempty"`
+	// Shards is the partition count of a sharded root (0 for a plain
+	// single-directory index). In a sharded root the statistics below
+	// aggregate over all shards; Keys is a sum of per-shard unique key
+	// counts, i.e. an upper bound on corpus-wide unique subtrees.
+	Shards       int             `json:"shards,omitempty"`
 	MSS          int             `json:"mss"`
 	Coding       postings.Coding `json:"coding"`
 	NumTrees     int             `json:"num_trees"`
@@ -205,22 +222,19 @@ func Build(dir string, trees []*lingtree.Tree, opt Options) (*Meta, error) {
 	store.Close()
 
 	meta := &Meta{
-		MSS:          opt.MSS,
-		Coding:       opt.Coding,
-		NumTrees:     len(trees),
-		Keys:         len(keys),
-		Postings:     totalPostings,
-		IndexBytes:   st.Size(),
-		DataBytes:    dataBytes,
-		BuildNanos:   time.Since(start).Nanoseconds(),
-		ExtractNanos: extractNanos,
-		LoadNanos:    loadNanos,
+		FormatVersion: FormatSingle,
+		MSS:           opt.MSS,
+		Coding:        opt.Coding,
+		NumTrees:      len(trees),
+		Keys:          len(keys),
+		Postings:      totalPostings,
+		IndexBytes:    st.Size(),
+		DataBytes:     dataBytes,
+		BuildNanos:    time.Since(start).Nanoseconds(),
+		ExtractNanos:  extractNanos,
+		LoadNanos:     loadNanos,
 	}
-	mb, err := json.MarshalIndent(meta, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	if err := os.WriteFile(filepath.Join(dir, metaFileName), mb, 0o644); err != nil {
+	if err := writeMeta(dir, meta); err != nil {
 		return nil, err
 	}
 	return meta, nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/cover"
 	"repro/internal/join"
+	"repro/internal/lingtree"
 	"repro/internal/match"
 	"repro/internal/postings"
 	"repro/internal/query"
@@ -30,17 +31,48 @@ type Index struct {
 // pairs.
 type Match = join.Match
 
-// Open opens the index stored in dir.
-func Open(dir string) (*Index, error) {
+// OpenOptions configure how an index is opened.
+type OpenOptions struct {
+	// CacheSize is the byte budget of an in-process LRU page cache over
+	// the index file (per shard when sharded). The zero value disables
+	// the cache, preserving the paper's §6.1 no-user-cache setup.
+	CacheSize int64
+}
+
+// readMeta loads and validates the meta.json of an index directory.
+func readMeta(dir string) (Meta, error) {
 	mb, err := os.ReadFile(filepath.Join(dir, metaFileName))
 	if err != nil {
-		return nil, err
+		return Meta{}, err
 	}
 	var meta Meta
 	if err := json.Unmarshal(mb, &meta); err != nil {
-		return nil, fmt.Errorf("core: corrupt meta in %s: %w", dir, err)
+		return Meta{}, fmt.Errorf("core: corrupt meta in %s: %w", dir, err)
 	}
-	tr, err := btree.Open(filepath.Join(dir, indexFileName))
+	if meta.FormatVersion == 0 {
+		meta.FormatVersion = FormatSingle // pre-versioning index
+	}
+	if meta.FormatVersion > CurrentFormatVersion {
+		return Meta{}, fmt.Errorf("core: index %s has format version %d, newer than supported %d",
+			dir, meta.FormatVersion, CurrentFormatVersion)
+	}
+	return meta, nil
+}
+
+// Open opens the single-directory index stored in dir without a page
+// cache. For an index that may be sharded, use OpenAny.
+func Open(dir string) (*Index, error) { return OpenWith(dir, OpenOptions{}) }
+
+// OpenWith opens the single-directory index stored in dir.
+func OpenWith(dir string, opts OpenOptions) (*Index, error) {
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Shards > 0 {
+		return nil, fmt.Errorf("core: %s is a sharded index root (%d shards); use OpenSharded or OpenAny", dir, meta.Shards)
+	}
+	tr, err := btree.OpenCached(filepath.Join(dir, indexFileName), opts.CacheSize)
 	if err != nil {
 		return nil, err
 	}
@@ -442,3 +474,51 @@ func (ix *Index) Keys(start subtree.Key, fn func(k subtree.Key, count int) bool)
 // Store exposes the underlying data file (read-only), for tools and
 // baselines that need raw trees.
 func (ix *Index) Store() *treebank.Store { return ix.store }
+
+// Tree fetches indexed tree tid from the data file.
+func (ix *Index) Tree(tid int) (*lingtree.Tree, error) { return ix.store.Tree(tid) }
+
+// NumShards reports the partition count: always 1 for a single index.
+func (ix *Index) NumShards() int { return 1 }
+
+// KeyIter is a pull-style cursor over (key, posting count) pairs in
+// ascending key order; the sharded merge drives one per shard.
+type KeyIter struct {
+	it    *btree.Iterator
+	key   subtree.Key
+	count int
+	err   error
+}
+
+// KeyIter returns a cursor positioned before the first key >= start
+// ("" = first key overall). Call Next to advance.
+func (ix *Index) KeyIter(start subtree.Key) *KeyIter {
+	return &KeyIter{it: ix.tree.Iterator([]byte(start))}
+}
+
+// Next advances to the next key, returning false at the end or on error.
+func (k *KeyIter) Next() bool {
+	if k.err != nil || !k.it.Next() {
+		if k.err == nil {
+			k.err = k.it.Err()
+		}
+		return false
+	}
+	count, n := binary.Uvarint(k.it.Value())
+	if n <= 0 {
+		k.err = fmt.Errorf("core: corrupt posting count for %q", k.it.Key())
+		return false
+	}
+	k.key = subtree.Key(k.it.Key())
+	k.count = int(count)
+	return true
+}
+
+// Key returns the current key; valid after a true Next.
+func (k *KeyIter) Key() subtree.Key { return k.key }
+
+// Count returns the current key's posting count.
+func (k *KeyIter) Count() int { return k.count }
+
+// Err reports any error encountered while iterating.
+func (k *KeyIter) Err() error { return k.err }

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/lingtree"
+	"repro/internal/query"
+	"repro/internal/subtree"
+	"repro/internal/treebank"
+)
+
+// This file implements the sharding layer over the single-directory
+// Subtree Index: a sharded build partitions the corpus by tid into N
+// contiguous ranges, builds one independent index directory per range
+// concurrently, and a sharded open fans queries out across the shards
+// and merges their tid-sorted results. Because shard s holds the tids
+// [offset_s, offset_{s+1}), per-shard results only need their shard's
+// base added and concatenated in shard order to be globally sorted —
+// the same partition-then-merge shape zoekt uses for trigram search.
+
+// MaxShards bounds the shard count of one index.
+const MaxShards = 256
+
+// shardDirName returns the directory name of shard s under the root.
+func shardDirName(s int) string { return fmt.Sprintf("shard-%04d", s) }
+
+// shardBounds splits n trees into shards contiguous ranges differing in
+// size by at most one; bounds has shards+1 entries.
+func shardBounds(n, shards int) []int {
+	bounds := make([]int, shards+1)
+	base, rem := n/shards, n%shards
+	for s := 0; s < shards; s++ {
+		bounds[s+1] = bounds[s] + base
+		if s < rem {
+			bounds[s+1]++
+		}
+	}
+	return bounds
+}
+
+// BuildSharded constructs a sharded SI over trees under dir: shards
+// independent single-directory indexes in shard-NNNN/ subdirectories,
+// built concurrently, plus a version-2 meta.json at the root that
+// aggregates their statistics. shards == 1 degenerates to Build. Each
+// shard stores its trees under local tids starting at 0; the global tid
+// is recovered at query time from the shard's base offset.
+func BuildSharded(dir string, trees []*lingtree.Tree, opt Options, shards int) (*Meta, error) {
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("core: shard count %d out of range [1, %d]", shards, MaxShards)
+	}
+	// Validate options before touching the directory, so a rejected call
+	// never destroys an existing index there.
+	if err := opt.normalize(); err != nil {
+		return nil, err
+	}
+	if shards > len(trees) {
+		shards = len(trees)
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	if shards == 1 {
+		// A previous build here may have been sharded; drop its shard
+		// directories so the single-directory index fully replaces it.
+		if err := removeStaleShards(dir, 0); err != nil {
+			return nil, err
+		}
+		return Build(dir, trees, opt)
+	}
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := removeStaleShards(dir, shards); err != nil {
+		return nil, err
+	}
+	if err := removeStaleSingle(dir); err != nil {
+		return nil, err
+	}
+
+	bounds := shardBounds(len(trees), shards)
+	metas := make([]*Meta, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo, hi := bounds[s], bounds[s+1]
+			// Re-tid the slice to local ids 0..hi-lo-1. Node storage is
+			// shared (read-only during extraction); only the TID field
+			// differs, so a shallow copy suffices.
+			local := make([]*lingtree.Tree, hi-lo)
+			for i := lo; i < hi; i++ {
+				ct := *trees[i]
+				ct.TID = i - lo
+				local[i-lo] = &ct
+			}
+			metas[s], errs[s] = Build(filepath.Join(dir, shardDirName(s)), local, opt)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	meta := &Meta{
+		FormatVersion: FormatSharded,
+		Shards:        shards,
+		MSS:           opt.MSS,
+		Coding:        opt.Coding,
+		BuildNanos:    time.Since(start).Nanoseconds(),
+	}
+	for _, m := range metas {
+		meta.NumTrees += m.NumTrees
+		meta.Keys += m.Keys
+		meta.Postings += m.Postings
+		meta.IndexBytes += m.IndexBytes
+		meta.DataBytes += m.DataBytes
+		meta.ExtractNanos += m.ExtractNanos
+		meta.LoadNanos += m.LoadNanos
+	}
+	if err := writeMeta(dir, meta); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+// removeStaleShards deletes shard directories at or beyond the new
+// count, so reopening never sees leftovers of a wider previous build.
+func removeStaleShards(dir string, shards int) error {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		var s int
+		if _, err := fmt.Sscanf(e.Name(), "shard-%04d", &s); err != nil {
+			continue
+		}
+		if s >= shards {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// removeStaleSingle deletes root-level single-index files, so a
+// sharded rebuild over a previously unsharded directory leaves no
+// stale index or data file behind.
+func removeStaleSingle(dir string) error {
+	for _, name := range []string{indexFileName, treebank.DataFileName, treebank.IndexFileName} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sharded is an opened sharded index. All read methods are safe for
+// concurrent use: queries fan out across shards with one goroutine per
+// shard, and the per-shard indexes are themselves concurrency-safe.
+type Sharded struct {
+	dir     string
+	meta    Meta
+	shards  []*Index
+	offsets []uint32 // offsets[s] = first global tid of shard s; len = shards+1
+}
+
+// OpenSharded opens the sharded index rooted at dir. opts apply to
+// every shard (CacheSize is a per-shard budget).
+func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Shards < 1 {
+		return nil, fmt.Errorf("core: %s is not a sharded index root", dir)
+	}
+	s := &Sharded{dir: dir, meta: meta}
+	s.offsets = make([]uint32, 0, meta.Shards+1)
+	s.offsets = append(s.offsets, 0)
+	for i := 0; i < meta.Shards; i++ {
+		sh, err := OpenWith(filepath.Join(dir, shardDirName(i)), opts)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: opening shard %d of %s: %w", i, dir, err)
+		}
+		s.shards = append(s.shards, sh)
+		s.offsets = append(s.offsets, s.offsets[i]+uint32(sh.Meta().NumTrees))
+	}
+	if int(s.offsets[meta.Shards]) != meta.NumTrees {
+		s.Close()
+		return nil, fmt.Errorf("core: shards of %s hold %d trees, meta says %d",
+			dir, s.offsets[meta.Shards], meta.NumTrees)
+	}
+	return s, nil
+}
+
+// OpenAny opens dir as a sharded index when its meta declares shards
+// and as a single-directory index otherwise, behind the Handle
+// interface.
+func OpenAny(dir string, opts OpenOptions) (Handle, error) {
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Shards > 0 {
+		return OpenSharded(dir, opts)
+	}
+	return OpenWith(dir, opts)
+}
+
+// Handle is the read interface shared by single and sharded indexes;
+// the public si package works exclusively through it.
+type Handle interface {
+	Meta() Meta
+	Close() error
+	Query(q *query.Query) ([]Match, error)
+	QueryWithStats(q *query.Query) ([]Match, *QueryStats, error)
+	LookupKey(k subtree.Key) (int, error)
+	Keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error
+	Tree(tid int) (*lingtree.Tree, error)
+	NumShards() int
+}
+
+var (
+	_ Handle = (*Index)(nil)
+	_ Handle = (*Sharded)(nil)
+)
+
+// Meta returns the aggregated metadata of the sharded index.
+func (s *Sharded) Meta() Meta { return s.meta }
+
+// NumShards returns the partition count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes one partition (tools and tests).
+func (s *Sharded) Shard(i int) *Index { return s.shards[i] }
+
+// Close releases every shard, returning the first error.
+func (s *Sharded) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Query evaluates q across all shards and returns globally tid-sorted
+// matches.
+func (s *Sharded) Query(q *query.Query) ([]Match, error) {
+	ms, _, err := s.QueryWithStats(q)
+	return ms, err
+}
+
+// QueryWithStats fans q out with one goroutine per shard, rebases each
+// shard's local tids and concatenates in shard order — contiguous tid
+// partitioning makes that concatenation the sorted merge. Stats are
+// summed over shards.
+func (s *Sharded) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
+	type result struct {
+		ms  []Match
+		st  *QueryStats
+		err error
+	}
+	results := make([]result, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Index) {
+			defer wg.Done()
+			ms, st, err := sh.QueryWithStats(q)
+			results[i] = result{ms: ms, st: st, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	total := 0
+	for i := range results {
+		if results[i].err != nil {
+			return nil, nil, fmt.Errorf("core: shard %d: %w", i, results[i].err)
+		}
+		total += len(results[i].ms)
+	}
+	out := make([]Match, 0, total)
+	agg := &QueryStats{}
+	for i := range results {
+		base := s.offsets[i]
+		for _, m := range results[i].ms {
+			out = append(out, Match{TID: m.TID + base, Root: m.Root})
+		}
+		if st := results[i].st; st != nil {
+			// Pieces is a property of the query decomposition, identical
+			// in every shard — report it once, not shard-count times.
+			agg.Pieces = st.Pieces
+			agg.Joins += st.Joins
+			agg.PostingsFetched += st.PostingsFetched
+			agg.Candidates += st.Candidates
+			agg.Validated += st.Validated
+		}
+	}
+	return out, agg, nil
+}
+
+// LookupKey sums the key's posting count over all shards.
+func (s *Sharded) LookupKey(k subtree.Key) (int, error) {
+	counts := make([]int, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Index) {
+			defer wg.Done()
+			counts[i], errs[i] = sh.LookupKey(k)
+		}(i, sh)
+	}
+	wg.Wait()
+	total := 0
+	for i := range counts {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += counts[i]
+	}
+	return total, nil
+}
+
+// Keys iterates the union of all shards' keys in ascending order, with
+// per-key posting counts summed across shards (so the counts agree with
+// LookupKey), until fn returns false.
+func (s *Sharded) Keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error {
+	iters := make([]*KeyIter, 0, len(s.shards))
+	live := make([]bool, 0, len(s.shards))
+	for _, sh := range s.shards {
+		it := sh.KeyIter(start)
+		ok := it.Next()
+		if err := it.Err(); err != nil {
+			return err
+		}
+		iters = append(iters, it)
+		live = append(live, ok)
+	}
+	for {
+		// Pick the minimum current key among live cursors.
+		min := subtree.Key("")
+		found := false
+		for i, it := range iters {
+			if live[i] && (!found || it.Key() < min) {
+				min = it.Key()
+				found = true
+			}
+		}
+		if !found {
+			return nil
+		}
+		count := 0
+		for i, it := range iters {
+			if live[i] && it.Key() == min {
+				count += it.Count()
+				live[i] = it.Next()
+				if err := it.Err(); err != nil {
+					return err
+				}
+			}
+		}
+		if !fn(min, count) {
+			return nil
+		}
+	}
+}
+
+// Tree fetches the tree with global tid, routing to the owning shard.
+func (s *Sharded) Tree(tid int) (*lingtree.Tree, error) {
+	if tid < 0 || tid >= s.meta.NumTrees {
+		return nil, fmt.Errorf("core: tid %d out of range [0, %d)", tid, s.meta.NumTrees)
+	}
+	// offsets is ascending; find the shard whose range holds tid.
+	sh := sort.Search(len(s.shards), func(i int) bool {
+		return s.offsets[i+1] > uint32(tid)
+	})
+	t, err := s.shards[sh].Tree(tid - int(s.offsets[sh]))
+	if err != nil {
+		return nil, err
+	}
+	// The shard stores the tree under its local tid; report the global
+	// one to the caller.
+	ct := *t
+	ct.TID = tid
+	return &ct, nil
+}
+
+// Stores returns the per-shard tree stores in shard order, with the
+// first global tid of each shard — for tools that scan the raw corpus.
+func (s *Sharded) Stores() ([]*treebank.Store, []uint32) {
+	stores := make([]*treebank.Store, len(s.shards))
+	for i, sh := range s.shards {
+		stores[i] = sh.Store()
+	}
+	return stores, s.offsets[:len(s.shards)]
+}
+
+// writeMeta persists meta as dir/meta.json.
+func writeMeta(dir string, meta *Meta) error {
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, metaFileName), mb, 0o644)
+}

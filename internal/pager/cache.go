@@ -1,0 +1,117 @@
+package pager
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the number of independently locked cache partitions.
+// Pages hash to a partition by id, so concurrent readers touching
+// different pages rarely contend on the same mutex.
+const cacheShards = 8
+
+// CacheStats reports the cumulative behaviour of a page cache.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// pageCache is a sharded LRU cache of page images. All methods are safe
+// for concurrent use; each shard serialises access with its own mutex.
+type pageCache struct {
+	shards    [cacheShards]cacheShard
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recently used; Value is *cacheEntry
+	m   map[uint32]*list.Element
+}
+
+type cacheEntry struct {
+	id   uint32
+	data []byte
+}
+
+// newPageCache builds a cache holding up to totalPages pages spread over
+// the shards (at least one page per shard). A non-positive capacity
+// yields a nil cache, i.e. caching disabled.
+func newPageCache(totalPages int) *pageCache {
+	if totalPages <= 0 {
+		return nil
+	}
+	per := totalPages / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &pageCache{}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap: per,
+			lru: list.New(),
+			m:   make(map[uint32]*list.Element, per),
+		}
+	}
+	return c
+}
+
+// get copies page id into buf and promotes it, reporting whether it was
+// cached.
+func (c *pageCache) get(id uint32, buf []byte) bool {
+	s := &c.shards[id%cacheShards]
+	s.mu.Lock()
+	el, ok := s.m[id]
+	if ok {
+		copy(buf, el.Value.(*cacheEntry).data)
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ok
+}
+
+// put stores a copy of data as page id, evicting the least recently
+// used entry of the shard when full.
+func (c *pageCache) put(id uint32, data []byte) {
+	cp := append([]byte(nil), data...)
+	s := &c.shards[id%cacheShards]
+	s.mu.Lock()
+	if el, ok := s.m[id]; ok {
+		el.Value.(*cacheEntry).data = cp
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	evicted := false
+	if s.lru.Len() >= s.cap {
+		if back := s.lru.Back(); back != nil {
+			s.lru.Remove(back)
+			delete(s.m, back.Value.(*cacheEntry).id)
+			evicted = true
+		}
+	}
+	s.m[id] = s.lru.PushFront(&cacheEntry{id: id, data: cp})
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// stats returns a snapshot of the counters.
+func (c *pageCache) stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

@@ -1,7 +1,17 @@
 // Package pager provides fixed-size page IO over a file, the storage
-// substrate of the disk-based B+Tree. Matching the paper's setup, no
-// user-level page cache is layered on top: reads go through the
-// operating system's page buffering (§6.1).
+// substrate of the disk-based B+Tree.
+//
+// Matching the paper's setup, the default configuration layers no
+// user-level page cache on top: reads go through the operating system's
+// page buffering (§6.1). OpenCached adds an optional sharded LRU page
+// cache for serving workloads that want hot pages pinned in process
+// memory.
+//
+// The read path is safe for concurrent use: Read on a read-only File
+// issues positioned reads (ReadAt) and the page cache serialises each
+// of its shards internally, so any number of goroutines may call Read,
+// NumPages, SizeBytes and CacheStats at once. The write path (Alloc,
+// Write, Sync) is single-writer, which the bulk loader respects.
 package pager
 
 import (
@@ -26,6 +36,7 @@ type File struct {
 	pageSize int
 	npages   uint32
 	readonly bool
+	cache    *pageCache // nil = uncached (the paper's default)
 }
 
 // Create creates (truncating) a page file at path with the given page
@@ -83,6 +94,27 @@ func (p *File) writeHeader() error {
 	return err
 }
 
+// OpenCached opens an existing page file read-only with a sharded LRU
+// page cache of roughly cacheBytes (rounded down to whole pages). A
+// cacheBytes of 0 or less behaves exactly like Open: no user-level
+// cache, preserving the paper's §6.1 experimental setup.
+func OpenCached(path string, cacheBytes int64) (*File, error) {
+	p, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	p.cache = newPageCache(int(cacheBytes / int64(p.pageSize)))
+	return p, nil
+}
+
+// CacheStats returns the page-cache counters (zero when uncached).
+func (p *File) CacheStats() CacheStats {
+	if p.cache == nil {
+		return CacheStats{}
+	}
+	return p.cache.stats()
+}
+
 // PageSize returns the page size in bytes.
 func (p *File) PageSize() int { return p.pageSize }
 
@@ -110,8 +142,16 @@ func (p *File) Read(id uint32, buf []byte) error {
 	if id == 0 || id >= p.npages {
 		return fmt.Errorf("pager: read of unallocated page %d (have %d)", id, p.npages)
 	}
-	_, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize))
-	return err
+	if p.cache != nil && p.cache.get(id, buf) {
+		return nil
+	}
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return err
+	}
+	if p.cache != nil {
+		p.cache.put(id, buf)
+	}
+	return nil
 }
 
 // Write stores buf (exactly one page) at page id, which must have been

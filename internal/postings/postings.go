@@ -14,6 +14,12 @@
 //
 // All integers are unsigned varints; tids are delta-coded across
 // records.
+//
+// Decoding is safe for concurrent use: an iterator keeps its entire
+// cursor state per instance and only reads the posting blob it was
+// constructed over, so any number of goroutines may iterate (their own
+// iterators over) shared blobs at once — which is what the sharded
+// query fan-out does.
 package postings
 
 import (

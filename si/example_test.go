@@ -4,14 +4,24 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 
 	"repro/si"
 )
 
+// exampleDir returns a unique scratch directory (Example functions have
+// no *testing.T, so os.MkdirTemp stands in for t.TempDir; a fixed path
+// would collide between parallel test shards on CI).
+func exampleDir() string {
+	dir, err := os.MkdirTemp("", "si-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return dir
+}
+
 // Example demonstrates the build-open-search cycle on a tiny corpus.
 func Example() {
-	dir := filepath.Join(os.TempDir(), "si-example")
+	dir := exampleDir()
 	defer os.RemoveAll(dir)
 
 	corpus := []string{
@@ -55,7 +65,7 @@ func Example() {
 // ExampleIndex_Search shows match structure: tree id plus the matched
 // node, which can be resolved back to the parse.
 func ExampleIndex_Search() {
-	dir := filepath.Join(os.TempDir(), "si-example-search")
+	dir := exampleDir()
 	defer os.RemoveAll(dir)
 
 	t, err := si.ParseTree(0, "(S (NP (NNS agoutis)) (VP (VBZ are) (NP (NNS rodents))))")

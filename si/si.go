@@ -16,6 +16,13 @@
 //	defer ix.Close()
 //	matches, err := ix.Search("VP(VBZ(is))(NP(DT(a))(NN))")
 //
+// For large corpora or serving workloads, BuildOptions.Shards
+// partitions the index into independently built shards that queries
+// fan out across concurrently, and OpenOptions.CacheSize adds an
+// in-process page cache; both default off, matching the paper's
+// single-directory, OS-buffered setup. An open Index is safe for
+// concurrent use by any number of goroutines.
+//
 // See the examples directory for runnable programs.
 package si
 
@@ -70,6 +77,17 @@ type BuildOptions struct {
 	Coding Coding
 	// PageSize is the B+Tree page size in bytes (0 = 4096).
 	PageSize int
+	// Shards > 1 partitions the corpus by tid into that many contiguous
+	// ranges and builds one independent index directory per range,
+	// concurrently (shard-0000/, shard-0001/, ...). An index opened from
+	// a sharded root fans queries out across shards and merges their
+	// tid-sorted results, so results are identical to a single-shard
+	// build. 0 or 1 builds the paper's single-directory index.
+	Shards int
+	// Workers is the number of subtree-extraction goroutines per shard
+	// build; 0 or 1 extracts sequentially. The built index bytes do not
+	// depend on Workers.
+	Workers int
 }
 
 // DefaultBuildOptions returns the recommended configuration:
@@ -84,20 +102,28 @@ type BuildInfo struct {
 	Postings   int   // total posting records
 	IndexBytes int64 // B+Tree file size
 	DataBytes  int64 // flattened corpus (data file) size
+	Shards     int   // partitions actually built (1 = unsharded; may be fewer than requested on tiny corpora)
 }
 
 // Build constructs a Subtree Index over trees in directory dir,
 // overwriting any previous index there. The corpus itself is stored
 // alongside the index (the "data file"), so dir is self-contained.
+// With BuildOptions.Shards > 1 the corpus is partitioned by tid and the
+// shards are built concurrently.
 func Build(dir string, trees []*Tree, opts BuildOptions) (BuildInfo, error) {
 	if opts.MSS == 0 {
 		opts.MSS = 3
 	}
-	meta, err := core.Build(dir, trees, core.Options{
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	meta, err := core.BuildSharded(dir, trees, core.Options{
 		MSS:      opts.MSS,
 		Coding:   opts.Coding,
 		PageSize: opts.PageSize,
-	})
+		Workers:  opts.Workers,
+	}, shards)
 	if err != nil {
 		return BuildInfo{}, err
 	}
@@ -106,17 +132,35 @@ func Build(dir string, trees []*Tree, opts BuildOptions) (BuildInfo, error) {
 		Postings:   meta.Postings,
 		IndexBytes: meta.IndexBytes,
 		DataBytes:  meta.DataBytes,
+		Shards:     max(meta.Shards, 1),
 	}, nil
 }
 
-// Index is an opened Subtree Index.
+// Index is an opened Subtree Index — single-directory or sharded; the
+// two open to the same API and return identical results. An Index is
+// safe for concurrent use: any number of goroutines may call Search,
+// Count, Query, Tree, Keys and KeyCount on one Index at once.
 type Index struct {
-	ix *core.Index
+	ix core.Handle
 }
 
-// Open opens the index stored in dir.
-func Open(dir string) (*Index, error) {
-	ix, err := core.Open(dir)
+// OpenOptions configure how an index is opened.
+type OpenOptions struct {
+	// CacheSize is the byte budget of an in-process LRU page cache over
+	// the index file (per shard when sharded). The default 0 keeps
+	// reads uncached, preserving the paper's §6.1 setup where only the
+	// operating system buffers pages; serving deployments typically set
+	// a few megabytes.
+	CacheSize int64
+}
+
+// Open opens the index stored in dir — sharded or not — with the
+// default options (no user-level page cache).
+func Open(dir string) (*Index, error) { return OpenWith(dir, OpenOptions{}) }
+
+// OpenWith opens the index stored in dir with explicit options.
+func OpenWith(dir string, opts OpenOptions) (*Index, error) {
+	ix, err := core.OpenAny(dir, core.OpenOptions{CacheSize: opts.CacheSize})
 	if err != nil {
 		return nil, err
 	}
@@ -135,10 +179,14 @@ func (i *Index) Coding() Coding { return i.ix.Meta().Coding }
 // NumTrees returns the number of indexed trees.
 func (i *Index) NumTrees() int { return i.ix.Meta().NumTrees }
 
+// Shards returns the number of index partitions (1 when unsharded).
+func (i *Index) Shards() int { return i.ix.NumShards() }
+
 // Info returns the build statistics of the index.
 func (i *Index) Info() BuildInfo {
 	m := i.ix.Meta()
-	return BuildInfo{Keys: m.Keys, Postings: m.Postings, IndexBytes: m.IndexBytes, DataBytes: m.DataBytes}
+	return BuildInfo{Keys: m.Keys, Postings: m.Postings, IndexBytes: m.IndexBytes,
+		DataBytes: m.DataBytes, Shards: max(m.Shards, 1)}
 }
 
 // Query evaluates a parsed query and returns matches sorted by
@@ -161,7 +209,7 @@ func (i *Index) Count(querySrc string) (int, error) {
 }
 
 // Tree fetches an indexed tree by identifier (e.g. to display a match).
-func (i *Index) Tree(tid int) (*Tree, error) { return i.ix.Store().Tree(tid) }
+func (i *Index) Tree(tid int) (*Tree, error) { return i.ix.Tree(tid) }
 
 // Keys iterates index keys in order starting at start ("" = first),
 // with each key's posting count, until fn returns false. Combined with
