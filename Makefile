@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench lint ci
+.PHONY: build test bench lint serve docs-check examples ci
 
 build:
 	$(GO) build ./...
@@ -16,4 +16,19 @@ lint:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-ci: lint build test bench
+# Start a demo query server over a freshly generated corpus.
+serve:
+	$(GO) run ./cmd/sisrv -gen 10000 -seed 42 -shards 4 -addr :8080
+
+# Documentation checks: markdown link integrity + doc-comment coverage
+# of every exported identifier (docs_check_test.go), plus vet.
+docs-check:
+	$(GO) vet ./...
+	$(GO) test -run 'TestDocLinks|TestExportedDocs' .
+
+# Compile every example program so they cannot rot (building multiple
+# main packages at once type-checks and discards the binaries).
+examples:
+	$(GO) build ./examples/...
+
+ci: lint build test bench docs-check examples

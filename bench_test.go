@@ -17,6 +17,7 @@ import (
 	"repro/internal/join"
 	"repro/internal/postings"
 	"repro/internal/query"
+	"repro/internal/workload"
 	"repro/si"
 )
 
@@ -268,6 +269,65 @@ func BenchmarkAblationCodingQueryLatency(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := ix.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchBatch compares batched execution against N sequential
+// searches on the WH serving workload, whose queries share many cover
+// pieces. Beyond latency it asserts the point of batching: the batch
+// must issue strictly fewer physical posting-list fetches than the
+// sequential runs (checked via the index's fetch counter, not wall
+// clock — so the guarantee holds at -benchtime=1x in CI too).
+func BenchmarkSearchBatch(b *testing.B) {
+	queries := workload.ServerQueries()
+	for _, shards := range []int{1, 4} {
+		opts := si.DefaultBuildOptions()
+		opts.Shards = shards
+		dir := filepath.Join(b.TempDir(), fmt.Sprintf("ix%d", shards))
+		if _, err := si.Build(dir, si.GenerateCorpus(2012, 3000), opts); err != nil {
+			b.Fatal(err)
+		}
+		ix, err := si.OpenWith(dir, si.OpenOptions{PlanCacheSize: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ix.Close()
+
+		// Fetch-count assertion, outside the timed loops.
+		base := ix.Stats().PostingFetches
+		for _, q := range queries {
+			if _, err := ix.Search(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		seqFetches := ix.Stats().PostingFetches - base
+		if _, err := ix.SearchBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+		batchFetches := ix.Stats().PostingFetches - base - seqFetches
+		if batchFetches >= seqFetches {
+			b.Fatalf("shards=%d: batch issued %d posting fetches, sequential %d; batching must fetch strictly less",
+				shards, batchFetches, seqFetches)
+		}
+
+		b.Run(fmt.Sprintf("sequential/shards=%d", shards), func(b *testing.B) {
+			b.ReportMetric(float64(seqFetches), "fetches/op")
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := ix.Search(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batched/shards=%d", shards), func(b *testing.B) {
+			b.ReportMetric(float64(batchFetches), "fetches/op")
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.SearchBatch(queries); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,12 +5,18 @@
 package cmd_test
 
 import (
+	"io"
+	"net"
+	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 func buildTool(t *testing.T, dir, name string) string {
@@ -125,6 +131,88 @@ func TestToolPipeline(t *testing.T) {
 		if !strings.Contains(out, id) {
 			t.Errorf("siexp -list missing %s: %s", id, out)
 		}
+	}
+}
+
+// TestSisrvServes starts the query server binary over a small index
+// and exercises every endpoint through real HTTP.
+func TestSisrvServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skips binary builds")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bins := t.TempDir()
+	work := t.TempDir()
+	sibuild := buildTool(t, bins, "sibuild")
+	siquery := buildTool(t, bins, "siquery")
+	sisrv := buildTool(t, bins, "sisrv")
+
+	idx := filepath.Join(work, "idx")
+	run(t, sibuild, "-gen", "300", "-seed", "7", "-out", idx, "-shards", "2")
+	want := matchCount(t, run(t, siquery, "-index", idx, "NP(DT)(NN)"))
+
+	// Reserve a port, release it, and hand it to sisrv.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(sisrv, "-index", idx, "-addr", addr, "-plancache", "64")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+
+	get := func(path string) []byte {
+		t.Helper()
+		var lastErr error
+		for i := 0; i < 100; i++ {
+			resp, err := http.Get("http://" + addr + path)
+			if err != nil {
+				lastErr = err
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+			}
+			return body
+		}
+		t.Fatalf("server never came up: %v", lastErr)
+		return nil
+	}
+
+	if body := get("/healthz"); !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz: %s", body)
+	}
+	body := get("/search?q=" + url.QueryEscape("NP(DT)(NN)"))
+	if !strings.Contains(string(body), `"count":`+strconv.Itoa(want)) {
+		t.Fatalf("search count mismatch (want %d): %s", want, body)
+	}
+	resp, err := http.Post("http://"+addr+"/batch", "application/json",
+		strings.NewReader(`{"queries":["NP(DT)(NN)","S(//NN)"],"count_only":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(bbody), `"count":`+strconv.Itoa(want)) {
+		t.Fatalf("batch: status %d body %s", resp.StatusCode, bbody)
+	}
+	if body := get("/stats"); !strings.Contains(string(body), `"posting_fetches"`) {
+		t.Fatalf("stats: %s", body)
 	}
 }
 

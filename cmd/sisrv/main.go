@@ -1,0 +1,110 @@
+// Command sisrv serves a Subtree Index over HTTP: JSON endpoints
+// /search, /count, /batch, /healthz and /stats over one long-lived
+// index, so open/parse/decompose costs are amortized across requests.
+//
+// Serve an existing index directory:
+//
+//	sisrv -index idx -addr :8080 -cache 8388608 -plancache 4096
+//
+// Or build a throwaway demo index first (removed on exit):
+//
+//	sisrv -gen 10000 -seed 42 -shards 4
+//
+// Query it:
+//
+//	curl 'localhost:8080/search?q=NP(DT)(NN)&limit=3'
+//	curl -d '{"queries":["NP(DT)(NN)","S(//NN)"]}' localhost:8080/batch
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/si"
+)
+
+func main() {
+	dir := flag.String("index", "", "index directory to serve (required unless -gen is set)")
+	addr := flag.String("addr", ":8080", "listen address")
+	gen := flag.Int("gen", 0, "build a temporary index over this many synthetic trees instead of -index")
+	seed := flag.Uint64("seed", 42, "seed for -gen")
+	mss := flag.Int("mss", 3, "maximum subtree size for -gen (1..6)")
+	shards := flag.Int("shards", 1, "shard count for -gen")
+	cache := flag.Int64("cache", 0, "LRU page cache bytes per index file (0 = uncached, the paper's setup)")
+	plancache := flag.Int("plancache", 4096, "LRU query-plan cache entries (0 = disabled)")
+	limit := flag.Int("limit", server.DefaultMaxMatches, "max matches returned per query (-1 = unlimited)")
+	maxbatch := flag.Int("maxbatch", server.DefaultMaxBatch, "max queries per /batch request")
+	flag.Parse()
+
+	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, *cache, *plancache, *limit, *maxbatch); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run builds or opens the index and serves it until SIGINT/SIGTERM.
+func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, plancache, limit, maxbatch int) error {
+	if dir == "" && gen == 0 {
+		return errors.New("sisrv: set -index to serve an existing index, or -gen N to build a demo index")
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "sisrv-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+		log.Printf("building demo index: %d trees, seed %d, mss %d, %d shard(s)", gen, seed, mss, shards)
+		info, err := si.Build(dir, si.GenerateCorpus(seed, gen), si.BuildOptions{
+			MSS: mss, Coding: si.RootSplit, Shards: shards,
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("built: %d keys, %d postings, %d KiB index", info.Keys, info.Postings, info.IndexBytes/1024)
+	}
+
+	ix, err := si.OpenWith(dir, si.OpenOptions{CacheSize: cache, PlanCacheSize: plancache})
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	log.Printf("serving %s: %d trees, %d shard(s), mss %d, %s coding",
+		dir, ix.NumTrees(), ix.Shards(), ix.MSS(), ix.Coding())
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(ix, server.Config{MaxMatches: limit, MaxBatch: maxbatch}),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("sisrv: shutdown: %w", err)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,178 @@
+// Documentation checks, run as part of the normal test suite and by
+// the CI docs job (`make docs-check`): every relative link in the
+// repository's markdown must resolve, and every exported identifier
+// must carry a doc comment so the packages read correctly on
+// pkg.go.dev.
+package repro_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// exportedReceiver reports whether a method's receiver names an
+// exported type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch t := typ.(type) {
+		case *ast.StarExpr:
+			typ = t.X
+		case *ast.IndexExpr:
+			typ = t.X
+		case *ast.IndexListExpr:
+			typ = t.X
+		case *ast.Ident:
+			return t.IsExported()
+		default:
+			return true // unrecognized shape: stay strict
+		}
+	}
+}
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocLinks walks every *.md file in the repository and asserts
+// that each relative link target exists on disk.
+func TestDocLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; a network link checker is out of scope for CI
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // intra-document anchor
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				// Relative links into the repository from badge-style
+				// paths (../../actions/...) point at the forge UI, not
+				// the tree; tolerate links that escape the repo root.
+				if rel, rerr := filepath.Rel(".", resolved); rerr == nil && strings.HasPrefix(rel, "..") {
+					continue
+				}
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestExportedDocs parses every non-test Go file and asserts each
+// exported top-level identifier — types, funcs, methods, consts, vars
+// — has a doc comment (a group comment covers its members), and that
+// every package has a package comment.
+func TestExportedDocs(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgDoc := map[string]bool{}  // package dir -> has package comment
+	pkgSeen := map[string]bool{} // package dir -> has any file
+	var missing []string
+
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		pkgSeen[dir] = true
+		if f.Doc != nil {
+			pkgDoc[dir] = true
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				// Methods on unexported types are not part of the API
+				// surface (sort.Interface impls and the like).
+				if decl.Recv != nil && !exportedReceiver(decl.Recv) {
+					continue
+				}
+				if decl.Name.IsExported() && decl.Doc == nil {
+					missing = append(missing, fmt.Sprintf("%s: func %s", path, decl.Name.Name))
+				}
+			case *ast.GenDecl:
+				hasGroupDoc := decl.Doc != nil
+				for _, spec := range decl.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						if spec.Name.IsExported() && !hasGroupDoc && spec.Doc == nil {
+							missing = append(missing, fmt.Sprintf("%s: type %s", path, spec.Name.Name))
+						}
+					case *ast.ValueSpec:
+						if hasGroupDoc || spec.Doc != nil || spec.Comment != nil {
+							continue
+						}
+						for _, name := range spec.Names {
+							if name.IsExported() {
+								missing = append(missing, fmt.Sprintf("%s: %s", path, name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := range pkgSeen {
+		if !pkgDoc[dir] {
+			missing = append(missing, fmt.Sprintf("%s: no package comment in any file", dir))
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("%d exported identifiers lack doc comments:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}

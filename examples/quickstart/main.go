@@ -31,7 +31,14 @@ func main() {
 	fmt.Printf("index: %d keys, %d postings, %d KiB on disk\n\n",
 		info.Keys, info.Postings, info.IndexBytes/1024)
 
-	ix, err := si.Open(dir)
+	// Open in serving configuration: an in-process page cache keeps hot
+	// B+Tree pages in memory and a plan cache skips re-parsing and
+	// re-decomposing repeated queries. (Plain si.Open keeps both off,
+	// the paper's measurement setup.)
+	ix, err := si.OpenWith(dir, si.OpenOptions{
+		CacheSize:     4 << 20, // 4 MiB page cache per shard
+		PlanCacheSize: 1024,    // compiled query plans
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,4 +65,21 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	// 4. The same queries as one batch: queries are planned up front and
+	// posting lists shared between them are fetched once — fewer disk
+	// reads than four sequential searches (ix.Stats() proves it).
+	before := ix.Stats().PostingFetches
+	results, err := ix.SearchBatch([]string{
+		"NP(DT)(NN)", "VP(VBZ(is))", "S(NP)(VP(//PP))", "NP(DT(the))(NNS)",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, ms := range results {
+		total += len(ms)
+	}
+	fmt.Printf("\nbatch of 4 queries: %d total matches with %d posting fetches\n",
+		total, ix.Stats().PostingFetches-before)
 }

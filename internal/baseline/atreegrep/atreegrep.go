@@ -42,8 +42,8 @@ type Index struct {
 
 // Match mirrors core.Match.
 type Match struct {
-	TID  uint32
-	Root uint32
+	TID  uint32 // tree identifier
+	Root uint32 // pre number of the query root's image
 }
 
 // Build constructs the index over trees, writing the posting B+Tree
@@ -141,9 +141,9 @@ func esc(label string) string {
 
 // Stats reports evaluation behaviour.
 type Stats struct {
-	Paths      int
-	Candidates int
-	Validated  int
+	Paths      int // root-to-leaf query paths evaluated against the path index
+	Candidates int // trees surviving the hash pre-filter and path intersection
+	Validated  int // candidate trees fetched and exactly matched
 }
 
 // Query evaluates q.

@@ -47,8 +47,8 @@ type Index struct {
 
 // Match mirrors core.Match.
 type Match struct {
-	TID  uint32
-	Root uint32
+	TID  uint32 // tree identifier
+	Root uint32 // pre number of the query root's image
 }
 
 // Build constructs the index over trees, storing posting lists in a
@@ -164,9 +164,9 @@ func (ix *Index) Query(q *query.Query) ([]Match, error) {
 
 // Stats reports evaluation behaviour for the comparison experiments.
 type Stats struct {
-	Pieces     int
-	Candidates int
-	Validated  int
+	Pieces     int // indexed pieces the query decomposed into
+	Candidates int // tids surviving the posting-list intersection
+	Validated  int // candidate trees fetched and exactly matched
 }
 
 // QueryWithStats evaluates q and reports candidate/validation counts.

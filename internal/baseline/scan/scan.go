@@ -22,8 +22,8 @@ func New(trees []*lingtree.Tree) *Corpus {
 
 // Match is one result, mirroring core.Match.
 type Match struct {
-	TID  uint32
-	Root uint32
+	TID  uint32 // tree identifier
+	Root uint32 // pre number of the query root's image
 }
 
 // Query scans all trees and returns matches sorted by (tid, root).

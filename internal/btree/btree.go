@@ -66,10 +66,10 @@ const (
 
 // Stats describes a built tree.
 type Stats struct {
-	Keys      uint64
-	Height    uint32
+	Keys      uint64 // key/value pairs stored
+	Height    uint32 // levels from root to leaves (1 = root is a leaf)
 	Pages     uint32 // total allocated pages including meta
-	SizeBytes int64
+	SizeBytes int64  // index file size in bytes
 }
 
 // Tree is a read-only view of a built B+Tree.

@@ -79,16 +79,16 @@ type Meta struct {
 	// aggregate over all shards; Keys is a sum of per-shard unique key
 	// counts, i.e. an upper bound on corpus-wide unique subtrees.
 	Shards       int             `json:"shards,omitempty"`
-	MSS          int             `json:"mss"`
-	Coding       postings.Coding `json:"coding"`
-	NumTrees     int             `json:"num_trees"`
-	Keys         int             `json:"keys"`
-	Postings     int             `json:"postings"`
-	IndexBytes   int64           `json:"index_bytes"`
-	DataBytes    int64           `json:"data_bytes"`
-	BuildNanos   int64           `json:"build_nanos"`
-	ExtractNanos int64           `json:"extract_nanos"`
-	LoadNanos    int64           `json:"load_nanos"`
+	MSS          int             `json:"mss"`           // maximum indexed subtree size
+	Coding       postings.Coding `json:"coding"`        // posting-list scheme
+	NumTrees     int             `json:"num_trees"`     // corpus size
+	Keys         int             `json:"keys"`          // unique subtrees indexed
+	Postings     int             `json:"postings"`      // total posting records
+	IndexBytes   int64           `json:"index_bytes"`   // B+Tree file size
+	DataBytes    int64           `json:"data_bytes"`    // flattened corpus size
+	BuildNanos   int64           `json:"build_nanos"`   // wall-clock build time
+	ExtractNanos int64           `json:"extract_nanos"` // subtree-enumeration phase
+	LoadNanos    int64           `json:"load_nanos"`    // B+Tree bulk-load phase
 }
 
 // accumulator unifies the three coding accumulators during the build.

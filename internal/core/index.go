@@ -6,9 +6,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/btree"
-	"repro/internal/cover"
 	"repro/internal/join"
 	"repro/internal/lingtree"
 	"repro/internal/match"
@@ -20,10 +20,12 @@ import (
 
 // Index is an opened, read-only Subtree Index.
 type Index struct {
-	dir   string
-	meta  Meta
-	tree  *btree.Tree
-	store *treebank.Store
+	dir     string
+	meta    Meta
+	tree    *btree.Tree
+	store   *treebank.Store
+	plans   *planner
+	fetches atomic.Uint64 // physical posting-list reads issued by query evaluation
 }
 
 // Match is one query result: the tree and the pre number of the node
@@ -37,6 +39,11 @@ type OpenOptions struct {
 	// the index file (per shard when sharded). The zero value disables
 	// the cache, preserving the paper's §6.1 no-user-cache setup.
 	CacheSize int64
+	// PlanCache bounds the in-process LRU cache of compiled query plans
+	// (parsed query + cover decomposition), keyed by query text. The
+	// zero value disables plan caching; serving deployments typically
+	// set a few thousand entries.
+	PlanCache int
 }
 
 // readMeta loads and validates the meta.json of an index directory.
@@ -81,7 +88,8 @@ func OpenWith(dir string, opts OpenOptions) (*Index, error) {
 		tr.Close()
 		return nil, err
 	}
-	return &Index{dir: dir, meta: meta, tree: tr, store: store}, nil
+	return &Index{dir: dir, meta: meta, tree: tr, store: store,
+		plans: newPlanner(meta, opts.PlanCache)}, nil
 }
 
 // Meta returns the index metadata recorded at build time.
@@ -107,9 +115,46 @@ type QueryStats struct {
 	Validated       int // filter-based only: trees fetched and matched
 }
 
+// Counters are cumulative serving statistics of an open index handle;
+// sisrv's /stats endpoint and the batching benchmarks read them.
+type Counters struct {
+	// PostingFetches counts physical posting-list reads (B+Tree point
+	// lookups) issued by query evaluation. Batched execution fetches
+	// each distinct key once per shard, so a batch with shared covers
+	// advances this counter less than the equivalent sequential runs.
+	PostingFetches uint64 `json:"posting_fetches"`
+	// PlanCacheHits counts query compilations skipped by the plan cache.
+	PlanCacheHits uint64 `json:"plan_cache_hits"`
+	// PlanCacheMisses counts plan-cache lookups that found no entry and
+	// had to parse and/or decompose. Both cache counters stay zero when
+	// the plan cache is disabled.
+	PlanCacheMisses uint64 `json:"plan_cache_misses"`
+}
+
+// Counters returns the handle's cumulative serving counters.
+func (ix *Index) Counters() Counters {
+	hits, misses := ix.plans.counters()
+	return Counters{
+		PostingFetches:  ix.fetches.Load(),
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+	}
+}
+
 // Query evaluates q and returns its matches sorted by (tid, root pre).
 func (ix *Index) Query(q *query.Query) ([]Match, error) {
 	ms, _, err := ix.QueryWithStats(q)
+	return ms, err
+}
+
+// QueryText parses src (through the plan cache, when enabled) and
+// evaluates it; a repeated query string skips parse and decomposition.
+func (ix *Index) QueryText(src string) ([]Match, error) {
+	pl, err := ix.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	ms, _, err := ix.evalPlan(pl, ix.getPosting)
 	return ms, err
 }
 
@@ -118,152 +163,117 @@ func (ix *Index) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
 	if q.Size() == 0 {
 		return nil, nil, fmt.Errorf("core: empty query")
 	}
+	pl, err := ix.plans.planQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix.evalPlan(pl, ix.getPosting)
+}
+
+// QueryTextBatch evaluates a batch of textual queries with shared
+// posting fetches: all queries are planned first (deduplicating work
+// through the plan cache), then each distinct cover key's posting list
+// is read once for the whole batch. Results are per query, identical
+// to running QueryText on each element.
+func (ix *Index) QueryTextBatch(srcs []string) ([][]Match, error) {
+	plans := make([]*Plan, len(srcs))
+	for i, src := range srcs {
+		pl, err := ix.plans.planText(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d %q: %w", i, src, err)
+		}
+		plans[i] = pl
+	}
+	return ix.evalPlans(plans)
+}
+
+// evalPlans evaluates compiled plans against this index with a shared
+// memoized posting getter, returning per-plan matches. Repeated plans
+// — duplicate or sibling-permuted queries resolve to one *Plan through
+// the plan cache — are evaluated once and their (read-only) match
+// slice shared across the corresponding outputs.
+func (ix *Index) evalPlans(plans []*Plan) ([][]Match, error) {
+	get := memoGetter(ix.getPosting)
+	done := make(map[*Plan][]Match, len(plans))
+	out := make([][]Match, len(plans))
+	for i, pl := range plans {
+		if ms, ok := done[pl]; ok {
+			out[i] = ms
+			continue
+		}
+		ms, _, err := ix.evalPlan(pl, get)
+		if err != nil {
+			return nil, err
+		}
+		done[pl] = ms
+		out[i] = ms
+	}
+	return out, nil
+}
+
+// postingGetter returns the raw count-prefixed posting blob of an index
+// key. The sequential path reads straight from the B+Tree; batched
+// execution substitutes a memoizing getter so shared keys are fetched
+// once.
+type postingGetter func(k subtree.Key) ([]byte, bool, error)
+
+// getPosting reads one posting value from the B+Tree, counting the
+// physical fetch.
+func (ix *Index) getPosting(k subtree.Key) ([]byte, bool, error) {
+	ix.fetches.Add(1)
+	return ix.tree.Get([]byte(k))
+}
+
+// memoGetter wraps a getter with a per-batch memo over both present and
+// absent keys. It is not safe for concurrent use; each batch evaluation
+// creates its own.
+func memoGetter(get postingGetter) postingGetter {
+	type memo struct {
+		val   []byte
+		found bool
+	}
+	seen := make(map[subtree.Key]memo)
+	return func(k subtree.Key) ([]byte, bool, error) {
+		if m, ok := seen[k]; ok {
+			return m.val, m.found, nil
+		}
+		val, found, err := get(k)
+		if err != nil {
+			return nil, false, err
+		}
+		seen[k] = memo{val: val, found: found}
+		return val, found, nil
+	}
+}
+
+// evalPlan evaluates a compiled plan, dispatching on the index coding.
+func (ix *Index) evalPlan(pl *Plan, get postingGetter) ([]Match, *QueryStats, error) {
 	switch ix.meta.Coding {
 	case postings.FilterBased:
-		return ix.queryFilter(q)
+		return ix.evalFilter(pl, get)
 	case postings.RootSplit, postings.SubtreeInterval:
-		return ix.queryJoin(q)
+		return ix.evalJoin(pl, get)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
 	}
 }
 
-// covers computes per-component covers with the decomposition algorithm
-// matching the index coding.
-//
-// Root-split coding needs extra care around // edges: a //-parent u is
-// only constrainable through pieces *rooted at u* (root-split postings
-// carry no interior slots, so a piece covering u from above binds a
-// possibly different instance of u's label — a false-positive source).
-// Every node on the path from the component root to a //-parent is
-// therefore forced to be a piece root: the component is split at these
-// marked nodes and minRC runs per sub-component. Consecutive marked
-// roots join with parent predicates, so all constraints on a marked
-// node apply to one binding.
-func (ix *Index) covers(q *query.Query) ([]cover.Cover, error) {
-	rootSplit := ix.meta.Coding == postings.RootSplit
-	var out []cover.Cover
-	for _, cr := range q.ComponentRoots() {
-		comp := q.ChildComponent(cr)
-		if !rootSplit {
-			c, err := cover.Optimal(q, comp, ix.meta.MSS)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, c)
-			continue
-		}
-		marked := markedRootPath(q, comp, cr)
-		var c cover.Cover
-		for _, sub := range splitAtMarked(q, comp, cr, marked) {
-			sc, err := cover.MinRootSplit(q, sub, ix.meta.MSS)
-			if err != nil {
-				return nil, err
-			}
-			c = append(c, sc...)
-		}
-		out = append(out, c)
-	}
-	return out, nil
-}
-
-// markedRootPath returns the set of component nodes lying on a path
-// from the component root to any //-edge parent (empty for //-free
-// components).
-func markedRootPath(q *query.Query, comp []int, cr int) map[int]bool {
-	inComp := make(map[int]bool, len(comp))
-	for _, v := range comp {
-		inComp[v] = true
-	}
-	marked := map[int]bool{}
-	for _, v := range comp {
-		hasDescChild := false
-		for _, ch := range q.Nodes[v].Children {
-			if q.Nodes[ch].Axis == query.Descendant {
-				hasDescChild = true
-				break
-			}
-		}
-		if !hasDescChild {
-			continue
-		}
-		for u := v; ; u = q.Nodes[u].Parent {
-			marked[u] = true
-			if u == cr || !inComp[u] {
-				break
-			}
-		}
-	}
-	return marked
-}
-
-// splitAtMarked partitions the component into sub-components, one per
-// marked node plus (if unmarked) the component root, each holding its
-// root and the unmarked descendants reachable without crossing another
-// marked node. With no marked nodes the whole component is returned.
-func splitAtMarked(q *query.Query, comp []int, cr int, marked map[int]bool) [][]int {
-	if len(marked) == 0 {
-		return [][]int{comp}
-	}
-	inComp := make(map[int]bool, len(comp))
-	for _, v := range comp {
-		inComp[v] = true
-	}
-	var subs [][]int
-	var gather func(v int) []int
-	gather = func(v int) []int {
-		sub := []int{v}
-		var walk func(u int)
-		walk = func(u int) {
-			for _, ch := range q.Nodes[u].Children {
-				if q.Nodes[ch].Axis != query.Child || !inComp[ch] {
-					continue
-				}
-				if marked[ch] {
-					continue // starts its own sub-component
-				}
-				sub = append(sub, ch)
-				walk(ch)
-			}
-		}
-		walk(v)
-		return sub
-	}
-	// The component root always roots a sub-component; every marked
-	// node roots one too (the root may itself be marked).
-	roots := []int{cr}
-	for _, v := range comp {
-		if marked[v] && v != cr {
-			roots = append(roots, v)
-		}
-	}
-	for _, r := range roots {
-		subs = append(subs, gather(r))
-	}
-	return subs
-}
-
-// fetch reads the posting list of one cover piece, decoded into join
-// relation form. found=false means the key is absent (no matches).
-func (ix *Index) fetch(q *query.Query, p cover.Piece) (join.Relation, int, bool, error) {
-	pat, slots, err := q.SubPattern(p.Nodes)
-	if err != nil {
-		return join.Relation{}, 0, false, err
-	}
-	key := pat.Key()
-	val, found, err := ix.tree.Get([]byte(key))
+// fetchPiece reads the posting list of one plan piece, decoded into
+// join relation form. found=false means the key is absent (no matches).
+func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter) (join.Relation, int, bool, error) {
+	val, found, err := get(pp.Key)
 	if err != nil || !found {
 		return join.Relation{}, 0, false, err
 	}
 	count, n := binary.Uvarint(val)
 	if n <= 0 {
-		return join.Relation{}, 0, false, fmt.Errorf("core: corrupt posting count for %q", key)
+		return join.Relation{}, 0, false, fmt.Errorf("core: corrupt posting count for %q", pp.Key)
 	}
 	payload := val[n:]
-	rel := join.Relation{Name: string(key)}
+	rel := join.Relation{Name: string(pp.Key)}
 	switch ix.meta.Coding {
 	case postings.RootSplit:
-		rel.Slots = []int{p.Root}
+		rel.Slots = []int{pp.Root}
 		it := postings.NewRootIterator(payload)
 		for it.Next() {
 			e := it.Entry()
@@ -276,7 +286,7 @@ func (ix *Index) fetch(q *query.Query, p cover.Piece) (join.Relation, int, bool,
 			return join.Relation{}, 0, false, err
 		}
 	case postings.SubtreeInterval:
-		rel.Slots = slots
+		rel.Slots = pp.Slots
 		it := postings.NewIntervalIterator(payload)
 		for it.Next() {
 			rel.Entries = append(rel.Entries, it.Entry())
@@ -288,10 +298,10 @@ func (ix *Index) fetch(q *query.Query, p cover.Piece) (join.Relation, int, bool,
 		// equivalent slot assignments per instance; expand postings by
 		// the pattern's automorphisms so joins that constrain the twins
 		// differently see every assignment (false-negative fix).
-		if perms := subtree.SlotAutomorphisms(pat); len(perms) > 1 {
-			expanded := make([]postings.IntervalEntry, 0, len(rel.Entries)*len(perms))
+		if len(pp.Perms) > 1 {
+			expanded := make([]postings.IntervalEntry, 0, len(rel.Entries)*len(pp.Perms))
 			for _, e := range rel.Entries {
-				for _, pm := range perms {
+				for _, pm := range pp.Perms {
 					nodes := make([]postings.NodeRef, len(e.Nodes))
 					for i, src := range pm {
 						nodes[i] = e.Nodes[src]
@@ -307,82 +317,63 @@ func (ix *Index) fetch(q *query.Query, p cover.Piece) (join.Relation, int, bool,
 	return rel, int(count), true, nil
 }
 
-// queryJoin evaluates q under root-split or subtree-interval coding.
-func (ix *Index) queryJoin(q *query.Query) ([]Match, *QueryStats, error) {
-	covers, err := ix.covers(q)
-	if err != nil {
-		return nil, nil, err
-	}
-	st := &QueryStats{}
+// evalJoin evaluates a plan under root-split or subtree-interval coding.
+func (ix *Index) evalJoin(pl *Plan, get postingGetter) ([]Match, *QueryStats, error) {
+	st := &QueryStats{Pieces: len(pl.Pieces)}
 	var rels []join.Relation
-	for _, c := range covers {
-		st.Pieces += len(c)
-		for _, p := range c {
-			rel, _, found, err := ix.fetch(q, p)
-			if err != nil {
-				return nil, nil, err
-			}
-			if !found {
-				return nil, st, nil // a piece with no postings: no matches
-			}
-			st.PostingsFetched += len(rel.Entries)
-			rels = append(rels, rel)
+	for _, pp := range pl.Pieces {
+		rel, _, found, err := ix.fetchPiece(pp, get)
+		if err != nil {
+			return nil, nil, err
 		}
+		if !found {
+			return nil, st, nil // a piece with no postings: no matches
+		}
+		st.PostingsFetched += len(rel.Entries)
+		rels = append(rels, rel)
 	}
 	st.Joins = len(rels) - 1
-	ms, err := join.Execute(q, rels)
+	ms, err := join.Execute(pl.Query, rels)
 	if err != nil {
 		return nil, nil, err
 	}
 	return ms, st, nil
 }
 
-// queryFilter evaluates q under filter-based coding: intersect tid
+// evalFilter evaluates a plan under filter-based coding: intersect tid
 // lists of all pieces, then fetch candidate trees from the data file
 // and run the exact matcher (the costly filtering phase of §4.4.1).
-func (ix *Index) queryFilter(q *query.Query) ([]Match, *QueryStats, error) {
-	st := &QueryStats{}
+func (ix *Index) evalFilter(pl *Plan, get postingGetter) ([]Match, *QueryStats, error) {
+	st := &QueryStats{Pieces: len(pl.Pieces)}
 	var lists [][]uint32
-	for _, cr := range q.ComponentRoots() {
-		comp := q.ChildComponent(cr)
-		c, err := cover.Optimal(q, comp, ix.meta.MSS)
+	for _, pp := range pl.Pieces {
+		val, found, err := get(pp.Key)
 		if err != nil {
 			return nil, nil, err
 		}
-		st.Pieces += len(c)
-		for _, p := range c {
-			pat, _, err := q.SubPattern(p.Nodes)
-			if err != nil {
-				return nil, nil, err
-			}
-			val, found, err := ix.tree.Get([]byte(pat.Key()))
-			if err != nil {
-				return nil, nil, err
-			}
-			if !found {
-				return nil, st, nil
-			}
-			_, n := binary.Uvarint(val)
-			if n <= 0 {
-				return nil, nil, fmt.Errorf("core: corrupt posting count for %q", pat.Key())
-			}
-			var tids []uint32
-			it := postings.NewFilterIterator(val[n:])
-			for it.Next() {
-				tids = append(tids, it.TID())
-			}
-			if err := it.Err(); err != nil {
-				return nil, nil, err
-			}
-			st.PostingsFetched += len(tids)
-			lists = append(lists, tids)
+		if !found {
+			return nil, st, nil
 		}
+		_, n := binary.Uvarint(val)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("core: corrupt posting count for %q", pp.Key)
+		}
+		var tids []uint32
+		it := postings.NewFilterIterator(val[n:])
+		for it.Next() {
+			tids = append(tids, it.TID())
+		}
+		if err := it.Err(); err != nil {
+			return nil, nil, err
+		}
+		st.PostingsFetched += len(tids)
+		lists = append(lists, tids)
 	}
 	st.Joins = len(lists) - 1
 	cands := intersect(lists)
 	st.Candidates = len(cands)
 
-	m := match.New(q)
+	m := match.New(pl.Query)
 	var out []Match
 	for _, tid := range cands {
 		t, err := ix.store.Tree(int(tid))
@@ -423,6 +414,7 @@ func intersect(lists [][]uint32) []uint32 {
 	return cur
 }
 
+// intersect2 merges two sorted tid lists into their intersection.
 func intersect2(a, b []uint32) []uint32 {
 	var out []uint32
 	i, j := 0, 0

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/postings"
+	"repro/internal/query"
+)
+
+// planCache is a bounded LRU over compiled query plans. It is keyed by
+// query text — both the raw text a caller submitted and the query's
+// canonical form point at the same *Plan, so a repeated query string
+// skips parsing entirely while a reordered-but-equivalent query still
+// hits through its canonical key. Each stored key (alias or canonical)
+// counts toward the bound. All methods are safe for concurrent use.
+// Hit/miss accounting lives in the planner (one hit or miss per plan
+// lookup, regardless of how many keys were probed).
+type planCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	lru *list.List // front = most recent; elements hold *planEntry
+}
+
+// planEntry is one cached key; several entries may share a *Plan.
+type planEntry struct {
+	key  string
+	plan *Plan
+}
+
+// newPlanCache returns a cache bounded to max keys (nil when max <= 0).
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		return nil
+	}
+	return &planCache{max: max, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the plan cached under key, bumping its recency.
+func (c *planCache) get(key string) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*planEntry).plan, true
+}
+
+// put stores plan under key, evicting the least recently used keys
+// beyond the bound. Storing an existing key refreshes it.
+func (c *planCache) put(key string, plan *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*planEntry).plan = plan
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&planEntry{key: key, plan: plan})
+	for c.lru.Len() > c.max {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.m, last.Value.(*planEntry).key)
+	}
+}
+
+// len returns the number of cached keys.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// planner compiles queries into plans for one index configuration,
+// optionally through a planCache. Index and Sharded each embed one; in
+// a sharded index only the root's planner is consulted, since all
+// shards share MSS and coding and therefore plans. Each planQuery or
+// planText call records exactly one cache hit or miss.
+type planner struct {
+	mss    int
+	coding postings.Coding
+	cache  *planCache // nil = caching disabled
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// newPlanner returns a planner for an index with the given meta,
+// caching up to cacheSize plans (0 disables caching).
+func newPlanner(meta Meta, cacheSize int) *planner {
+	return &planner{mss: meta.MSS, coding: meta.Coding, cache: newPlanCache(cacheSize)}
+}
+
+// planQuery returns the plan of an already-parsed query, keyed by its
+// canonical text. The query is cloned before the plan is cached, so a
+// caller who mutates q afterwards cannot corrupt cached plans.
+func (p *planner) planQuery(q *query.Query) (*Plan, error) {
+	if p.cache == nil {
+		return NewPlan(q, p.mss, p.coding)
+	}
+	canon := q.Canonical()
+	if pl, ok := p.cache.get(canon); ok {
+		p.hits.Add(1)
+		return pl, nil
+	}
+	p.misses.Add(1)
+	pl, err := NewPlan(q.Clone(), p.mss, p.coding)
+	if err != nil {
+		return nil, err
+	}
+	p.cache.put(canon, pl)
+	return pl, nil
+}
+
+// planText returns the plan of a textual query. A raw-text cache hit
+// skips parsing and decomposition entirely; otherwise the text is
+// parsed, the canonical key is tried, and the raw text is stored as an
+// alias so the next identical request short-circuits.
+func (p *planner) planText(src string) (*Plan, error) {
+	if p.cache == nil {
+		q, err := query.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return NewPlan(q, p.mss, p.coding)
+	}
+	if pl, ok := p.cache.get(src); ok {
+		p.hits.Add(1)
+		return pl, nil
+	}
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	canon := q.Canonical()
+	if canon != src {
+		if pl, ok := p.cache.get(canon); ok {
+			p.hits.Add(1)
+			p.cache.put(src, pl)
+			return pl, nil
+		}
+	}
+	p.misses.Add(1)
+	pl, err := NewPlan(q, p.mss, p.coding)
+	if err != nil {
+		return nil, err
+	}
+	p.cache.put(canon, pl)
+	if canon != src {
+		p.cache.put(src, pl)
+	}
+	return pl, nil
+}
+
+// counters reports the planner's cache activity (zeros when caching is
+// disabled, since no lookups happen).
+func (p *planner) counters() (hits, misses uint64) {
+	return p.hits.Load(), p.misses.Load()
+}

@@ -181,11 +181,14 @@ type Sharded struct {
 	dir     string
 	meta    Meta
 	shards  []*Index
+	plans   *planner
 	offsets []uint32 // offsets[s] = first global tid of shard s; len = shards+1
 }
 
 // OpenSharded opens the sharded index rooted at dir. opts apply to
-// every shard (CacheSize is a per-shard budget).
+// every shard (CacheSize is a per-shard budget), except the plan
+// cache, which lives once at the root: shards share MSS and coding, so
+// one compiled plan serves the whole fan-out.
 func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
 	meta, err := readMeta(dir)
 	if err != nil {
@@ -194,11 +197,13 @@ func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
 	if meta.Shards < 1 {
 		return nil, fmt.Errorf("core: %s is not a sharded index root", dir)
 	}
-	s := &Sharded{dir: dir, meta: meta}
+	s := &Sharded{dir: dir, meta: meta, plans: newPlanner(meta, opts.PlanCache)}
+	shardOpts := opts
+	shardOpts.PlanCache = 0 // shards evaluate root-compiled plans
 	s.offsets = make([]uint32, 0, meta.Shards+1)
 	s.offsets = append(s.offsets, 0)
 	for i := 0; i < meta.Shards; i++ {
-		sh, err := OpenWith(filepath.Join(dir, shardDirName(i)), opts)
+		sh, err := OpenWith(filepath.Join(dir, shardDirName(i)), shardOpts)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("core: opening shard %d of %s: %w", i, dir, err)
@@ -234,7 +239,10 @@ type Handle interface {
 	Meta() Meta
 	Close() error
 	Query(q *query.Query) ([]Match, error)
+	QueryText(src string) ([]Match, error)
+	QueryTextBatch(srcs []string) ([][]Match, error)
 	QueryWithStats(q *query.Query) ([]Match, *QueryStats, error)
+	Counters() Counters
 	LookupKey(k subtree.Key) (int, error)
 	Keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error
 	Tree(tid int) (*lingtree.Tree, error)
@@ -273,11 +281,37 @@ func (s *Sharded) Query(q *query.Query) ([]Match, error) {
 	return ms, err
 }
 
-// QueryWithStats fans q out with one goroutine per shard, rebases each
-// shard's local tids and concatenates in shard order — contiguous tid
-// partitioning makes that concatenation the sorted merge. Stats are
-// summed over shards.
+// QueryText parses src (through the root's plan cache, when enabled)
+// and evaluates it across all shards; a repeated query string skips
+// parse and decomposition.
+func (s *Sharded) QueryText(src string) ([]Match, error) {
+	pl, err := s.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	ms, _, err := s.evalPlanFanout(pl)
+	return ms, err
+}
+
+// QueryWithStats compiles q once (through the plan cache) and fans the
+// plan out with one goroutine per shard, rebasing each shard's local
+// tids and concatenating in shard order — contiguous tid partitioning
+// makes that concatenation the sorted merge. Stats are summed over
+// shards.
 func (s *Sharded) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
+	if q.Size() == 0 {
+		return nil, nil, fmt.Errorf("core: empty query")
+	}
+	pl, err := s.plans.planQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.evalPlanFanout(pl)
+}
+
+// evalPlanFanout evaluates one compiled plan on every shard
+// concurrently and merges the tid-rebased results and stats.
+func (s *Sharded) evalPlanFanout(pl *Plan) ([]Match, *QueryStats, error) {
 	type result struct {
 		ms  []Match
 		st  *QueryStats
@@ -289,7 +323,7 @@ func (s *Sharded) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
 		wg.Add(1)
 		go func(i int, sh *Index) {
 			defer wg.Done()
-			ms, st, err := sh.QueryWithStats(q)
+			ms, st, err := sh.evalPlan(pl, sh.getPosting)
 			results[i] = result{ms: ms, st: st, err: err}
 		}(i, sh)
 	}
@@ -320,6 +354,69 @@ func (s *Sharded) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
 		}
 	}
 	return out, agg, nil
+}
+
+// QueryTextBatch evaluates a batch of textual queries: all queries are
+// planned once at the root, then every shard evaluates the whole batch
+// concurrently, fetching each distinct cover key's posting list once
+// per shard. Per-query results are identical to sequential QueryText
+// calls.
+func (s *Sharded) QueryTextBatch(srcs []string) ([][]Match, error) {
+	plans := make([]*Plan, len(srcs))
+	for i, src := range srcs {
+		pl, err := s.plans.planText(src)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d %q: %w", i, src, err)
+		}
+		plans[i] = pl
+	}
+	type result struct {
+		ms  [][]Match
+		err error
+	}
+	results := make([]result, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Index) {
+			defer wg.Done()
+			ms, err := sh.evalPlans(plans)
+			results[i] = result{ms: ms, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, results[i].err)
+		}
+	}
+	out := make([][]Match, len(plans))
+	for qi := range plans {
+		total := 0
+		for i := range results {
+			total += len(results[i].ms[qi])
+		}
+		merged := make([]Match, 0, total)
+		for i := range results {
+			base := s.offsets[i]
+			for _, m := range results[i].ms[qi] {
+				merged = append(merged, Match{TID: m.TID + base, Root: m.Root})
+			}
+		}
+		out[qi] = merged
+	}
+	return out, nil
+}
+
+// Counters sums the shards' posting-fetch counters and reports the
+// root planner's cache activity.
+func (s *Sharded) Counters() Counters {
+	hits, misses := s.plans.counters()
+	c := Counters{PlanCacheHits: hits, PlanCacheMisses: misses}
+	for _, sh := range s.shards {
+		c.PostingFetches += sh.fetches.Load()
+	}
+	return c
 }
 
 // LookupKey sums the key's posting count over all shards.

@@ -20,8 +20,8 @@ import (
 // Piece is one subtree of a cover: query node indexes with Nodes[0] the
 // piece root; the rest follow in increasing index order.
 type Piece struct {
-	Root  int
-	Nodes []int
+	Root  int   // query node index of the piece root
+	Nodes []int // covered query nodes; Nodes[0] == Root
 }
 
 // Cover is an ordered set of pieces. Order reflects construction order,

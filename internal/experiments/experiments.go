@@ -61,11 +61,11 @@ func (c Config) workDir() (string, func(), error) {
 
 // Result is one regenerated table or figure.
 type Result struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     // experiment identifier (fig2, tab3, ...)
+	Title  string     // caption matching the paper's
+	Header []string   // column names
+	Rows   [][]string // one row per corpus size / query class / coding
+	Notes  []string   // caveats and reproduction remarks
 }
 
 // Format renders the result as an aligned text table.
@@ -115,9 +115,9 @@ func (c Config) heldOut(n int) []*lingtree.Tree {
 
 // Runner is the registry entry for one experiment.
 type Runner struct {
-	ID    string
-	Title string
-	Run   func(Config) (*Result, error)
+	ID    string                        // identifier used by siexp -exp
+	Title string                        // caption matching the paper's
+	Run   func(Config) (*Result, error) // driver regenerating the result
 }
 
 // All lists every experiment in paper order.

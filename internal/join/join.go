@@ -29,14 +29,14 @@ import (
 // relations have exactly one slot (the piece root); subtree-interval
 // relations bind every piece node.
 type Relation struct {
-	Name    string // for diagnostics: the piece's key
-	Slots   []int
-	Entries []postings.IntervalEntry
+	Name    string                   // for diagnostics: the piece's key
+	Slots   []int                    // query node bound by each entry column
+	Entries []postings.IntervalEntry // posting rows, (tid, pre)-sorted
 }
 
 // Match is one result: the image of the query root in a tree.
 type Match struct {
-	TID  uint32
+	TID  uint32 // tree identifier
 	Root uint32 // pre number of the query root's image
 }
 

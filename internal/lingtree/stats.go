@@ -4,15 +4,15 @@ package lingtree
 // the corpus-shape assertions in corpusgen tests and the Figure 3
 // branching-factor experiment.
 type Stats struct {
-	Trees          int
-	Nodes          int
-	InternalNodes  int
-	Leaves         int
-	MaxDepth       int
-	MaxBranch      int
-	branchSum      int   // sum of child counts over internal nodes
-	BranchHist     []int // BranchHist[b] = number of internal nodes with b children
-	LabelFrequency map[string]int
+	Trees          int            // trees aggregated
+	Nodes          int            // total nodes over all trees
+	InternalNodes  int            // nodes with at least one child
+	Leaves         int            // terminal nodes (words)
+	MaxDepth       int            // deepest level observed
+	MaxBranch      int            // widest child count observed
+	branchSum      int            // sum of child counts over internal nodes
+	BranchHist     []int          // BranchHist[b] = number of internal nodes with b children
+	LabelFrequency map[string]int // occurrences per node label
 }
 
 // NewStats returns an empty Stats accumulator.

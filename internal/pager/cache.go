@@ -13,9 +13,9 @@ const cacheShards = 8
 
 // CacheStats reports the cumulative behaviour of a page cache.
 type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
+	Hits      uint64 // reads served from the cache
+	Misses    uint64 // reads that went to the file
+	Evictions uint64 // pages dropped to stay within the byte budget
 }
 
 // pageCache is a sharded LRU cache of page images. All methods are safe

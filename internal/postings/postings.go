@@ -30,6 +30,10 @@ import (
 // Coding identifies one of the three schemes.
 type Coding uint8
 
+// The three coding schemes of §4.4, in the paper's presentation order.
+// FilterBased stores bare tree ids, RootSplit one record per distinct
+// key-root occurrence, SubtreeInterval one record per instance with
+// all node slots.
 const (
 	FilterBased Coding = iota
 	RootSplit
@@ -66,23 +70,23 @@ func ParseCoding(s string) (Coding, error) {
 // NodeRef is the structural record of one node of an instance: the
 // ⟨l, r, v, o⟩ tuple of §4.4.2 under our dense pre/post numbering.
 type NodeRef struct {
-	Pre   uint32
-	Post  uint32
-	Level uint32
+	Pre   uint32 // pre-visit rank (interval left endpoint)
+	Post  uint32 // post-visit rank (interval right endpoint)
+	Level uint32 // depth in the data tree
 	Order uint32 // pre-order rank in the data tree (== Pre here; kept for paper parity)
 }
 
 // RootEntry is one root-split posting.
 type RootEntry struct {
-	TID uint32
-	NodeRef
+	TID     uint32 // tree identifier
+	NodeRef        // structural numbers of the key-instance root
 }
 
 // IntervalEntry is one subtree-interval posting: an instance of a key
 // with one NodeRef per key slot (canonical pre-order).
 type IntervalEntry struct {
-	TID   uint32
-	Nodes []NodeRef
+	TID   uint32    // tree identifier
+	Nodes []NodeRef // one record per key slot, canonical pre-order
 }
 
 func putUvarint(buf []byte, x uint64) []byte {

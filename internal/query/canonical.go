@@ -1,0 +1,34 @@
+package query
+
+import "sort"
+
+// Canonical returns the canonical text of the query: the bracketed
+// rendering in which every node's children appear sorted by their own
+// canonical encoding (axis marker included). Queries that are equal up
+// to sibling order — the paper's queries are unordered (Definition 2) —
+// have identical canonical text, and parsing canonical text yields a
+// query whose Canonical is that same text (a fixed point). The string
+// therefore identifies a query's semantics and is what the query-plan
+// cache keys on.
+func (q *Query) Canonical() string {
+	return q.canon(0)
+}
+
+// canon renders the subtree at v canonically: label, then children
+// sorted by their full encoded form "axis + canonical text".
+func (q *Query) canon(v int) string {
+	kids := make([]string, 0, len(q.Nodes[v].Children))
+	for _, c := range q.Nodes[v].Children {
+		axis := ""
+		if q.Nodes[c].Axis == Descendant {
+			axis = "//"
+		}
+		kids = append(kids, axis+q.canon(c))
+	}
+	sort.Strings(kids)
+	out := escapeLabel(q.Nodes[v].Label)
+	for _, k := range kids {
+		out += "(" + k + ")"
+	}
+	return out
+}

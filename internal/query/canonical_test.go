@@ -1,0 +1,130 @@
+package query
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randQuery generates a random query of up to maxNodes nodes over a
+// small label alphabet (collisions wanted: identical labels exercise
+// the sorting tie cases).
+func randQuery(rng *rand.Rand, maxNodes int) *Query {
+	labels := []string{"A", "B", "C", "NP", "VP", "a b", "x(y)", "p/q", "t\tu"}
+	q := &Query{}
+	n := 1 + rng.Intn(maxNodes)
+	var add func(parent int, budget int) int
+	add = func(parent int, budget int) int {
+		idx := len(q.Nodes)
+		axis := Child
+		if parent >= 0 && rng.Intn(3) == 0 {
+			axis = Descendant
+		}
+		q.Nodes = append(q.Nodes, Node{Label: labels[rng.Intn(len(labels))], Axis: axis, Parent: parent})
+		if parent >= 0 {
+			q.Nodes[parent].Children = append(q.Nodes[parent].Children, idx)
+		}
+		used := 1
+		for used < budget && rng.Intn(2) == 0 {
+			used += add(idx, budget-used)
+		}
+		return used
+	}
+	add(-1, n)
+	return q
+}
+
+// permuteChildren returns a deep copy of q with every node's child
+// order shuffled — a semantically identical query (Definition 2:
+// queries are unordered).
+func permuteChildren(rng *rand.Rand, q *Query) *Query {
+	out := &Query{Nodes: make([]Node, len(q.Nodes))}
+	copy(out.Nodes, q.Nodes)
+	for i := range out.Nodes {
+		kids := append([]int(nil), out.Nodes[i].Children...)
+		rng.Shuffle(len(kids), func(a, b int) { kids[a], kids[b] = kids[b], kids[a] })
+		out.Nodes[i].Children = kids
+	}
+	return out
+}
+
+// TestCanonicalFixedPoint is the property the plan cache depends on:
+// for any query, Parse(q.Canonical()).Canonical() == q.Canonical().
+func TestCanonicalFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2012))
+	for i := 0; i < 2000; i++ {
+		q := randQuery(rng, 12)
+		c := q.Canonical()
+		rq, err := Parse(c)
+		if err != nil {
+			t.Fatalf("canonical text %q of %q does not parse: %v", c, q, err)
+		}
+		if rc := rq.Canonical(); rc != c {
+			t.Fatalf("canonical not a fixed point: %q -> %q (query %q)", c, rc, q)
+		}
+	}
+}
+
+// TestCanonicalPermutationInvariant asserts semantically identical
+// queries — same tree up to sibling order — share one cache key.
+func TestCanonicalPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		q := randQuery(rng, 12)
+		p := permuteChildren(rng, q)
+		if q.Canonical() != p.Canonical() {
+			t.Fatalf("permuted query changed canonical key:\n%q\n%q", q.Canonical(), p.Canonical())
+		}
+	}
+}
+
+// TestCanonicalRoundTripsString asserts String() output (insertion
+// order, escapes, path-free) parses back to the same canonical form, so
+// raw and canonical cache keys always name the same plan.
+func TestCanonicalRoundTripsString(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		q := randQuery(rng, 12)
+		rq, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("String %q does not parse: %v", q.String(), err)
+		}
+		if rq.Canonical() != q.Canonical() {
+			t.Fatalf("String round trip changed canonical: %q vs %q", rq.Canonical(), q.Canonical())
+		}
+	}
+}
+
+// TestParseErrorType asserts malformed text yields a *ParseError, the
+// contract the HTTP server's 400-vs-500 mapping relies on.
+func TestParseErrorType(t *testing.T) {
+	for _, src := range []string{"", "NP((", "A)", "A\\", "A B"} {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %T is not *ParseError", src, err)
+		}
+	}
+}
+
+// TestCanonicalExamples pins concrete normalizations.
+func TestCanonicalExamples(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"NP(NN)(DT)", "NP(DT)(NN)"},
+		{"NP(DT)(NN)", "NP(DT)(NN)"},
+		{"S( NP ) (VP)", "S(NP)(VP)"},
+		{"A/B//C", "A(B(//C))"},
+		{"S(//NN)(VP)", "S(//NN)(VP)"},
+		{"S(VP)(//NN)", "S(//NN)(VP)"},
+	}
+	for _, c := range cases {
+		q := MustParse(c.in)
+		if got := q.Canonical(); got != c.want {
+			t.Errorf("Canonical(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

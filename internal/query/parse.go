@@ -5,6 +5,20 @@ import (
 	"strings"
 )
 
+// ParseError is the error kind returned by Parse for malformed query
+// text. Callers (e.g. the HTTP server) use errors.As with it to
+// distinguish a bad request from an evaluation failure.
+type ParseError struct {
+	// Err is the underlying description of what failed to parse.
+	Err error
+}
+
+// Error returns the underlying parse failure message.
+func (e *ParseError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // Parse parses the textual query syntax:
 //
 //	query    := node
@@ -14,15 +28,16 @@ import (
 //	axis     := '//' | '/'          ('/' may be omitted inside groups)
 //
 // Examples: "NP(DT)(NN)", "VP(//NN)", "S/VP//NN", "A(B(C))(//D)".
+// Failures are *ParseError values.
 func Parse(s string) (*Query, error) {
 	p := &parser{src: s}
 	q := &Query{}
 	if err := p.node(q, -1, Child); err != nil {
-		return nil, err
+		return nil, &ParseError{Err: err}
 	}
 	p.skipSpace()
 	if p.pos != len(p.src) {
-		return nil, fmt.Errorf("query: trailing input at offset %d in %q", p.pos, s)
+		return nil, &ParseError{Err: fmt.Errorf("query: trailing input at offset %d in %q", p.pos, s)}
 	}
 	return q, nil
 }

@@ -32,6 +32,7 @@ const (
 	Descendant
 )
 
+// String renders the axis as it appears in query text.
 func (a Axis) String() string {
 	if a == Descendant {
 		return "//"
@@ -42,19 +43,31 @@ func (a Axis) String() string {
 // Node is one node of a query. The Axis describes the edge to the
 // node's parent; it is meaningless on the root.
 type Node struct {
-	Label    string
-	Axis     Axis
-	Parent   int
-	Children []int
+	Label    string // node label to match
+	Axis     Axis   // edge to Parent: Child (/) or Descendant (//)
+	Parent   int    // parent node index (-1 on the root)
+	Children []int  // child node indexes in insertion order
 }
 
 // Query is a tree query stored in pre-order, root at index 0.
 type Query struct {
-	Nodes []Node
+	Nodes []Node // pre-order node storage; Nodes[0] is the root
 }
 
 // Size returns the number of query nodes, |Q|.
 func (q *Query) Size() int { return len(q.Nodes) }
+
+// Clone returns a deep copy of the query: mutating the original (or
+// its Children slices) never affects the copy. The plan cache clones
+// caller-supplied queries before retaining them.
+func (q *Query) Clone() *Query {
+	out := &Query{Nodes: make([]Node, len(q.Nodes))}
+	copy(out.Nodes, q.Nodes)
+	for i := range out.Nodes {
+		out.Nodes[i].Children = append([]int(nil), out.Nodes[i].Children...)
+	}
+	return out
+}
 
 // Root returns the root node index (always 0).
 func (q *Query) Root() int { return 0 }
@@ -88,14 +101,17 @@ func (q *Query) write(sb *strings.Builder, v int) {
 	}
 }
 
+// escapeLabel backslash-escapes every byte the parser treats as a
+// delimiter (including tab), so String and Canonical round-trip through
+// Parse for arbitrary labels.
 func escapeLabel(label string) string {
-	if !strings.ContainsAny(label, "()/\\ ") {
+	if !strings.ContainsAny(label, "()/\\ \t") {
 		return label
 	}
 	var sb strings.Builder
 	for i := 0; i < len(label); i++ {
 		switch label[i] {
-		case '(', ')', '/', '\\', ' ':
+		case '(', ')', '/', '\\', ' ', '\t':
 			sb.WriteByte('\\')
 		}
 		sb.WriteByte(label[i])

@@ -1,0 +1,370 @@
+// Package server implements the sisrv HTTP API: JSON endpoints over a
+// long-lived si.Index, so the open/parse/decompose cost of querying is
+// amortized across requests instead of being paid per process (the
+// serving direction the ROADMAP calls out; cmd/sisrv is the binary).
+//
+// Endpoints:
+//
+//	GET  /search?q=Q&limit=N   matches of one query (count always exact)
+//	GET  /count?q=Q            match count only
+//	POST /batch                {"queries": [...]} evaluated as one batch:
+//	                           shared cover keys are fetched once per shard
+//	GET  /healthz              liveness + corpus summary
+//	GET  /stats                index info and cumulative serving counters
+//
+// All responses are JSON; errors are {"error": "..."} with a 4xx/5xx
+// status. The handler is safe for concurrent use — si.Index is — and
+// holds no per-request state.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+	"repro/si"
+)
+
+// Defaults for the zero values of Config.
+const (
+	DefaultMaxMatches = 1000
+	DefaultMaxBatch   = 256
+	DefaultMaxBody    = 1 << 20
+)
+
+// Config bounds what one request may cost the server.
+type Config struct {
+	// MaxMatches caps the matches returned per query (response counts
+	// stay exact; the match list is truncated and flagged). 0 means
+	// DefaultMaxMatches; negative means no cap.
+	MaxMatches int
+	// MaxBatch caps the queries accepted by one /batch request.
+	// 0 means DefaultMaxBatch.
+	MaxBatch int
+	// MaxBody caps the /batch request body in bytes. 0 means
+	// DefaultMaxBody.
+	MaxBody int64
+}
+
+// normalize fills in defaults for zero fields.
+func (c *Config) normalize() {
+	if c.MaxMatches == 0 {
+		c.MaxMatches = DefaultMaxMatches
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBody == 0 {
+		c.MaxBody = DefaultMaxBody
+	}
+}
+
+// Server is the sisrv HTTP handler over one open index.
+type Server struct {
+	ix      *si.Index
+	cfg     Config
+	mux     *http.ServeMux
+	started time.Time
+
+	requests atomic.Uint64 // HTTP requests accepted
+	queries  atomic.Uint64 // queries evaluated (batch elements count individually)
+	errors   atomic.Uint64 // requests answered with an error status
+}
+
+// New returns a handler serving ix. The index must stay open for the
+// server's lifetime; the caller retains ownership and closes it.
+func New(ix *si.Index, cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{ix: ix, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/count", s.handleCount)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// MatchJSON is one query match on the wire.
+type MatchJSON struct {
+	// TID is the tree identifier.
+	TID uint32 `json:"tid"`
+	// Root is the pre-order rank of the node the query root matched.
+	Root uint32 `json:"root"`
+}
+
+// QueryResult is the per-query payload of /search and /batch.
+type QueryResult struct {
+	// Query echoes the query text as submitted.
+	Query string `json:"query"`
+	// Count is the exact total number of matches, independent of any
+	// truncation of Matches.
+	Count int `json:"count"`
+	// Matches lists up to the effective limit of matches in (tid, root)
+	// order; omitted by /count and count-only batches.
+	Matches []MatchJSON `json:"matches,omitempty"`
+	// Truncated reports that Matches was cut off at the limit.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// SearchResponse is the /search and /count response body.
+type SearchResponse struct {
+	QueryResult
+	// TookNS is the server-side evaluation time in nanoseconds.
+	TookNS int64 `json:"took_ns"`
+}
+
+// BatchRequest is the /batch request body.
+type BatchRequest struct {
+	// Queries are evaluated as one batch; results keep their order.
+	Queries []string `json:"queries"`
+	// Limit caps matches per query like /search's limit parameter.
+	Limit int `json:"limit,omitempty"`
+	// CountOnly omits match lists from all results.
+	CountOnly bool `json:"count_only,omitempty"`
+}
+
+// BatchResponse is the /batch response body.
+type BatchResponse struct {
+	// Results holds one entry per submitted query, in order.
+	Results []QueryResult `json:"results"`
+	// TookNS is the server-side evaluation time for the whole batch.
+	TookNS int64 `json:"took_ns"`
+}
+
+// HealthResponse is the /healthz response body.
+type HealthResponse struct {
+	// Status is "ok" whenever the server can answer at all.
+	Status string `json:"status"`
+	// Trees is the number of indexed trees.
+	Trees int `json:"trees"`
+	// Shards is the index partition count (1 when unsharded).
+	Shards int `json:"shards"`
+}
+
+// StatsResponse is the /stats response body.
+type StatsResponse struct {
+	// Index describes the corpus and build.
+	Index IndexStats `json:"index"`
+	// Serving holds cumulative counters since the server started.
+	Serving ServingStats `json:"serving"`
+}
+
+// IndexStats summarizes the served index.
+type IndexStats struct {
+	Trees      int    `json:"trees"`       // corpus size
+	Shards     int    `json:"shards"`      // partitions (1 = unsharded)
+	MSS        int    `json:"mss"`         // maximum indexed subtree size
+	Coding     string `json:"coding"`      // posting scheme name
+	Keys       int    `json:"keys"`        // unique subtrees indexed
+	Postings   int    `json:"postings"`    // total posting records
+	IndexBytes int64  `json:"index_bytes"` // B+Tree bytes on disk
+	DataBytes  int64  `json:"data_bytes"`  // flattened corpus bytes
+}
+
+// ServingStats holds the server's and the index's cumulative counters.
+type ServingStats struct {
+	// UptimeSeconds since New.
+	UptimeSeconds int64 `json:"uptime_seconds"`
+	// Requests is the number of HTTP requests accepted.
+	Requests uint64 `json:"requests"`
+	// Queries is the number of queries evaluated (each batch element
+	// counts as one).
+	Queries uint64 `json:"queries"`
+	// Errors is the number of requests answered with an error status.
+	Errors uint64 `json:"errors"`
+	// Stats are the index's counters: posting fetches and plan-cache
+	// hits/misses.
+	si.Stats
+}
+
+// handleSearch serves GET /search?q=Q&limit=N.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.query(w, r, false)
+}
+
+// handleCount serves GET /count?q=Q.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	s.query(w, r, true)
+}
+
+// query evaluates the q parameter, with or without the match list.
+func (s *Server) query(w http.ResponseWriter, r *http.Request, countOnly bool) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		s.fail(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	limit, err := s.limit(r.URL.Query().Get("limit"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	ms, err := s.ix.Search(src)
+	if err != nil {
+		s.fail(w, errStatus(err), err.Error())
+		return
+	}
+	s.queries.Add(1)
+	resp := SearchResponse{
+		QueryResult: s.result(src, ms, limit, countOnly),
+		TookNS:      time.Since(start).Nanoseconds(),
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch serves POST /batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty queries")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	limit := s.effectiveLimit(req.Limit)
+	start := time.Now()
+	results, err := s.ix.SearchBatch(req.Queries)
+	if err != nil {
+		s.fail(w, errStatus(err), err.Error())
+		return
+	}
+	s.queries.Add(uint64(len(req.Queries)))
+	resp := BatchResponse{Results: make([]QueryResult, len(results))}
+	for i, ms := range results {
+		resp.Results[i] = s.result(req.Queries[i], ms, limit, req.CountOnly)
+	}
+	resp.TookNS = time.Since(start).Nanoseconds()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok",
+		Trees:  s.ix.NumTrees(),
+		Shards: s.ix.Shards(),
+	})
+}
+
+// handleStats serves GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	info := s.ix.Info()
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		Index: IndexStats{
+			Trees:      s.ix.NumTrees(),
+			Shards:     s.ix.Shards(),
+			MSS:        s.ix.MSS(),
+			Coding:     s.ix.Coding().String(),
+			Keys:       info.Keys,
+			Postings:   info.Postings,
+			IndexBytes: info.IndexBytes,
+			DataBytes:  info.DataBytes,
+		},
+		Serving: ServingStats{
+			UptimeSeconds: int64(time.Since(s.started).Seconds()),
+			Requests:      s.requests.Load(),
+			Queries:       s.queries.Load(),
+			Errors:        s.errors.Load(),
+			Stats:         s.ix.Stats(),
+		},
+	})
+}
+
+// result shapes one query's matches for the wire, applying the limit.
+func (s *Server) result(src string, ms []si.Match, limit int, countOnly bool) QueryResult {
+	qr := QueryResult{Query: src, Count: len(ms)}
+	if countOnly {
+		return qr
+	}
+	if limit >= 0 && len(ms) > limit {
+		ms = ms[:limit]
+		qr.Truncated = true
+	}
+	qr.Matches = make([]MatchJSON, len(ms))
+	for i, m := range ms {
+		qr.Matches[i] = MatchJSON{TID: m.TID, Root: m.Root}
+	}
+	return qr
+}
+
+// limit parses the limit query parameter.
+func (s *Server) limit(raw string) (int, error) {
+	if raw == "" {
+		return s.effectiveLimit(0), nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad limit %q", raw)
+	}
+	return s.effectiveLimit(n), nil
+}
+
+// effectiveLimit clamps a requested per-query match limit to the
+// configured cap; 0 means the cap itself, negative caps mean unlimited.
+func (s *Server) effectiveLimit(requested int) int {
+	if s.cfg.MaxMatches < 0 {
+		if requested > 0 {
+			return requested
+		}
+		return -1 // unlimited
+	}
+	if requested <= 0 || requested > s.cfg.MaxMatches {
+		return s.cfg.MaxMatches
+	}
+	return requested
+}
+
+// errStatus maps an evaluation error to an HTTP status: malformed
+// query text is the client's fault (400), anything else — I/O
+// failures, corrupt postings — is the server's (500), so monitoring
+// and load balancers see a failing backend rather than bad clients.
+func errStatus(err error) int {
+	var pe *query.ParseError
+	if errors.As(err, &pe) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// fail answers with a JSON error body.
+func (s *Server) fail(w http.ResponseWriter, status int, msg string) {
+	s.errors.Add(1)
+	s.writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeJSON encodes v as the response with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is gone; nothing left to signal
+}

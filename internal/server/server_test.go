@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"testing"
+
+	"repro/si"
+)
+
+var parityQueries = []string{
+	"NP(DT)(NN)",
+	"S(NP)(VP)",
+	"VP(VBZ)(NP(DT)(NN))",
+	"S(//NN)",
+	"NP(//DT(the))",
+	"PP(IN)(NP)",
+	"ZZZ(QQQ)", // no matches
+}
+
+// newTestServer builds a small sharded index and returns an httptest
+// server over it plus the raw index for ground truth.
+func newTestServer(t *testing.T, shards int, cfg Config) (*httptest.Server, *si.Index) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ix")
+	trees := si.GenerateCorpus(2012, 600)
+	opts := si.DefaultBuildOptions()
+	opts.Shards = shards
+	if _, err := si.Build(dir, trees, opts); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := si.OpenWith(dir, si.OpenOptions{PlanCacheSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	ts := httptest.NewServer(New(ix, cfg))
+	t.Cleanup(ts.Close)
+	return ts, ix
+}
+
+// getJSON decodes a GET response into out, failing on non-200.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+// TestSearchCountParity is the acceptance check: /search and /count
+// agree exactly with Index.Search and Index.Count.
+func TestSearchCountParity(t *testing.T) {
+	ts, ix := newTestServer(t, 3, Config{MaxMatches: -1})
+	for _, q := range parityQueries {
+		want, err := ix.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr SearchResponse
+		getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q), &sr)
+		if sr.Count != len(want) || len(sr.Matches) != len(want) {
+			t.Fatalf("/search %q: count %d matches %d, want %d", q, sr.Count, len(sr.Matches), len(want))
+		}
+		for i, m := range want {
+			if sr.Matches[i].TID != m.TID || sr.Matches[i].Root != m.Root {
+				t.Fatalf("/search %q: match %d = %+v, want %+v", q, i, sr.Matches[i], m)
+			}
+		}
+
+		wantN, err := ix.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cr SearchResponse
+		getJSON(t, ts.URL+"/count?q="+urlQueryEscape(q), &cr)
+		if cr.Count != wantN {
+			t.Fatalf("/count %q = %d, want %d", q, cr.Count, wantN)
+		}
+		if len(cr.Matches) != 0 {
+			t.Fatalf("/count %q returned %d matches", q, len(cr.Matches))
+		}
+	}
+}
+
+// TestBatchParity asserts /batch equals per-query Index.Search.
+func TestBatchParity(t *testing.T) {
+	ts, ix := newTestServer(t, 2, Config{MaxMatches: -1})
+	body, _ := json.Marshal(BatchRequest{Queries: parityQueries})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/batch: status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(parityQueries) {
+		t.Fatalf("/batch: %d results, want %d", len(br.Results), len(parityQueries))
+	}
+	for i, q := range parityQueries {
+		want, err := ix.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := br.Results[i]
+		if got.Query != q || got.Count != len(want) || len(got.Matches) != len(want) {
+			t.Fatalf("/batch %q: count %d matches %d, want %d", q, got.Count, len(got.Matches), len(want))
+		}
+		for j, m := range want {
+			if got.Matches[j].TID != m.TID || got.Matches[j].Root != m.Root {
+				t.Fatalf("/batch %q: match %d = %+v, want %+v", q, j, got.Matches[j], m)
+			}
+		}
+	}
+}
+
+// TestLimitTruncation asserts the limit caps matches but not counts.
+func TestLimitTruncation(t *testing.T) {
+	ts, ix := newTestServer(t, 1, Config{})
+	q := "NP(DT)(NN)"
+	want, err := ix.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 3 {
+		t.Skipf("corpus yields only %d matches for %s", len(want), q)
+	}
+	var sr SearchResponse
+	getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q)+"&limit=2", &sr)
+	if sr.Count != len(want) {
+		t.Fatalf("count %d, want exact %d despite limit", sr.Count, len(want))
+	}
+	if len(sr.Matches) != 2 || !sr.Truncated {
+		t.Fatalf("matches %d truncated=%v, want 2/true", len(sr.Matches), sr.Truncated)
+	}
+}
+
+// TestErrorPaths asserts the error contract: bad queries and misuse
+// yield JSON errors with 4xx statuses.
+func TestErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t, 1, Config{MaxBatch: 4})
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"GET", "/search", "", http.StatusBadRequest},                                  // missing q
+		{"GET", "/search?q=NP((", "", http.StatusBadRequest},                           // parse error
+		{"GET", "/search?q=NP&limit=x", "", http.StatusBadRequest},                     // bad limit
+		{"POST", "/search?q=NP", "", http.StatusMethodNotAllowed},                      // wrong method
+		{"GET", "/batch", "", http.StatusMethodNotAllowed},                             // wrong method
+		{"POST", "/batch", `{"queries":[]}`, http.StatusBadRequest},                    // empty
+		{"POST", "/batch", `{"queries":["A","B","C","D","E"]}`, http.StatusBadRequest}, // over MaxBatch
+		{"POST", "/batch", `{"queries":["NP(("]}`, http.StatusBadRequest},              // parse error
+		{"POST", "/batch", `not json`, http.StatusBadRequest},                          // bad body
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+		if err != nil || e.Error == "" {
+			t.Errorf("%s %s: no JSON error body (%v)", c.method, c.path, err)
+		}
+	}
+}
+
+// TestHealthzAndStats asserts the observability endpoints report the
+// index and the counters move.
+func TestHealthzAndStats(t *testing.T) {
+	ts, ix := newTestServer(t, 3, Config{})
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "ok" || h.Trees != ix.NumTrees() || h.Shards != 3 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	// Same query twice: the second should hit the plan cache.
+	for i := 0; i < 2; i++ {
+		var sr SearchResponse
+		getJSON(t, ts.URL+"/search?q=NP(DT)(NN)", &sr)
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Index.Trees != ix.NumTrees() || st.Index.Shards != 3 || st.Index.MSS != ix.MSS() {
+		t.Fatalf("stats index = %+v", st.Index)
+	}
+	if st.Serving.Queries < 2 || st.Serving.Requests < 3 {
+		t.Fatalf("stats serving = %+v", st.Serving)
+	}
+	if st.Serving.PostingFetches == 0 {
+		t.Fatal("stats report zero posting fetches after searches")
+	}
+	if st.Serving.PlanCacheHits == 0 {
+		t.Fatal("repeated query did not hit the plan cache")
+	}
+}
+
+// urlQueryEscape escapes a query for use as a URL parameter value.
+func urlQueryEscape(q string) string { return url.QueryEscape(q) }

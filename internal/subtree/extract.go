@@ -8,7 +8,7 @@ import (
 // the instance's root node and the instance nodes in canonical-key
 // pre-order (the slot mapping used by subtree-interval postings).
 type Occurrence struct {
-	Key   Key
+	Key   Key   // canonical flattened form of the subtree
 	Root  int   // data-tree node index of the subtree root
 	Nodes []int // instance nodes, Nodes[i] = data node at key slot i; Nodes[0] == Root
 }

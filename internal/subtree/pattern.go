@@ -19,8 +19,8 @@ import (
 // (A(B)(C) ≡ A(C)(B)); Canonical puts them in the unique canonical child
 // order under which equal patterns have equal Keys.
 type Pattern struct {
-	Label    string
-	Children []*Pattern
+	Label    string     // node label
+	Children []*Pattern // subtrees; order is semantically irrelevant until Canonical
 }
 
 // P is a convenience constructor for literals in tests and examples.

@@ -233,7 +233,7 @@ func (s Slice) Tree(tid int) (*lingtree.Tree, error) {
 
 // Forest is an in-memory corpus.
 type Forest struct {
-	Trees []*lingtree.Tree
+	Trees []*lingtree.Tree // all trees, indexed by tid
 }
 
 // Load reads every tree of a Store into memory (the TGrep2 model).

@@ -152,6 +152,13 @@ type OpenOptions struct {
 	// operating system buffers pages; serving deployments typically set
 	// a few megabytes.
 	CacheSize int64
+	// PlanCacheSize bounds the in-process LRU cache of compiled query
+	// plans — parsed query plus chosen cover decomposition — keyed by
+	// query text (raw and canonical, so syntactic variants of one query
+	// share an entry). A repeated query skips parsing and decomposition
+	// entirely. The default 0 disables plan caching; serving
+	// deployments typically set a few thousand entries.
+	PlanCacheSize int
 }
 
 // Open opens the index stored in dir — sharded or not — with the
@@ -160,7 +167,10 @@ func Open(dir string) (*Index, error) { return OpenWith(dir, OpenOptions{}) }
 
 // OpenWith opens the index stored in dir with explicit options.
 func OpenWith(dir string, opts OpenOptions) (*Index, error) {
-	ix, err := core.OpenAny(dir, core.OpenOptions{CacheSize: opts.CacheSize})
+	ix, err := core.OpenAny(dir, core.OpenOptions{
+		CacheSize: opts.CacheSize,
+		PlanCache: opts.PlanCacheSize,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -193,13 +203,22 @@ func (i *Index) Info() BuildInfo {
 // (tree, root).
 func (i *Index) Query(q *Query) ([]Match, error) { return i.ix.Query(q) }
 
-// Search parses and evaluates a query in one call.
+// Search parses and evaluates a query in one call. With
+// OpenOptions.PlanCacheSize set, a repeated query string skips parsing
+// and decomposition via the plan cache.
 func (i *Index) Search(querySrc string) ([]Match, error) {
-	q, err := ParseQuery(querySrc)
-	if err != nil {
-		return nil, err
-	}
-	return i.ix.Query(q)
+	return i.ix.QueryText(querySrc)
+}
+
+// SearchBatch evaluates a batch of queries in one pass: all queries
+// are planned up front (deduplicating through the plan cache), then
+// each distinct cover key's posting list is fetched once per shard for
+// the whole batch — on workloads with shared covers this issues
+// strictly fewer posting fetches than len(srcs) Search calls.
+// Results[i] is identical to Search(srcs[i]); any unparsable query
+// fails the whole batch with an error naming its position.
+func (i *Index) SearchBatch(srcs []string) ([][]Match, error) {
+	return i.ix.QueryTextBatch(srcs)
 }
 
 // Count returns only the number of matches of a query.
@@ -207,6 +226,15 @@ func (i *Index) Count(querySrc string) (int, error) {
 	ms, err := i.Search(querySrc)
 	return len(ms), err
 }
+
+// Stats are cumulative serving counters of an open index: physical
+// posting-list fetches and plan-cache activity. The batching
+// benchmarks assert on PostingFetches, and sisrv's /stats endpoint
+// reports the whole struct.
+type Stats = core.Counters
+
+// Stats returns the index's cumulative serving counters since Open.
+func (i *Index) Stats() Stats { return i.ix.Counters() }
 
 // Tree fetches an indexed tree by identifier (e.g. to display a match).
 func (i *Index) Tree(tid int) (*Tree, error) { return i.ix.Tree(tid) }
