@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench lint serve docs-check examples ci
+.PHONY: build test bench bench-json lint serve docs-check examples ci
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,17 @@ test:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Machine-readable search benchmarks: run the serving-path benches
+# (plain, batched, count-only and limited search — ns/op, allocs and
+# posting-fetch counts) and convert the output to BENCH_search.json,
+# the artifact CI archives to seed the perf trajectory.
+bench-json:
+	$(GO) test -run='^$$' -bench='SearchBatch|CountOnly|LimitedSearch|ShardedQuery' \
+		-benchmem -benchtime=1x . > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_search.json < bench.out
+	@rm -f bench.out
+	@echo wrote BENCH_search.json
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strconv"
@@ -148,7 +149,7 @@ func BenchmarkShardedBuild(b *testing.B) {
 				b.Fatalf("Shards() = %d, want %d", ix.Shards(), shards)
 			}
 			for _, q := range queries {
-				n, err := ix.Count(q)
+				n, err := ix.Count(context.Background(), q)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -187,7 +188,7 @@ func BenchmarkShardedQuery(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, q := range qs {
-					if _, err := ix.Search(q); err != nil {
+					if _, err := ix.Search(context.Background(), q); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -300,12 +301,12 @@ func BenchmarkSearchBatch(b *testing.B) {
 		// Fetch-count assertion, outside the timed loops.
 		base := ix.Stats().PostingFetches
 		for _, q := range queries {
-			if _, err := ix.Search(q); err != nil {
+			if _, err := ix.Search(context.Background(), q); err != nil {
 				b.Fatal(err)
 			}
 		}
 		seqFetches := ix.Stats().PostingFetches - base
-		if _, err := ix.SearchBatch(queries); err != nil {
+		if _, err := ix.SearchBatch(context.Background(), queries); err != nil {
 			b.Fatal(err)
 		}
 		batchFetches := ix.Stats().PostingFetches - base - seqFetches
@@ -318,7 +319,7 @@ func BenchmarkSearchBatch(b *testing.B) {
 			b.ReportMetric(float64(seqFetches), "fetches/op")
 			for i := 0; i < b.N; i++ {
 				for _, q := range queries {
-					if _, err := ix.Search(q); err != nil {
+					if _, err := ix.Search(context.Background(), q); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -327,7 +328,7 @@ func BenchmarkSearchBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("batched/shards=%d", shards), func(b *testing.B) {
 			b.ReportMetric(float64(batchFetches), "fetches/op")
 			for i := 0; i < b.N; i++ {
-				if _, err := ix.SearchBatch(queries); err != nil {
+				if _, err := ix.SearchBatch(context.Background(), queries); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -370,4 +371,101 @@ func BenchmarkAblationStackJoin(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- v2 search API benches --------------------------------------------
+
+// BenchmarkCountOnly quantifies the dedicated count path of the v2
+// API: Count evaluates the same joins as Search but never materializes
+// a match slice, so its allocation volume must drop measurably vs.
+// Search-then-len. Run with -benchmem to see allocs/op side by side.
+func BenchmarkCountOnly(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "ix")
+	if _, err := si.Build(dir, si.GenerateCorpus(2012, 4000), si.DefaultBuildOptions()); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := si.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	const q = "NP(DT)(NN)" // high-cardinality: thousands of matches
+	res, err := ix.Search(context.Background(), q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := res.Count
+	b.Run("search+len", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := ix.Search(context.Background(), q)
+			if err != nil || len(r.Matches) != want {
+				b.Fatalf("len = %d (%v), want %d", len(r.Matches), err, want)
+			}
+		}
+	})
+	b.Run("count", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, err := ix.Count(context.Background(), q)
+			if err != nil || n != want {
+				b.Fatalf("Count = %d (%v), want %d", n, err, want)
+			}
+		}
+	})
+}
+
+// BenchmarkLimitedSearch is the early-termination claim of the v2 API
+// on a sharded index: a small limit consults shards lazily and must
+// issue strictly fewer posting fetches than the unlimited fan-out of
+// the same query (asserted on the fetch counter, so it holds at
+// -benchtime=1x in CI too).
+func BenchmarkLimitedSearch(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "ix")
+	opts := si.DefaultBuildOptions()
+	opts.Shards = 4
+	if _, err := si.Build(dir, si.GenerateCorpus(2012, 4000), opts); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := si.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	const q = "NP(DT)(NN)"
+
+	base := ix.Stats().PostingFetches
+	if _, err := ix.Search(context.Background(), q); err != nil {
+		b.Fatal(err)
+	}
+	fullFetches := ix.Stats().PostingFetches - base
+	lres, err := ix.Search(context.Background(), q, si.WithLimit(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	limitedFetches := ix.Stats().PostingFetches - base - fullFetches
+	if limitedFetches >= fullFetches {
+		b.Fatalf("limited search issued %d posting fetches, unlimited %d; want strictly fewer",
+			limitedFetches, fullFetches)
+	}
+	if len(lres.Matches) != 5 || !lres.Stats.Truncated {
+		b.Fatalf("limited search returned %d matches truncated=%v", len(lres.Matches), lres.Stats.Truncated)
+	}
+
+	b.Run("unlimited", func(b *testing.B) {
+		b.ReportMetric(float64(fullFetches), "fetches/op")
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Search(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("limit5", func(b *testing.B) {
+		b.ReportMetric(float64(limitedFetches), "fetches/op")
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Search(context.Background(), q, si.WithLimit(5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

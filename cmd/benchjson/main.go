@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can archive benchmark runs as machine-readable
+// artifacts and track the perf trajectory across commits (the
+// `make bench-json` target emits BENCH_search.json this way).
+//
+//	go test -run '^$' -bench Search -benchmem . | benchjson -o BENCH_search.json
+//
+// Standard benchmark lines parse into name, iteration count and a
+// metric map keyed by unit (ns/op, B/op, allocs/op, plus any custom
+// b.ReportMetric units such as fetches/op); header lines (goos,
+// goarch, pkg, cpu) become document metadata. Unrecognized lines are
+// ignored, so PASS/FAIL trailers and -v noise are harmless.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark's full name, including sub-benchmark path
+	// (e.g. "BenchmarkLimitedSearch/limit5").
+	Name string `json:"name"`
+	// Iterations is the b.N the reported metrics are averaged over.
+	Iterations int `json:"iterations"`
+	// Metrics maps a unit to its per-op value: ns/op, B/op, allocs/op,
+	// and any custom units like fetches/op.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	// GOOS, GOARCH, Pkg and CPU echo the benchmark run's header lines.
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks holds one entry per benchmark result line, in input
+	// order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+	} else {
+		err = os.WriteFile(*out, enc, 0o644)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// parse reads benchmark text output into a Doc.
+func parse(sc *bufio.Scanner) (*Doc, error) {
+	doc := &Doc{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBench(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBench parses one "BenchmarkName-8  N  V unit  V unit ..." line.
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Benchmark{}, false
+	}
+	// Strip the trailing -GOMAXPROCS suffix from the name.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// TestParseBenchOutput feeds a realistic -bench/-benchmem transcript
+// through the parser and checks names, metadata and metric values,
+// including a custom b.ReportMetric unit.
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLimitedSearch/unlimited-8         	       1	    962193 ns/op	         4.000 fetches/op	 1578984 B/op	    7091 allocs/op
+BenchmarkLimitedSearch/limit5-8            	       1	    244910 ns/op	         1.000 fetches/op	  410184 B/op	    1775 allocs/op
+BenchmarkCountOnly/count-8                 	     100	   1074035 ns/op
+PASS
+ok  	repro	2.324s
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "repro" || doc.CPU == "" {
+		t.Fatalf("metadata: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkLimitedSearch/unlimited" || b.Iterations != 1 {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 962193 || b.Metrics["fetches/op"] != 4 || b.Metrics["allocs/op"] != 7091 {
+		t.Fatalf("first metrics: %+v", b.Metrics)
+	}
+	last := doc.Benchmarks[2]
+	if last.Name != "BenchmarkCountOnly/count" || last.Iterations != 100 || last.Metrics["ns/op"] != 1074035 {
+		t.Fatalf("last benchmark: %+v", last)
+	}
+}
+
+// TestParseBenchGarbage asserts malformed lines are skipped, not
+// misparsed.
+func TestParseBenchGarbage(t *testing.T) {
+	const out = `BenchmarkBroken 12
+Benchmark 1 2 ns/op trailing
+BenchmarkOK-4 	 200 	 50 ns/op
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("benchmarks: %+v", doc.Benchmarks)
+	}
+}

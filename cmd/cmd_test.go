@@ -119,6 +119,15 @@ func TestToolPipeline(t *testing.T) {
 	if c3 != c1 {
 		t.Errorf("sharded index disagrees: %d vs %d", c3, c1)
 	}
+	// A limited query returns exactly one match (and says so), and the
+	// count-only path agrees with the full search.
+	out = run(t, siquery, "-index", idx3, "-limit", "1", "-timeout", "30s", "NP(DT)(NN)")
+	if !strings.Contains(out, "(1 returned") {
+		t.Errorf("siquery -limit 1 output: %s", out)
+	}
+	if c := matchCount(t, run(t, siquery, "-index", idx3, "-count", "NP(DT)(NN)")); c != c1 {
+		t.Errorf("siquery -count = %d, want %d", c, c1)
+	}
 
 	// 6. siexp runs the cheap decomposition experiment.
 	out = run(t, siexp, "-exp", "tab3")
@@ -213,6 +222,10 @@ func TestSisrvServes(t *testing.T) {
 	}
 	if body := get("/stats"); !strings.Contains(string(body), `"posting_fetches"`) {
 		t.Fatalf("stats: %s", body)
+	}
+	body = get("/stream?q=" + url.QueryEscape("NP(DT)(NN)") + "&limit=3")
+	if !strings.Contains(string(body), `"done":true`) || !strings.Contains(string(body), `"tid":`) {
+		t.Fatalf("stream: %s", body)
 	}
 }
 

@@ -4,12 +4,18 @@
 //
 //	siquery -index idxdir 'VP(VBZ(is))(NP(DT(a))(NN))'
 //	siquery -index idxdir -show 3 'S(//NN(rodent))'
+//	siquery -index idxdir -limit 10 -offset 20 -timeout 2s 'NP(DT)(NN)'
+//	siquery -index idxdir -count 'S(//NN)'
 //
 // Each positional argument is one query; -show N prints the first N
-// matching trees in bracketed form.
+// matching trees in bracketed form. -limit/-offset select a window of
+// matches (on a sharded index a limited query stops fetching postings
+// early), -timeout bounds each query's evaluation, and -count asks
+// only for the exact match count through the allocation-free path.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +27,10 @@ import (
 func main() {
 	dir := flag.String("index", "si-index", "index directory")
 	show := flag.Int("show", 0, "print up to N matching trees per query")
+	limit := flag.Int("limit", 0, "return at most N matches per query (0 = all)")
+	offset := flag.Int("offset", 0, "skip the first N matches per query")
+	timeout := flag.Duration("timeout", 0, "per-query evaluation timeout (0 = none)")
+	count := flag.Bool("count", false, "print only exact match counts (count-only path)")
 	cache := flag.Int64("cache", 0, "LRU page cache bytes per index file (0 = uncached, the paper's setup)")
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -33,20 +43,64 @@ func main() {
 	}
 	defer ix.Close()
 	for _, src := range flag.Args() {
-		start := time.Now()
-		ms, err := ix.Search(src)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		err := runQuery(ctx, ix, src, *limit, *offset, *show, *count)
+		cancel()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s: %d matches in %v\n", src, len(ms), time.Since(start).Round(time.Microsecond))
-		for i := 0; i < *show && i < len(ms); i++ {
-			t, err := ix.Tree(int(ms[i].TID))
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("  tree %d @ node %d: %s\n", ms[i].TID, ms[i].Root, t)
-		}
 	}
+}
+
+// runQuery evaluates one query under ctx and prints its result.
+func runQuery(ctx context.Context, ix *si.Index, src string, limit, offset, show int, countOnly bool) error {
+	start := time.Now()
+	if countOnly {
+		n, err := ix.Count(ctx, src)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d matches in %v\n", src, n, time.Since(start).Round(time.Microsecond))
+		return nil
+	}
+	var opts []si.SearchOption
+	if limit > 0 {
+		opts = append(opts, si.WithLimit(limit))
+	}
+	if offset > 0 {
+		opts = append(opts, si.WithOffset(offset))
+	}
+	res, err := ix.Search(ctx, src, opts...)
+	if err != nil {
+		return err
+	}
+	suffix := ""
+	if res.Stats.Truncated {
+		suffix = "+" // a limit stopped evaluation early; the count is a lower bound
+	}
+	fmt.Printf("%s: %d%s matches in %v (%d returned, %d shard(s), %d fetches)\n",
+		src, res.Count, suffix, time.Since(start).Round(time.Microsecond),
+		len(res.Matches), res.Stats.ShardsConsulted, res.Stats.PostingFetches)
+	shown := 0
+	for m, err := range res.All() {
+		if err != nil {
+			return err
+		}
+		if shown >= show {
+			break
+		}
+		shown++
+		t, err := ix.Tree(int(m.TID))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  tree %d @ node %d: %s\n", m.TID, m.Root, t)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,10 +1,12 @@
 // Command sisrv serves a Subtree Index over HTTP: JSON endpoints
-// /search, /count, /batch, /healthz and /stats over one long-lived
-// index, so open/parse/decompose costs are amortized across requests.
+// /search, /stream (NDJSON), /count, /batch, /healthz and /stats over
+// one long-lived index, so open/parse/decompose costs are amortized
+// across requests. Every request evaluates under a context bounded by
+// -timeout (requests may shorten it with ?timeout=).
 //
 // Serve an existing index directory:
 //
-//	sisrv -index idx -addr :8080 -cache 8388608 -plancache 4096
+//	sisrv -index idx -addr :8080 -cache 8388608 -plancache 4096 -timeout 10s
 //
 // Or build a throwaway demo index first (removed on exit):
 //
@@ -12,7 +14,8 @@
 //
 // Query it:
 //
-//	curl 'localhost:8080/search?q=NP(DT)(NN)&limit=3'
+//	curl 'localhost:8080/search?q=NP(DT)(NN)&limit=3&offset=1'
+//	curl 'localhost:8080/stream?q=NP(DT)(NN)&limit=1000'
 //	curl -d '{"queries":["NP(DT)(NN)","S(//NN)"]}' localhost:8080/batch
 package main
 
@@ -43,15 +46,16 @@ func main() {
 	plancache := flag.Int("plancache", 4096, "LRU query-plan cache entries (0 = disabled)")
 	limit := flag.Int("limit", server.DefaultMaxMatches, "max matches returned per query (-1 = unlimited)")
 	maxbatch := flag.Int("maxbatch", server.DefaultMaxBatch, "max queries per /batch request")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request evaluation timeout; requests may shorten it with ?timeout= but never extend it (0 = none)")
 	flag.Parse()
 
-	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, *cache, *plancache, *limit, *maxbatch); err != nil {
+	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, *cache, *plancache, *limit, *maxbatch, *timeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run builds or opens the index and serves it until SIGINT/SIGTERM.
-func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, plancache, limit, maxbatch int) error {
+func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, plancache, limit, maxbatch int, timeout time.Duration) error {
 	if dir == "" && gen == 0 {
 		return errors.New("sisrv: set -index to serve an existing index, or -gen N to build a demo index")
 	}
@@ -80,12 +84,26 @@ func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, p
 	log.Printf("serving %s: %d trees, %d shard(s), mss %d, %s coding",
 		dir, ix.NumTrees(), ix.Shards(), ix.MSS(), ix.Coding())
 
+	// The evaluation timeout flows to per-request contexts through
+	// server.Config; the http.Server write timeout is derived from it
+	// with headroom to serialize the response, so the connection
+	// deadline never fires before the evaluation deadline has had its
+	// chance to produce a clean 504. -timeout 0 means no deadline at
+	// either level: the write timeout is disabled too, or a >60s
+	// evaluation would have its connection severed mid-response.
+	writeTimeout := time.Duration(0)
+	if timeout > 0 {
+		writeTimeout = timeout + 30*time.Second
+		if writeTimeout < 60*time.Second {
+			writeTimeout = 60 * time.Second
+		}
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(ix, server.Config{MaxMatches: limit, MaxBatch: maxbatch}),
+		Handler:           server.New(ix, server.Config{MaxMatches: limit, MaxBatch: maxbatch, Timeout: timeout}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
+		WriteTimeout:      writeTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

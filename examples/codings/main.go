@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -46,7 +47,7 @@ func main() {
 		reps := 5
 		for r := 0; r < reps; r++ {
 			for _, q := range queries {
-				if _, err := ix.Search(q); err != nil {
+				if _, err := ix.Search(context.Background(), q); err != nil {
 					log.Fatal(err)
 				}
 			}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -46,12 +47,12 @@ func main() {
 		"S(NP(//agouti))(VP(VBZ(is))(//NN))",
 	}
 	for _, qs := range queries {
-		ms, err := ix.Search(qs)
+		res, err := ix.Search(context.Background(), qs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("query %s\n  -> %d sentence(s)\n", qs, len(ms))
-		for _, m := range ms {
+		fmt.Printf("query %s\n  -> %d sentence(s)\n", qs, res.Count)
+		for _, m := range res.Matches {
 			t, err := ix.Tree(int(m.TID))
 			if err != nil {
 				log.Fatal(err)

@@ -5,10 +5,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/si"
 )
@@ -51,17 +53,17 @@ func main() {
 		"S(NP)(VP(//PP))",  // clause whose predicate contains a PP
 		"NP(DT(the))(NNS)", // "the" + plural noun
 	} {
-		ms, err := ix.Search(q)
+		res, err := ix.Search(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s %6d matches", q, len(ms))
-		if len(ms) > 0 {
-			t, err := ix.Tree(int(ms[0].TID))
+		fmt.Printf("%-22s %6d matches", q, res.Count)
+		if len(res.Matches) > 0 {
+			t, err := ix.Tree(int(res.Matches[0].TID))
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("   e.g. tree %d: %.60s...", ms[0].TID, t.String())
+			fmt.Printf("   e.g. tree %d: %.60s...", res.Matches[0].TID, t.String())
 		}
 		fmt.Println()
 	}
@@ -70,16 +72,33 @@ func main() {
 	// posting lists shared between them are fetched once — fewer disk
 	// reads than four sequential searches (ix.Stats() proves it).
 	before := ix.Stats().PostingFetches
-	results, err := ix.SearchBatch([]string{
+	results, err := ix.SearchBatch(context.Background(), []string{
 		"NP(DT)(NN)", "VP(VBZ(is))", "S(NP)(VP(//PP))", "NP(DT(the))(NNS)",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	total := 0
-	for _, ms := range results {
-		total += len(ms)
+	for _, r := range results {
+		total += r.Count
 	}
 	fmt.Printf("\nbatch of 4 queries: %d total matches with %d posting fetches\n",
 		total, ix.Stats().PostingFetches-before)
+
+	// 5. Serving-style access: a bounded window of matches under a
+	// deadline. The context cancels evaluation if it overruns, and on a
+	// sharded index the limit stops posting fetches early.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	res, err := ix.Search(ctx, "NP(DT)(NN)", si.WithLimit(3), si.WithOffset(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst window of NP(DT)(NN) after offset 1 (truncated=%v):\n", res.Stats.Truncated)
+	for m, err := range res.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  tree %d node %d\n", m.TID, m.Root)
+	}
 }

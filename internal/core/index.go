@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -150,11 +151,11 @@ func (ix *Index) Query(q *query.Query) ([]Match, error) {
 // QueryText parses src (through the plan cache, when enabled) and
 // evaluates it; a repeated query string skips parse and decomposition.
 func (ix *Index) QueryText(src string) ([]Match, error) {
-	pl, err := ix.plans.planText(src)
+	pl, _, err := ix.plans.planText(src)
 	if err != nil {
 		return nil, err
 	}
-	ms, _, err := ix.evalPlan(pl, ix.getPosting)
+	ms, _, _, err := ix.evalPlan(context.Background(), pl, ix.getPosting, false)
 	return ms, err
 }
 
@@ -163,11 +164,12 @@ func (ix *Index) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
 	if q.Size() == 0 {
 		return nil, nil, fmt.Errorf("core: empty query")
 	}
-	pl, err := ix.plans.planQuery(q)
+	pl, _, err := ix.plans.planQuery(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	return ix.evalPlan(pl, ix.getPosting)
+	ms, _, st, err := ix.evalPlan(context.Background(), pl, ix.getPosting, false)
+	return ms, st, err
 }
 
 // QueryTextBatch evaluates a batch of textual queries with shared
@@ -176,39 +178,42 @@ func (ix *Index) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
 // is read once for the whole batch. Results are per query, identical
 // to running QueryText on each element.
 func (ix *Index) QueryTextBatch(srcs []string) ([][]Match, error) {
-	plans := make([]*Plan, len(srcs))
-	for i, src := range srcs {
-		pl, err := ix.plans.planText(src)
-		if err != nil {
-			return nil, fmt.Errorf("core: batch query %d %q: %w", i, src, err)
-		}
-		plans[i] = pl
+	plans, _, err := ix.plans.planBatch(srcs)
+	if err != nil {
+		return nil, err
 	}
-	return ix.evalPlans(plans)
+	out, _, err := ix.evalPlans(context.Background(), plans, ix.getPosting, false)
+	return out, err
 }
 
 // evalPlans evaluates compiled plans against this index with a shared
-// memoized posting getter, returning per-plan matches. Repeated plans
-// — duplicate or sibling-permuted queries resolve to one *Plan through
-// the plan cache — are evaluated once and their (read-only) match
-// slice shared across the corresponding outputs.
-func (ix *Index) evalPlans(plans []*Plan) ([][]Match, error) {
-	get := memoGetter(ix.getPosting)
-	done := make(map[*Plan][]Match, len(plans))
+// memoized posting getter, returning per-plan matches and counts.
+// Repeated plans — duplicate or sibling-permuted queries resolve to
+// one *Plan through the plan cache — are evaluated once and their
+// (read-only) match slice shared across the corresponding outputs.
+// With countOnly the match slices stay nil and only counts are filled.
+func (ix *Index) evalPlans(ctx context.Context, plans []*Plan, get postingGetter, countOnly bool) ([][]Match, []int, error) {
+	get = memoGetter(get)
+	type evaled struct {
+		ms []Match
+		n  int
+	}
+	done := make(map[*Plan]evaled, len(plans))
 	out := make([][]Match, len(plans))
+	counts := make([]int, len(plans))
 	for i, pl := range plans {
-		if ms, ok := done[pl]; ok {
-			out[i] = ms
+		if ev, ok := done[pl]; ok {
+			out[i], counts[i] = ev.ms, ev.n
 			continue
 		}
-		ms, _, err := ix.evalPlan(pl, get)
+		ms, n, _, err := ix.evalPlan(ctx, pl, get, countOnly)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		done[pl] = ms
-		out[i] = ms
+		done[pl] = evaled{ms: ms, n: n}
+		out[i], counts[i] = ms, n
 	}
-	return out, nil
+	return out, counts, nil
 }
 
 // postingGetter returns the raw count-prefixed posting blob of an index
@@ -247,14 +252,18 @@ func memoGetter(get postingGetter) postingGetter {
 }
 
 // evalPlan evaluates a compiled plan, dispatching on the index coding.
-func (ix *Index) evalPlan(pl *Plan, get postingGetter) ([]Match, *QueryStats, error) {
+// It returns the sorted matches and their count; with countOnly the
+// match slice stays nil (no per-match allocation) and only the count
+// is meaningful. ctx cancels evaluation between and inside the fetch,
+// join and validation loops.
+func (ix *Index) evalPlan(ctx context.Context, pl *Plan, get postingGetter, countOnly bool) ([]Match, int, *QueryStats, error) {
 	switch ix.meta.Coding {
 	case postings.FilterBased:
-		return ix.evalFilter(pl, get)
+		return ix.evalFilter(ctx, pl, get, countOnly)
 	case postings.RootSplit, postings.SubtreeInterval:
-		return ix.evalJoin(pl, get)
+		return ix.evalJoin(ctx, pl, get, countOnly)
 	default:
-		return nil, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
+		return nil, 0, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
 	}
 }
 
@@ -318,45 +327,54 @@ func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter) (join.Relation, int
 }
 
 // evalJoin evaluates a plan under root-split or subtree-interval coding.
-func (ix *Index) evalJoin(pl *Plan, get postingGetter) ([]Match, *QueryStats, error) {
+func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, countOnly bool) ([]Match, int, *QueryStats, error) {
 	st := &QueryStats{Pieces: len(pl.Pieces)}
 	var rels []join.Relation
 	for _, pp := range pl.Pieces {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, nil, err
+		}
 		rel, _, found, err := ix.fetchPiece(pp, get)
 		if err != nil {
-			return nil, nil, err
+			return nil, 0, nil, err
 		}
 		if !found {
-			return nil, st, nil // a piece with no postings: no matches
+			return nil, 0, st, nil // a piece with no postings: no matches
 		}
 		st.PostingsFetched += len(rel.Entries)
 		rels = append(rels, rel)
 	}
 	st.Joins = len(rels) - 1
-	ms, err := join.Execute(pl.Query, rels)
+	ms, n, err := join.Run(ctx, pl.Query, rels, join.Options{CountOnly: countOnly})
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
-	return ms, st, nil
+	return ms, n, st, nil
 }
 
 // evalFilter evaluates a plan under filter-based coding: intersect tid
 // lists of all pieces, then fetch candidate trees from the data file
 // and run the exact matcher (the costly filtering phase of §4.4.1).
-func (ix *Index) evalFilter(pl *Plan, get postingGetter) ([]Match, *QueryStats, error) {
+// Cancellation is checked per piece and per validated candidate tree —
+// validation dominates this coding's cost, so an expired ctx stops the
+// scan within one tree's worth of work.
+func (ix *Index) evalFilter(ctx context.Context, pl *Plan, get postingGetter, countOnly bool) ([]Match, int, *QueryStats, error) {
 	st := &QueryStats{Pieces: len(pl.Pieces)}
 	var lists [][]uint32
 	for _, pp := range pl.Pieces {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, nil, err
+		}
 		val, found, err := get(pp.Key)
 		if err != nil {
-			return nil, nil, err
+			return nil, 0, nil, err
 		}
 		if !found {
-			return nil, st, nil
+			return nil, 0, st, nil
 		}
 		_, n := binary.Uvarint(val)
 		if n <= 0 {
-			return nil, nil, fmt.Errorf("core: corrupt posting count for %q", pp.Key)
+			return nil, 0, nil, fmt.Errorf("core: corrupt posting count for %q", pp.Key)
 		}
 		var tids []uint32
 		it := postings.NewFilterIterator(val[n:])
@@ -364,7 +382,7 @@ func (ix *Index) evalFilter(pl *Plan, get postingGetter) ([]Match, *QueryStats, 
 			tids = append(tids, it.TID())
 		}
 		if err := it.Err(); err != nil {
-			return nil, nil, err
+			return nil, 0, nil, err
 		}
 		st.PostingsFetched += len(tids)
 		lists = append(lists, tids)
@@ -375,17 +393,26 @@ func (ix *Index) evalFilter(pl *Plan, get postingGetter) ([]Match, *QueryStats, 
 
 	m := match.New(pl.Query)
 	var out []Match
+	count := 0
 	for _, tid := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, nil, err
+		}
 		t, err := ix.store.Tree(int(tid))
 		if err != nil {
-			return nil, nil, err
+			return nil, 0, nil, err
 		}
 		st.Validated++
-		for _, root := range m.Roots(t) {
+		roots := m.Roots(t)
+		count += len(roots)
+		if countOnly {
+			continue
+		}
+		for _, root := range roots {
 			out = append(out, Match{TID: tid, Root: uint32(root)})
 		}
 	}
-	return out, st, nil
+	return out, count, st, nil
 }
 
 // intersect computes the intersection of sorted tid lists, smallest

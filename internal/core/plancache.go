@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -95,64 +96,84 @@ func newPlanner(meta Meta, cacheSize int) *planner {
 }
 
 // planQuery returns the plan of an already-parsed query, keyed by its
-// canonical text. The query is cloned before the plan is cached, so a
-// caller who mutates q afterwards cannot corrupt cached plans.
-func (p *planner) planQuery(q *query.Query) (*Plan, error) {
+// canonical text, and whether the plan came from the cache. The query
+// is cloned before the plan is cached, so a caller who mutates q
+// afterwards cannot corrupt cached plans.
+func (p *planner) planQuery(q *query.Query) (*Plan, bool, error) {
 	if p.cache == nil {
-		return NewPlan(q, p.mss, p.coding)
+		pl, err := NewPlan(q, p.mss, p.coding)
+		return pl, false, err
 	}
 	canon := q.Canonical()
 	if pl, ok := p.cache.get(canon); ok {
 		p.hits.Add(1)
-		return pl, nil
+		return pl, true, nil
 	}
 	p.misses.Add(1)
 	pl, err := NewPlan(q.Clone(), p.mss, p.coding)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	p.cache.put(canon, pl)
-	return pl, nil
+	return pl, false, nil
 }
 
-// planText returns the plan of a textual query. A raw-text cache hit
-// skips parsing and decomposition entirely; otherwise the text is
-// parsed, the canonical key is tried, and the raw text is stored as an
-// alias so the next identical request short-circuits.
-func (p *planner) planText(src string) (*Plan, error) {
+// planText returns the plan of a textual query and whether it came
+// from the cache. A raw-text cache hit skips parsing and decomposition
+// entirely; otherwise the text is parsed, the canonical key is tried,
+// and the raw text is stored as an alias so the next identical request
+// short-circuits.
+func (p *planner) planText(src string) (*Plan, bool, error) {
 	if p.cache == nil {
 		q, err := query.Parse(src)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return NewPlan(q, p.mss, p.coding)
+		pl, err := NewPlan(q, p.mss, p.coding)
+		return pl, false, err
 	}
 	if pl, ok := p.cache.get(src); ok {
 		p.hits.Add(1)
-		return pl, nil
+		return pl, true, nil
 	}
 	q, err := query.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	canon := q.Canonical()
 	if canon != src {
 		if pl, ok := p.cache.get(canon); ok {
 			p.hits.Add(1)
 			p.cache.put(src, pl)
-			return pl, nil
+			return pl, true, nil
 		}
 	}
 	p.misses.Add(1)
 	pl, err := NewPlan(q, p.mss, p.coding)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	p.cache.put(canon, pl)
 	if canon != src {
 		p.cache.put(src, pl)
 	}
-	return pl, nil
+	return pl, false, nil
+}
+
+// planBatch plans every query of a batch, reporting per-query cache
+// hits; any unparsable query fails the whole batch with an error
+// naming its position.
+func (p *planner) planBatch(srcs []string) ([]*Plan, []bool, error) {
+	plans := make([]*Plan, len(srcs))
+	hits := make([]bool, len(srcs))
+	for i, src := range srcs {
+		pl, hit, err := p.planText(src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: batch query %d %q: %w", i, src, err)
+		}
+		plans[i], hits[i] = pl, hit
+	}
+	return plans, hits, nil
 }
 
 // counters reports the planner's cache activity (zeros when caching is

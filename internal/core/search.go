@@ -1,0 +1,436 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/subtree"
+)
+
+// This file is the v2 search execution path: context-first,
+// options-carrying, limit-aware. The legacy Query/QueryText methods
+// are thin wrappers over the same machinery with a background context
+// and no bounds. The shape follows production code-search engines
+// (zoekt's Searcher takes ctx + SearchOptions with display limits):
+// callers say how many matches they need and how long they will wait,
+// and the engine stops fetching posting pages once the demand is met.
+
+// SearchOpts bound one search. The zero value asks for everything:
+// every match, no offset, full materialization.
+type SearchOpts struct {
+	// Limit caps the number of matches returned (after Offset); <= 0
+	// means unlimited. On a sharded index a limit turns the fan-out
+	// into a lazy in-order shard consultation (lookahead-pipelined)
+	// that stops launching shards — and so stops issuing their
+	// posting fetches — once Offset+Limit matches are merged.
+	Limit int
+	// Offset skips that many leading matches in global (tid, root)
+	// order before Limit applies — cheap paging for serving.
+	Offset int
+	// CountOnly skips materializing matches entirely: the Result
+	// carries only the exact total count and a nil match slice, and no
+	// per-match allocation happens anywhere on the path. Limit and
+	// Offset are ignored — a count is always exact.
+	CountOnly bool
+}
+
+// target returns the number of leading matches that must be merged
+// before evaluation may stop: Offset+Limit, or 0 for "all".
+func (o SearchOpts) target() int {
+	if o.Limit <= 0 {
+		return 0
+	}
+	if o.Offset > 0 {
+		return o.Offset + o.Limit
+	}
+	return o.Limit
+}
+
+// SearchStats describe how one search executed — the per-query
+// counterpart of the handle-wide cumulative Counters.
+type SearchStats struct {
+	// PostingFetches is the number of physical posting-list reads this
+	// search issued (for a batch: the whole batch, since shared fetches
+	// cannot be attributed to one query).
+	PostingFetches uint64 `json:"posting_fetches"`
+	// PlanCacheHit reports that the query skipped parse/decomposition
+	// via the plan cache.
+	PlanCacheHit bool `json:"plan_cache_hit"`
+	// ShardsConsulted is the number of index partitions evaluated;
+	// under a Limit it can be less than the shard count, which is
+	// exactly where the fetch savings come from.
+	ShardsConsulted int `json:"shards_consulted"`
+	// Truncated reports that the result is an incomplete prefix: a
+	// Limit cut materialization short or stopped the shard scan before
+	// every partition was consulted. Count is then a lower bound on
+	// the total number of matches.
+	Truncated bool `json:"truncated"`
+}
+
+// Result is the outcome of one v2 search.
+type Result struct {
+	// Matches holds the requested window of matches in global
+	// (tid, root) order; nil in count-only mode.
+	Matches []Match
+	// Count is the number of matches found before evaluation stopped:
+	// the exact total for unlimited or count-only searches, a lower
+	// bound (>= len(Matches), since Offset skips within it) when
+	// Stats.Truncated is set.
+	Count int
+	// Stats reports how the search executed.
+	Stats SearchStats
+}
+
+// All streams the result's matches as an iter.Seq2 — the form serving
+// layers range over to write NDJSON incrementally. The error value is
+// reserved for evaluation modes that discover failures mid-stream;
+// with today's materialized results it is always nil.
+func (r *Result) All() iter.Seq2[Match, error] {
+	return func(yield func(Match, error) bool) {
+		for _, m := range r.Matches {
+			if !yield(m, nil) {
+				return
+			}
+		}
+	}
+}
+
+// window applies Offset and Limit to fully materialized matches,
+// returning the requested slice, the number of matches found, and
+// whether trailing matches were cut off. A trimmed window is copied
+// out of the full slice, so a small result does not pin a large
+// backing array for its lifetime; the untrimmed common case stays
+// zero-copy.
+func window(ms []Match, opts SearchOpts) (out []Match, found int, truncated bool) {
+	found = len(ms)
+	off := opts.Offset
+	if off < 0 {
+		off = 0
+	}
+	if off > len(ms) {
+		off = len(ms)
+	}
+	out = ms[off:]
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+		truncated = true
+	}
+	if len(out) < len(ms) {
+		out = append([]Match(nil), out...)
+	}
+	return out, found, truncated
+}
+
+// rebase appends ms to dst with each match's local shard tid shifted
+// to the global range starting at base — the one merge step shared by
+// the lazy, fan-out and batch shard paths.
+func rebase(dst []Match, ms []Match, base uint32) []Match {
+	for _, m := range ms {
+		dst = append(dst, Match{TID: m.TID + base, Root: m.Root})
+	}
+	return dst
+}
+
+// countingGetter wraps a posting getter so each physical fetch is also
+// tallied into n — the per-query counter behind Result.Stats. Not safe
+// for concurrent use; fan-out paths give each shard its own.
+func countingGetter(get postingGetter, n *uint64) postingGetter {
+	return func(k subtree.Key) ([]byte, bool, error) {
+		*n++
+		return get(k)
+	}
+}
+
+// Search parses src (through the plan cache, when enabled) and
+// evaluates it under ctx with the given bounds.
+func (ix *Index) Search(ctx context.Context, src string, opts SearchOpts) (*Result, error) {
+	pl, hit, err := ix.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	return ix.searchPlan(ctx, pl, opts, hit)
+}
+
+// SearchQuery evaluates an already-parsed query under ctx with the
+// given bounds.
+func (ix *Index) SearchQuery(ctx context.Context, q *query.Query, opts SearchOpts) (*Result, error) {
+	if q.Size() == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	pl, hit, err := ix.plans.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return ix.searchPlan(ctx, pl, opts, hit)
+}
+
+// searchPlan runs one compiled plan on this single-directory index.
+// The index evaluates in one piece, so Limit/Offset are applied to the
+// sorted output; the early-termination fetch savings live in the
+// sharded path.
+func (ix *Index) searchPlan(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
+	var fetched uint64
+	get := countingGetter(ix.getPosting, &fetched)
+	ms, n, _, err := ix.evalPlan(ctx, pl, get, opts.CountOnly)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: SearchStats{PlanCacheHit: hit, ShardsConsulted: 1}}
+	if opts.CountOnly {
+		res.Count = n
+	} else {
+		res.Matches, res.Count, res.Stats.Truncated = window(ms, opts)
+	}
+	res.Stats.PostingFetches = fetched
+	return res, nil
+}
+
+// SearchBatch evaluates a batch of textual queries under ctx with
+// shared posting fetches; results keep query order and each is
+// identical to Search on that element (batches do not early-terminate
+// — sharing fetches across the batch is their optimization). The
+// per-result Stats report the whole batch's fetch total.
+func (ix *Index) SearchBatch(ctx context.Context, srcs []string, opts SearchOpts) ([]*Result, error) {
+	plans, hits, err := ix.plans.planBatch(srcs)
+	if err != nil {
+		return nil, err
+	}
+	var fetched uint64
+	mss, counts, err := ix.evalPlans(ctx, plans, countingGetter(ix.getPosting, &fetched), opts.CountOnly)
+	if err != nil {
+		return nil, err
+	}
+	return batchResults(mss, counts, hits, opts, fetched, 1), nil
+}
+
+// batchResults shapes per-plan batch outputs into windowed Results.
+func batchResults(mss [][]Match, counts []int, hits []bool, opts SearchOpts, fetched uint64, shards int) []*Result {
+	out := make([]*Result, len(mss))
+	for i := range mss {
+		r := &Result{Stats: SearchStats{
+			PostingFetches:  fetched,
+			PlanCacheHit:    hits[i],
+			ShardsConsulted: shards,
+		}}
+		if opts.CountOnly {
+			r.Count = counts[i]
+		} else {
+			r.Matches, r.Count, r.Stats.Truncated = window(mss[i], opts)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Search parses src (through the root's plan cache, when enabled) and
+// evaluates it across the shards under ctx with the given bounds.
+func (s *Sharded) Search(ctx context.Context, src string, opts SearchOpts) (*Result, error) {
+	pl, hit, err := s.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.searchPlan(ctx, pl, opts, hit)
+}
+
+// SearchQuery evaluates an already-parsed query across the shards
+// under ctx with the given bounds.
+func (s *Sharded) SearchQuery(ctx context.Context, q *query.Query, opts SearchOpts) (*Result, error) {
+	if q.Size() == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	pl, hit, err := s.plans.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.searchPlan(ctx, pl, opts, hit)
+}
+
+// searchPlan runs one compiled plan across the shards, choosing the
+// evaluation shape from the bounds: bounded searches consult shards
+// lazily in tid order and stop early, unbounded ones keep the
+// concurrent fan-out.
+func (s *Sharded) searchPlan(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
+	if target := opts.target(); target > 0 && !opts.CountOnly {
+		return s.searchLazy(ctx, pl, opts, hit, target)
+	}
+	return s.searchFanout(ctx, pl, opts, hit)
+}
+
+// lazyLookahead is how many shards the lazy merge keeps in flight:
+// shard i+1 evaluates while shard i's results are consumed, so the
+// limited path overlaps evaluation instead of running strictly
+// sequentially, at the cost of at most one shard of speculative work
+// beyond what the limit needed — which keeps the strictly-fewer-
+// fetches guarantee deterministic whenever the limit is satisfied
+// before the last lookahead window.
+const lazyLookahead = 2
+
+// searchLazy is the early-terminating path: because shards partition
+// the corpus into contiguous tid ranges, the globally sorted match
+// stream is shard 0's matches, then shard 1's, and so on — a k-way
+// merge whose streams never interleave. Consuming shards in that
+// order (evaluated lazyLookahead at a time) and stopping once
+// Offset+Limit matches are merged is therefore exact, and every shard
+// never started is posting fetches never issued (asserted against the
+// fetch counter in the tests).
+func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit bool, target int) (*Result, error) {
+	type shardOut struct {
+		ms      []Match
+		fetched uint64
+		err     error
+	}
+	outs := make([]chan shardOut, len(s.shards))
+	launch := func(i int) {
+		outs[i] = make(chan shardOut, 1)
+		go func(i int, sh *Index) {
+			var o shardOut
+			o.ms, _, _, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), false)
+			outs[i] <- o
+		}(i, s.shards[i])
+	}
+	launched := 0
+	for launched < len(s.shards) && launched < lazyLookahead {
+		launch(launched)
+		launched++
+	}
+	var fetched uint64
+	var all []Match
+	var firstErr error
+	consulted := 0
+	for i := 0; i < launched; i++ {
+		o := <-outs[i]
+		fetched += o.fetched
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: shard %d: %w", i, o.err)
+			}
+			continue // keep draining in-flight shards before returning
+		}
+		if firstErr != nil {
+			continue
+		}
+		all = rebase(all, o.ms, s.offsets[i])
+		consulted++
+		if len(all) >= target {
+			continue // stop launching; drain what is already in flight
+		}
+		if launched < len(s.shards) {
+			launch(launched)
+			launched++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res := &Result{Stats: SearchStats{
+		PostingFetches:  fetched,
+		PlanCacheHit:    hit,
+		ShardsConsulted: consulted,
+	}}
+	var trimmed bool
+	res.Matches, res.Count, trimmed = window(all, opts)
+	res.Stats.Truncated = trimmed || consulted < len(s.shards)
+	return res, nil
+}
+
+// searchFanout is the full-evaluation path (unlimited or count-only):
+// one goroutine per shard, results rebased to global tids and
+// concatenated in shard order.
+func (s *Sharded) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
+	type shardOut struct {
+		ms      []Match
+		n       int
+		fetched uint64
+		err     error
+	}
+	outs := make([]shardOut, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Index) {
+			defer wg.Done()
+			o := &outs[i]
+			o.ms, o.n, _, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), opts.CountOnly)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	res := &Result{Stats: SearchStats{PlanCacheHit: hit, ShardsConsulted: len(s.shards)}}
+	total := 0
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, outs[i].err)
+		}
+		total += len(outs[i].ms)
+		res.Count += outs[i].n
+		res.Stats.PostingFetches += outs[i].fetched
+	}
+	if opts.CountOnly {
+		return res, nil
+	}
+	all := make([]Match, 0, total)
+	for i := range outs {
+		all = rebase(all, outs[i].ms, s.offsets[i])
+	}
+	res.Matches, res.Count, res.Stats.Truncated = window(all, opts)
+	return res, nil
+}
+
+// SearchBatch evaluates a batch of textual queries across the shards
+// under ctx: planned once at the root, then every shard evaluates the
+// whole batch concurrently with per-shard fetch dedup. Bounds apply
+// per query at the merge; batches do not early-terminate across
+// shards. The per-result Stats report the whole batch's fetch total.
+func (s *Sharded) SearchBatch(ctx context.Context, srcs []string, opts SearchOpts) ([]*Result, error) {
+	plans, hits, err := s.plans.planBatch(srcs)
+	if err != nil {
+		return nil, err
+	}
+	type shardOut struct {
+		ms      [][]Match
+		counts  []int
+		fetched uint64
+		err     error
+	}
+	outs := make([]shardOut, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *Index) {
+			defer wg.Done()
+			o := &outs[i]
+			o.ms, o.counts, o.err = sh.evalPlans(ctx, plans, countingGetter(sh.getPosting, &o.fetched), opts.CountOnly)
+		}(i, sh)
+	}
+	wg.Wait()
+	var fetched uint64
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, outs[i].err)
+		}
+		fetched += outs[i].fetched
+	}
+	merged := make([][]Match, len(plans))
+	counts := make([]int, len(plans))
+	for qi := range plans {
+		for i := range outs {
+			counts[qi] += outs[i].counts[qi]
+		}
+		if opts.CountOnly {
+			continue
+		}
+		total := 0
+		for i := range outs {
+			total += len(outs[i].ms[qi])
+		}
+		all := make([]Match, 0, total)
+		for i := range outs {
+			all = rebase(all, outs[i].ms[qi], s.offsets[i])
+		}
+		merged[qi] = all
+	}
+	return batchResults(merged, counts, hits, opts, fetched, len(s.shards)), nil
+}

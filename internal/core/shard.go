@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -234,10 +235,15 @@ func OpenAny(dir string, opts OpenOptions) (Handle, error) {
 }
 
 // Handle is the read interface shared by single and sharded indexes;
-// the public si package works exclusively through it.
+// the public si package works exclusively through it. Search,
+// SearchQuery and SearchBatch are the v2 execution path (context-first,
+// limit-aware); the Query* methods are the legacy unbounded wrappers.
 type Handle interface {
 	Meta() Meta
 	Close() error
+	Search(ctx context.Context, src string, opts SearchOpts) (*Result, error)
+	SearchQuery(ctx context.Context, q *query.Query, opts SearchOpts) (*Result, error)
+	SearchBatch(ctx context.Context, srcs []string, opts SearchOpts) ([]*Result, error)
 	Query(q *query.Query) ([]Match, error)
 	QueryText(src string) ([]Match, error)
 	QueryTextBatch(srcs []string) ([][]Match, error)
@@ -285,7 +291,7 @@ func (s *Sharded) Query(q *query.Query) ([]Match, error) {
 // and evaluates it across all shards; a repeated query string skips
 // parse and decomposition.
 func (s *Sharded) QueryText(src string) ([]Match, error) {
-	pl, err := s.plans.planText(src)
+	pl, _, err := s.plans.planText(src)
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +308,7 @@ func (s *Sharded) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
 	if q.Size() == 0 {
 		return nil, nil, fmt.Errorf("core: empty query")
 	}
-	pl, err := s.plans.planQuery(q)
+	pl, _, err := s.plans.planQuery(q)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -323,7 +329,7 @@ func (s *Sharded) evalPlanFanout(pl *Plan) ([]Match, *QueryStats, error) {
 		wg.Add(1)
 		go func(i int, sh *Index) {
 			defer wg.Done()
-			ms, st, err := sh.evalPlan(pl, sh.getPosting)
+			ms, _, st, err := sh.evalPlan(context.Background(), pl, sh.getPosting, false)
 			results[i] = result{ms: ms, st: st, err: err}
 		}(i, sh)
 	}
@@ -339,10 +345,7 @@ func (s *Sharded) evalPlanFanout(pl *Plan) ([]Match, *QueryStats, error) {
 	out := make([]Match, 0, total)
 	agg := &QueryStats{}
 	for i := range results {
-		base := s.offsets[i]
-		for _, m := range results[i].ms {
-			out = append(out, Match{TID: m.TID + base, Root: m.Root})
-		}
+		out = rebase(out, results[i].ms, s.offsets[i])
 		if st := results[i].st; st != nil {
 			// Pieces is a property of the query decomposition, identical
 			// in every shard — report it once, not shard-count times.
@@ -362,48 +365,13 @@ func (s *Sharded) evalPlanFanout(pl *Plan) ([]Match, *QueryStats, error) {
 // per shard. Per-query results are identical to sequential QueryText
 // calls.
 func (s *Sharded) QueryTextBatch(srcs []string) ([][]Match, error) {
-	plans := make([]*Plan, len(srcs))
-	for i, src := range srcs {
-		pl, err := s.plans.planText(src)
-		if err != nil {
-			return nil, fmt.Errorf("core: batch query %d %q: %w", i, src, err)
-		}
-		plans[i] = pl
+	results, err := s.SearchBatch(context.Background(), srcs, SearchOpts{})
+	if err != nil {
+		return nil, err
 	}
-	type result struct {
-		ms  [][]Match
-		err error
-	}
-	results := make([]result, len(s.shards))
-	var wg sync.WaitGroup
-	for i, sh := range s.shards {
-		wg.Add(1)
-		go func(i int, sh *Index) {
-			defer wg.Done()
-			ms, err := sh.evalPlans(plans)
-			results[i] = result{ms: ms, err: err}
-		}(i, sh)
-	}
-	wg.Wait()
-	for i := range results {
-		if results[i].err != nil {
-			return nil, fmt.Errorf("core: shard %d: %w", i, results[i].err)
-		}
-	}
-	out := make([][]Match, len(plans))
-	for qi := range plans {
-		total := 0
-		for i := range results {
-			total += len(results[i].ms[qi])
-		}
-		merged := make([]Match, 0, total)
-		for i := range results {
-			base := s.offsets[i]
-			for _, m := range results[i].ms[qi] {
-				merged = append(merged, Match{TID: m.TID + base, Root: m.Root})
-			}
-		}
-		out[qi] = merged
+	out := make([][]Match, len(results))
+	for i, r := range results {
+		out[i] = r.Matches
 	}
 	return out, nil
 }

@@ -17,6 +17,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -55,20 +56,61 @@ type pred struct {
 	u, v int // query nodes; for parent/ancestor, u is the upper node
 }
 
+// Options shape one Run: count-only evaluation skips materializing,
+// sorting and returning the match slice altogether.
+type Options struct {
+	// CountOnly makes Run return only the distinct-match count, with a
+	// nil match slice — no per-match allocation happens.
+	CountOnly bool
+}
+
+// canceller amortizes context checks over hot join loops: the deadline
+// is consulted once per 1024 ticks, so cancellation is detected within
+// a bounded amount of work without a per-row atomic load.
+type canceller struct {
+	ctx  context.Context
+	tick int
+}
+
+// check reports the context's error once it is cancelled; most calls
+// return nil without touching the context.
+func (c *canceller) check() error {
+	c.tick++
+	if c.tick&1023 != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
 // Execute joins the relations and returns the distinct (tid, root
-// image) matches of the query root. Every query node must be bound by
-// at least one relation slot *or* be enforceable transitively; the
-// query root must be bound.
+// image) matches of the query root. It is Run without cancellation or
+// count-only shortcuts, kept for callers with no context to thread.
 func Execute(q *query.Query, rels []Relation) ([]Match, error) {
+	ms, _, err := Run(context.Background(), q, rels, Options{})
+	return ms, err
+}
+
+// Run joins the relations under ctx and returns the distinct (tid,
+// root image) matches of the query root, plus their count. Every query
+// node must be bound by at least one relation slot *or* be enforceable
+// transitively; the query root must be bound. Cancellation is checked
+// on entry, between join steps, and periodically inside merge loops,
+// so an expired ctx aborts evaluation promptly with ctx.Err(). With
+// Options.CountOnly the match slice stays nil and only the count is
+// computed.
+func Run(ctx context.Context, q *query.Query, rels []Relation, opt Options) ([]Match, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if len(rels) == 0 {
-		return nil, fmt.Errorf("join: no relations")
+		return nil, 0, fmt.Errorf("join: no relations")
 	}
 	for _, r := range rels {
 		if len(r.Entries) == 0 {
-			return nil, nil // empty posting list: no matches anywhere
+			return nil, 0, nil // empty posting list: no matches anywhere
 		}
 		if len(r.Slots) == 0 {
-			return nil, fmt.Errorf("join: relation %q has no slots", r.Name)
+			return nil, 0, fmt.Errorf("join: relation %q has no slots", r.Name)
 		}
 	}
 	preds := buildPredicates(q)
@@ -77,14 +119,21 @@ func Execute(q *query.Query, rels []Relation) ([]Match, error) {
 	// add the smallest relation connected to the bound set.
 	order, err := planOrder(q, rels)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
+	cc := &canceller{ctx: ctx}
 	cur := newTable(rels[order[0]])
 	for _, ri := range order[1:] {
-		cur = joinStep(cur, rels[ri], preds)
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		cur, err = joinStep(cc, cur, rels[ri], preds)
+		if err != nil {
+			return nil, 0, err
+		}
 		if len(cur.rows) == 0 {
-			return nil, nil
+			return nil, 0, nil
 		}
 	}
 	// Final residual pass: predicates whose nodes only became jointly
@@ -92,17 +141,25 @@ func Execute(q *query.Query, rels []Relation) ([]Match, error) {
 	// is projecting the root and deduplicating.
 	rootCol, ok := cur.col[q.Root()]
 	if !ok {
-		return nil, fmt.Errorf("join: query root is not bound by any relation")
+		return nil, 0, fmt.Errorf("join: query root is not bound by any relation")
 	}
 	seen := make(map[uint64]struct{}, len(cur.rows))
 	var out []Match
 	for _, row := range cur.rows {
+		if err := cc.check(); err != nil {
+			return nil, 0, err
+		}
 		k := uint64(row.tid)<<32 | uint64(row.bind[rootCol].Pre)
 		if _, dup := seen[k]; dup {
 			continue
 		}
 		seen[k] = struct{}{}
-		out = append(out, Match{TID: row.tid, Root: row.bind[rootCol].Pre})
+		if !opt.CountOnly {
+			out = append(out, Match{TID: row.tid, Root: row.bind[rootCol].Pre})
+		}
+	}
+	if opt.CountOnly {
+		return nil, len(seen), nil
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].TID != out[j].TID {
@@ -110,7 +167,7 @@ func Execute(q *query.Query, rels []Relation) ([]Match, error) {
 		}
 		return out[i].Root < out[j].Root
 	})
-	return out, nil
+	return out, len(out), nil
 }
 
 // buildPredicates derives the full predicate set from the query.
@@ -223,8 +280,9 @@ func newTable(r Relation) *table {
 
 // joinStep merge-joins cur with relation r, applying every predicate
 // that becomes checkable (both nodes bound) and keeping shared-slot
-// equality implicit predicates.
-func joinStep(cur *table, r Relation, preds []pred) *table {
+// equality implicit predicates. It aborts with the context's error
+// when cc observes cancellation mid-merge.
+func joinStep(cc *canceller, cur *table, r Relation, preds []pred) (*table, error) {
 	// Columns of the result: existing + new slots of r.
 	out := &table{col: map[int]int{}}
 	for k, v := range cur.col {
@@ -270,8 +328,12 @@ func joinStep(cur *table, r Relation, preds []pred) *table {
 					residual = append(residual, p)
 				}
 			}
-			out.rows = stackJoin(cur, r, out, newSlots, driver, uInCur, residual)
-			return out
+			rows, err := stackJoin(cc, cur, r, out, newSlots, driver, uInCur, residual)
+			if err != nil {
+				return nil, err
+			}
+			out.rows = rows
+			return out, nil
 		}
 	}
 
@@ -300,6 +362,9 @@ func joinStep(cur *table, r Relation, preds []pred) *table {
 			}
 			for a := i; a < i2; a++ {
 				for b := j; b < j2; b++ {
+					if err := cc.check(); err != nil {
+						return nil, err
+					}
 					if !sharedEqual(cur.rows[a], entries[b], sharedSlots) {
 						continue
 					}
@@ -313,7 +378,7 @@ func joinStep(cur *table, r Relation, preds []pred) *table {
 		}
 	}
 	out.rows = rows
-	return out
+	return out, nil
 }
 
 func sharedEqual(a row, e postings.IntervalEntry, shared [][2]int) bool {

@@ -49,9 +49,9 @@ type stackItem struct {
 // the stack of currently-open ancestors and emits every
 // (ancestor, descendant) pair, O(|A| + |D| + |output|) instead of the
 // block join's per-tree nested loops. Residual predicates are applied
-// to each emitted row.
-func stackJoin(cur *table, r Relation, out *table, newSlots []int,
-	driver pred, uInCur bool, residual []pred) []row {
+// to each emitted row. cc aborts the pass when its context expires.
+func stackJoin(cc *canceller, cur *table, r Relation, out *table, newSlots []int,
+	driver pred, uInCur bool, residual []pred) ([]row, error) {
 
 	uCol := -1
 	if uInCur {
@@ -151,11 +151,14 @@ func stackJoin(cur *table, r Relation, out *table, newSlots []int,
 		}
 		for _, g := range stack {
 			for _, a := range g.items {
+				if err := cc.check(); err != nil {
+					return nil, err
+				}
 				emit(a, d)
 			}
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 func slotIndex(slots []int, node int) int {

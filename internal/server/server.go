@@ -5,19 +5,28 @@
 //
 // Endpoints:
 //
-//	GET  /search?q=Q&limit=N   matches of one query (count always exact)
-//	GET  /count?q=Q            match count only
+//	GET  /search?q=Q&limit=N&offset=M&timeout=D   one query's match window
+//	GET  /stream?q=Q&limit=N&offset=M&timeout=D   same, streamed as NDJSON
+//	GET  /count?q=Q&timeout=D                     exact match count only
 //	POST /batch                {"queries": [...]} evaluated as one batch:
 //	                           shared cover keys are fetched once per shard
 //	GET  /healthz              liveness + corpus summary
 //	GET  /stats                index info and cumulative serving counters
 //
-// All responses are JSON; errors are {"error": "..."} with a 4xx/5xx
-// status. The handler is safe for concurrent use — si.Index is — and
-// holds no per-request state.
+// Every query evaluates under the request's context, bounded by the
+// server's default timeout (Config.Timeout) unless the request asks
+// for a shorter one with timeout= (a Go duration, e.g. 500ms); a
+// client disconnect cancels evaluation mid-join. limit/offset push
+// down into the v2 search path, so on a sharded index a small limit
+// stops fetching posting lists early instead of trimming afterwards.
+//
+// All responses are JSON (NDJSON for /stream); errors are
+// {"error": "..."} with a 4xx/5xx status. The handler is safe for
+// concurrent use — si.Index is — and holds no per-request state.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,9 +48,9 @@ const (
 
 // Config bounds what one request may cost the server.
 type Config struct {
-	// MaxMatches caps the matches returned per query (response counts
-	// stay exact; the match list is truncated and flagged). 0 means
-	// DefaultMaxMatches; negative means no cap.
+	// MaxMatches caps the matches returned per query; the limit pushes
+	// down into the engine, which stops merging shard results beyond
+	// it. 0 means DefaultMaxMatches; negative means no cap.
 	MaxMatches int
 	// MaxBatch caps the queries accepted by one /batch request.
 	// 0 means DefaultMaxBatch.
@@ -49,6 +58,10 @@ type Config struct {
 	// MaxBody caps the /batch request body in bytes. 0 means
 	// DefaultMaxBody.
 	MaxBody int64
+	// Timeout is the default evaluation deadline per request; a
+	// request's timeout= parameter may shorten it but never extend it.
+	// 0 means no server-imposed deadline.
+	Timeout time.Duration
 }
 
 // normalize fills in defaults for zero fields.
@@ -82,6 +95,7 @@ func New(ix *si.Index, cfg Config) *Server {
 	cfg.normalize()
 	s := &Server{ix: ix, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/stream", s.handleStream)
 	s.mux.HandleFunc("/count", s.handleCount)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -103,23 +117,65 @@ type MatchJSON struct {
 	Root uint32 `json:"root"`
 }
 
+// StatsJSON reports how one query executed (the wire form of
+// si.SearchStats).
+type StatsJSON struct {
+	// PostingFetches is the number of physical posting-list reads the
+	// query issued.
+	PostingFetches uint64 `json:"posting_fetches"`
+	// PlanCacheHit reports the query skipped parse/decomposition.
+	PlanCacheHit bool `json:"plan_cache_hit"`
+	// ShardsConsulted is how many index partitions were evaluated;
+	// under a limit this can be less than the shard count.
+	ShardsConsulted int `json:"shards_consulted"`
+}
+
+// statsJSON converts engine stats to the wire form.
+func statsJSON(st si.SearchStats) *StatsJSON {
+	return &StatsJSON{
+		PostingFetches:  st.PostingFetches,
+		PlanCacheHit:    st.PlanCacheHit,
+		ShardsConsulted: st.ShardsConsulted,
+	}
+}
+
 // QueryResult is the per-query payload of /search and /batch.
 type QueryResult struct {
 	// Query echoes the query text as submitted.
 	Query string `json:"query"`
-	// Count is the exact total number of matches, independent of any
-	// truncation of Matches.
+	// Count is the number of matches found before evaluation stopped:
+	// the exact total unless Truncated is set, in which case it is a
+	// lower bound (early termination is the point of limits — use
+	// /count for an always-exact total).
 	Count int `json:"count"`
-	// Matches lists up to the effective limit of matches in (tid, root)
+	// Matches lists the requested window of matches in (tid, root)
 	// order; omitted by /count and count-only batches.
 	Matches []MatchJSON `json:"matches,omitempty"`
-	// Truncated reports that Matches was cut off at the limit.
+	// Truncated reports that a limit stopped evaluation or trimmed the
+	// match list, so Count may undercount.
 	Truncated bool `json:"truncated,omitempty"`
 }
 
 // SearchResponse is the /search and /count response body.
 type SearchResponse struct {
 	QueryResult
+	// Stats reports how the query executed (posting fetches, plan
+	// cache, shards consulted); omitted by /count.
+	Stats *StatsJSON `json:"stats,omitempty"`
+	// TookNS is the server-side evaluation time in nanoseconds.
+	TookNS int64 `json:"took_ns"`
+}
+
+// StreamSummary is the trailing NDJSON line of /stream, after the
+// match lines.
+type StreamSummary struct {
+	// Done marks the summary line, distinguishing it from match lines.
+	Done bool `json:"done"`
+	// Count, Truncated: as in QueryResult.
+	Count     int  `json:"count"`
+	Truncated bool `json:"truncated,omitempty"`
+	// Stats: as in SearchResponse.
+	Stats *StatsJSON `json:"stats,omitempty"`
 	// TookNS is the server-side evaluation time in nanoseconds.
 	TookNS int64 `json:"took_ns"`
 }
@@ -130,8 +186,14 @@ type BatchRequest struct {
 	Queries []string `json:"queries"`
 	// Limit caps matches per query like /search's limit parameter.
 	Limit int `json:"limit,omitempty"`
-	// CountOnly omits match lists from all results.
+	// Offset skips leading matches per query like /search's offset.
+	Offset int `json:"offset,omitempty"`
+	// CountOnly omits match lists from all results; counts are exact.
 	CountOnly bool `json:"count_only,omitempty"`
+	// Timeout bounds the whole batch's evaluation like /search's
+	// timeout parameter: a Go duration string (e.g. "500ms"), clamped
+	// to the server default when one is set.
+	Timeout string `json:"timeout,omitempty"`
 }
 
 // BatchResponse is the /batch response body.
@@ -188,44 +250,172 @@ type ServingStats struct {
 	si.Stats
 }
 
-// handleSearch serves GET /search?q=Q&limit=N.
+// searchParams are the parsed per-request query parameters shared by
+// /search, /stream and /count.
+type searchParams struct {
+	src     string
+	limit   int
+	offset  int
+	timeout time.Duration
+}
+
+// parseParams validates q, limit, offset and timeout.
+func (s *Server) parseParams(r *http.Request) (searchParams, error) {
+	var p searchParams
+	v := r.URL.Query()
+	p.src = v.Get("q")
+	if p.src == "" {
+		return p, fmt.Errorf("missing q parameter")
+	}
+	if raw := v.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return p, fmt.Errorf("bad limit %q", raw)
+		}
+		p.limit = n
+	}
+	p.limit = s.effectiveLimit(p.limit)
+	if raw := v.Get("offset"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad offset %q", raw)
+		}
+		p.offset = n
+	}
+	if raw := v.Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			return p, fmt.Errorf("bad timeout %q (want a Go duration, e.g. 500ms)", raw)
+		}
+		p.timeout = d
+	}
+	return p, nil
+}
+
+// requestCtx derives the evaluation context: the request's own context
+// (cancelled on client disconnect) bounded by the effective timeout —
+// the requested one, clamped to the server default when one is set.
+func (s *Server) requestCtx(r *http.Request, requested time.Duration) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if requested > 0 && (d <= 0 || requested < d) {
+		d = requested
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// searchOptions turns wire params into engine options.
+func searchOptions(limit, offset int, countOnly bool) []si.SearchOption {
+	var opts []si.SearchOption
+	if limit > 0 {
+		opts = append(opts, si.WithLimit(limit))
+	}
+	if offset > 0 {
+		opts = append(opts, si.WithOffset(offset))
+	}
+	if countOnly {
+		opts = append(opts, si.WithCountOnly())
+	}
+	return opts
+}
+
+// handleSearch serves GET /search?q=Q&limit=N&offset=M&timeout=D.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	s.query(w, r, false)
-}
-
-// handleCount serves GET /count?q=Q.
-func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	s.query(w, r, true)
-}
-
-// query evaluates the q parameter, with or without the match list.
-func (s *Server) query(w http.ResponseWriter, r *http.Request, countOnly bool) {
-	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+	res, p, took, ok := s.evaluate(w, r, false)
+	if !ok {
 		return
 	}
-	src := r.URL.Query().Get("q")
-	if src == "" {
-		s.fail(w, http.StatusBadRequest, "missing q parameter")
-		return
-	}
-	limit, err := s.limit(r.URL.Query().Get("limit"))
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	start := time.Now()
-	ms, err := s.ix.Search(src)
-	if err != nil {
-		s.fail(w, errStatus(err), err.Error())
-		return
-	}
-	s.queries.Add(1)
 	resp := SearchResponse{
-		QueryResult: s.result(src, ms, limit, countOnly),
-		TookNS:      time.Since(start).Nanoseconds(),
+		QueryResult: result(p.src, res),
+		Stats:       statsJSON(res.Stats),
+		TookNS:      took.Nanoseconds(),
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCount serves GET /count?q=Q&timeout=D through the count-only
+// path: the count is exact and no match slice is built server-side.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	res, p, took, ok := s.evaluate(w, r, true)
+	if !ok {
+		return
+	}
+	resp := SearchResponse{
+		QueryResult: QueryResult{Query: p.src, Count: res.Count},
+		TookNS:      took.Nanoseconds(),
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// evaluate runs the shared GET-query path for /search and /count.
+func (s *Server) evaluate(w http.ResponseWriter, r *http.Request, countOnly bool) (*si.SearchResult, searchParams, time.Duration, bool) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		return nil, searchParams{}, 0, false
+	}
+	p, err := s.parseParams(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return nil, p, 0, false
+	}
+	ctx, cancel := s.requestCtx(r, p.timeout)
+	defer cancel()
+	limit, offset := p.limit, p.offset
+	if countOnly {
+		limit, offset = 0, 0
+	}
+	start := time.Now()
+	res, err := s.ix.Search(ctx, p.src, searchOptions(limit, offset, countOnly)...)
+	if err != nil {
+		s.fail(w, errStatus(err), err.Error())
+		return nil, p, 0, false
+	}
+	s.queries.Add(1)
+	return res, p, time.Since(start), true
+}
+
+// handleStream serves GET /stream: the same query surface as /search,
+// answered as NDJSON — one match object per line, then a summary line
+// with the count, truncation flag and stats. Evaluation itself is not
+// incremental (the engine materializes the requested window before
+// the first byte is written); what streaming buys is the wire format:
+// matches are encoded and flushed line by line instead of as one JSON
+// array, so clients can parse incrementally and the response never
+// holds a second full copy of the window in an encoder buffer.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	res, _, took, ok := s.evaluate(w, r, false)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	n := 0
+	for m, err := range res.All() {
+		if err != nil {
+			return // stream already started; nothing left to signal
+		}
+		if err := enc.Encode(MatchJSON{TID: m.TID, Root: m.Root}); err != nil {
+			return // client went away
+		}
+		if n++; flusher != nil && n%256 == 0 {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(StreamSummary{
+		Done:      true,
+		Count:     res.Count,
+		Truncated: res.Stats.Truncated,
+		Stats:     statsJSON(res.Stats),
+		TookNS:    took.Nanoseconds(),
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 // handleBatch serves POST /batch.
@@ -249,17 +439,35 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
 		return
 	}
-	limit := s.effectiveLimit(req.Limit)
+	if req.Offset < 0 {
+		s.fail(w, http.StatusBadRequest, "bad offset")
+		return
+	}
+	var timeout time.Duration
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d <= 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad timeout %q (want a Go duration, e.g. 500ms)", req.Timeout))
+			return
+		}
+		timeout = d
+	}
+	limit, offset := s.effectiveLimit(req.Limit), req.Offset
+	if req.CountOnly {
+		limit, offset = 0, 0
+	}
+	ctx, cancel := s.requestCtx(r, timeout)
+	defer cancel()
 	start := time.Now()
-	results, err := s.ix.SearchBatch(req.Queries)
+	results, err := s.ix.SearchBatch(ctx, req.Queries, searchOptions(limit, offset, req.CountOnly)...)
 	if err != nil {
 		s.fail(w, errStatus(err), err.Error())
 		return
 	}
 	s.queries.Add(uint64(len(req.Queries)))
 	resp := BatchResponse{Results: make([]QueryResult, len(results))}
-	for i, ms := range results {
-		resp.Results[i] = s.result(req.Queries[i], ms, limit, req.CountOnly)
+	for i, res := range results {
+		resp.Results[i] = result(req.Queries[i], res)
 	}
 	resp.TookNS = time.Since(start).Nanoseconds()
 	s.writeJSON(w, http.StatusOK, resp)
@@ -298,33 +506,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// result shapes one query's matches for the wire, applying the limit.
-func (s *Server) result(src string, ms []si.Match, limit int, countOnly bool) QueryResult {
-	qr := QueryResult{Query: src, Count: len(ms)}
-	if countOnly {
+// result shapes one engine result for the wire.
+func result(src string, res *si.SearchResult) QueryResult {
+	qr := QueryResult{Query: src, Count: res.Count, Truncated: res.Stats.Truncated}
+	if res.Matches == nil {
 		return qr
 	}
-	if limit >= 0 && len(ms) > limit {
-		ms = ms[:limit]
-		qr.Truncated = true
-	}
-	qr.Matches = make([]MatchJSON, len(ms))
-	for i, m := range ms {
+	qr.Matches = make([]MatchJSON, len(res.Matches))
+	for i, m := range res.Matches {
 		qr.Matches[i] = MatchJSON{TID: m.TID, Root: m.Root}
 	}
 	return qr
-}
-
-// limit parses the limit query parameter.
-func (s *Server) limit(raw string) (int, error) {
-	if raw == "" {
-		return s.effectiveLimit(0), nil
-	}
-	n, err := strconv.Atoi(raw)
-	if err != nil {
-		return 0, fmt.Errorf("bad limit %q", raw)
-	}
-	return s.effectiveLimit(n), nil
 }
 
 // effectiveLimit clamps a requested per-query match limit to the
@@ -334,7 +526,7 @@ func (s *Server) effectiveLimit(requested int) int {
 		if requested > 0 {
 			return requested
 		}
-		return -1 // unlimited
+		return 0 // unlimited
 	}
 	if requested <= 0 || requested > s.cfg.MaxMatches {
 		return s.cfg.MaxMatches
@@ -343,13 +535,17 @@ func (s *Server) effectiveLimit(requested int) int {
 }
 
 // errStatus maps an evaluation error to an HTTP status: malformed
-// query text is the client's fault (400), anything else — I/O
-// failures, corrupt postings — is the server's (500), so monitoring
-// and load balancers see a failing backend rather than bad clients.
+// query text is the client's fault (400), an expired evaluation
+// deadline is a timeout (504), anything else — I/O failures, corrupt
+// postings — is the server's (500), so monitoring and load balancers
+// see a failing backend rather than bad clients.
 func errStatus(err error) int {
 	var pe *query.ParseError
 	if errors.As(err, &pe) {
 		return http.StatusBadRequest
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
 }

@@ -1,13 +1,16 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/si"
 )
@@ -64,10 +67,11 @@ func getJSON(t *testing.T, url string, out any) {
 func TestSearchCountParity(t *testing.T) {
 	ts, ix := newTestServer(t, 3, Config{MaxMatches: -1})
 	for _, q := range parityQueries {
-		want, err := ix.Search(q)
+		res, err := ix.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
+		want := res.Matches
 		var sr SearchResponse
 		getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q), &sr)
 		if sr.Count != len(want) || len(sr.Matches) != len(want) {
@@ -79,7 +83,7 @@ func TestSearchCountParity(t *testing.T) {
 			}
 		}
 
-		wantN, err := ix.Count(q)
+		wantN, err := ix.Count(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,10 +118,11 @@ func TestBatchParity(t *testing.T) {
 		t.Fatalf("/batch: %d results, want %d", len(br.Results), len(parityQueries))
 	}
 	for i, q := range parityQueries {
-		want, err := ix.Search(q)
+		res, err := ix.Search(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
+		want := res.Matches
 		got := br.Results[i]
 		if got.Query != q || got.Count != len(want) || len(got.Matches) != len(want) {
 			t.Fatalf("/batch %q: count %d matches %d, want %d", q, got.Count, len(got.Matches), len(want))
@@ -130,24 +135,135 @@ func TestBatchParity(t *testing.T) {
 	}
 }
 
-// TestLimitTruncation asserts the limit caps matches but not counts.
-func TestLimitTruncation(t *testing.T) {
-	ts, ix := newTestServer(t, 1, Config{})
+// TestLimitOffsetWindow asserts limit/offset select the right window
+// of the full result set and flag truncation, and that /count stays
+// exact regardless.
+func TestLimitOffsetWindow(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		ts, ix := newTestServer(t, shards, Config{})
+		q := "NP(DT)(NN)"
+		res, err := ix.Search(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Matches
+		if len(want) < 4 {
+			t.Skipf("corpus yields only %d matches for %s", len(want), q)
+		}
+		var sr SearchResponse
+		getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q)+"&limit=2&offset=1", &sr)
+		if len(sr.Matches) != 2 || !sr.Truncated {
+			t.Fatalf("shards=%d: matches %d truncated=%v, want 2/true", shards, len(sr.Matches), sr.Truncated)
+		}
+		for i := 0; i < 2; i++ {
+			if sr.Matches[i].TID != want[i+1].TID || sr.Matches[i].Root != want[i+1].Root {
+				t.Fatalf("shards=%d: window match %d = %+v, want %+v", shards, i, sr.Matches[i], want[i+1])
+			}
+		}
+		if sr.Count < len(sr.Matches)+1 || sr.Count > len(want) {
+			t.Fatalf("shards=%d: truncated count %d outside [3, %d]", shards, sr.Count, len(want))
+		}
+		if sr.Stats == nil || sr.Stats.ShardsConsulted < 1 || sr.Stats.ShardsConsulted > shards {
+			t.Fatalf("shards=%d: stats %+v", shards, sr.Stats)
+		}
+		// The dedicated count path stays exact despite any limit use.
+		var cr SearchResponse
+		getJSON(t, ts.URL+"/count?q="+urlQueryEscape(q), &cr)
+		if cr.Count != len(want) {
+			t.Fatalf("shards=%d: /count = %d, want %d", shards, cr.Count, len(want))
+		}
+	}
+}
+
+// TestStreamNDJSON asserts /stream yields one match per line followed
+// by a done summary that agrees with /search.
+func TestStreamNDJSON(t *testing.T) {
+	ts, ix := newTestServer(t, 2, Config{})
 	q := "NP(DT)(NN)"
-	want, err := ix.Search(q)
+	res, err := ix.Search(context.Background(), q, si.WithLimit(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(want) < 3 {
-		t.Skipf("corpus yields only %d matches for %s", len(want), q)
+	resp, err := http.Get(ts.URL + "/stream?q=" + urlQueryEscape(q) + "&limit=5")
+	if err != nil {
+		t.Fatal(err)
 	}
-	var sr SearchResponse
-	getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q)+"&limit=2", &sr)
-	if sr.Count != len(want) {
-		t.Fatalf("count %d, want exact %d despite limit", sr.Count, len(want))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stream: status %d", resp.StatusCode)
 	}
-	if len(sr.Matches) != 2 || !sr.Truncated {
-		t.Fatalf("matches %d truncated=%v, want 2/true", len(sr.Matches), sr.Truncated)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("/stream: content type %q", ct)
+	}
+	var matches []MatchJSON
+	var summary StreamSummary
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Done bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if probe.Done {
+			if err := json.Unmarshal(line, &summary); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var m MatchJSON
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatal(err)
+		}
+		matches = append(matches, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !summary.Done {
+		t.Fatal("stream ended without a done summary line")
+	}
+	if len(matches) != len(res.Matches) || summary.Count != res.Count {
+		t.Fatalf("stream: %d matches count %d, want %d/%d", len(matches), summary.Count, len(res.Matches), res.Count)
+	}
+	for i, m := range res.Matches {
+		if matches[i].TID != m.TID || matches[i].Root != m.Root {
+			t.Fatalf("stream match %d = %+v, want %+v", i, matches[i], m)
+		}
+	}
+}
+
+// TestRequestTimeout asserts an absurdly small request timeout aborts
+// evaluation with 504 rather than hanging or answering 200.
+func TestRequestTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, 2, Config{})
+	resp, err := http.Get(ts.URL + "/search?q=" + urlQueryEscape("S(//NN)") + "&timeout=1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out search: status %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
+	}
+}
+
+// TestServerDefaultTimeout asserts Config.Timeout bounds requests that
+// ask for more (or for nothing).
+func TestServerDefaultTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, 1, Config{Timeout: time.Nanosecond})
+	for _, u := range []string{
+		"/search?q=" + urlQueryEscape("S(//NN)"),                 // no request timeout: default applies
+		"/search?q=" + urlQueryEscape("S(//NN)") + "&timeout=1h", // cannot extend past the default
+	} {
+		resp, err := http.Get(ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("%s: status %d, want %d", u, resp.StatusCode, http.StatusGatewayTimeout)
+		}
 	}
 }
 
@@ -159,15 +275,20 @@ func TestErrorPaths(t *testing.T) {
 		method, path, body string
 		wantStatus         int
 	}{
-		{"GET", "/search", "", http.StatusBadRequest},                                  // missing q
-		{"GET", "/search?q=NP((", "", http.StatusBadRequest},                           // parse error
-		{"GET", "/search?q=NP&limit=x", "", http.StatusBadRequest},                     // bad limit
-		{"POST", "/search?q=NP", "", http.StatusMethodNotAllowed},                      // wrong method
-		{"GET", "/batch", "", http.StatusMethodNotAllowed},                             // wrong method
-		{"POST", "/batch", `{"queries":[]}`, http.StatusBadRequest},                    // empty
-		{"POST", "/batch", `{"queries":["A","B","C","D","E"]}`, http.StatusBadRequest}, // over MaxBatch
-		{"POST", "/batch", `{"queries":["NP(("]}`, http.StatusBadRequest},              // parse error
-		{"POST", "/batch", `not json`, http.StatusBadRequest},                          // bad body
+		{"GET", "/search", "", http.StatusBadRequest},                                            // missing q
+		{"GET", "/search?q=NP((", "", http.StatusBadRequest},                                     // parse error
+		{"GET", "/search?q=NP&limit=x", "", http.StatusBadRequest},                               // bad limit
+		{"GET", "/search?q=NP&offset=-1", "", http.StatusBadRequest},                             // bad offset
+		{"GET", "/search?q=NP&timeout=nope", "", http.StatusBadRequest},                          // bad timeout
+		{"GET", "/stream?q=NP((", "", http.StatusBadRequest},                                     // parse error, pre-stream
+		{"POST", "/search?q=NP", "", http.StatusMethodNotAllowed},                                // wrong method
+		{"GET", "/batch", "", http.StatusMethodNotAllowed},                                       // wrong method
+		{"POST", "/batch", `{"queries":[]}`, http.StatusBadRequest},                              // empty
+		{"POST", "/batch", `{"queries":["A","B","C","D","E"]}`, http.StatusBadRequest},           // over MaxBatch
+		{"POST", "/batch", `{"queries":["NP(("]}`, http.StatusBadRequest},                        // parse error
+		{"POST", "/batch", `not json`, http.StatusBadRequest},                                    // bad body
+		{"POST", "/batch", `{"queries":["NP"],"timeout":"nope"}`, http.StatusBadRequest},         // bad timeout
+		{"POST", "/batch", `{"queries":["S(//NN)"],"timeout":"1ns"}`, http.StatusGatewayTimeout}, // expired batch deadline
 	}
 	for _, c := range cases {
 		req, err := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader([]byte(c.body)))

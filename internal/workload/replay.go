@@ -33,6 +33,15 @@ type ReplayOptions struct {
 	BatchSize int
 	// CountOnly asks the server to omit match lists (both endpoints).
 	CountOnly bool
+	// Limit asks the server for at most this many matches per query
+	// (the v2 limit pushdown: sharded backends stop fetching postings
+	// early). With a limit the server's count may be a lower bound, so
+	// Matches becomes a throughput proxy rather than an exact total.
+	Limit int
+	// Timeout is sent with every request — the timeout= parameter on
+	// /search and /count, the timeout field of /batch bodies (0 =
+	// none); requests the server cuts off count as Errors.
+	Timeout time.Duration
 	// Client overrides http.DefaultClient.
 	Client *http.Client
 }
@@ -138,7 +147,14 @@ func sendUnit(client *http.Client, baseURL string, qs []string, opt ReplayOption
 		if opt.CountOnly {
 			endpoint = "/count"
 		}
-		resp, err := client.Get(baseURL + endpoint + "?q=" + url.QueryEscape(qs[0]))
+		params := url.Values{"q": {qs[0]}}
+		if opt.Limit > 0 && !opt.CountOnly {
+			params.Set("limit", fmt.Sprint(opt.Limit))
+		}
+		if opt.Timeout > 0 {
+			params.Set("timeout", opt.Timeout.String())
+		}
+		resp, err := client.Get(baseURL + endpoint + "?" + params.Encode())
 		if err != nil {
 			return nil, err
 		}
@@ -152,10 +168,16 @@ func sendUnit(client *http.Client, baseURL string, qs []string, opt ReplayOption
 		}
 		return []int{r.Count}, nil
 	}
+	timeout := ""
+	if opt.Timeout > 0 {
+		timeout = opt.Timeout.String()
+	}
 	body, err := json.Marshal(struct {
 		Queries   []string `json:"queries"`
 		CountOnly bool     `json:"count_only,omitempty"`
-	}{Queries: qs, CountOnly: opt.CountOnly})
+		Limit     int      `json:"limit,omitempty"`
+		Timeout   string   `json:"timeout,omitempty"`
+	}{Queries: qs, CountOnly: opt.CountOnly, Limit: opt.Limit, Timeout: timeout})
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"context"
 	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/server"
 	"repro/si"
@@ -38,7 +40,7 @@ func TestReplaySequential(t *testing.T) {
 	}
 	want := 0
 	for _, q := range queries {
-		n, err := ix.Count(q)
+		n, err := ix.Count(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +68,7 @@ func TestReplayBatched(t *testing.T) {
 	queries := ServerQueries()
 	want := 0
 	for _, q := range queries {
-		n, err := ix.Count(q)
+		n, err := ix.Count(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,6 +95,25 @@ func TestReplayBatched(t *testing.T) {
 	// Repeats of identical query text must have hit the plan cache.
 	if ix.Stats().PlanCacheHits == 0 {
 		t.Fatal("replay repeats never hit the plan cache")
+	}
+}
+
+// TestReplayLimited replays with a per-query limit and timeout: no
+// errors, and the reported match volume cannot exceed limit per query.
+func TestReplayLimited(t *testing.T) {
+	ts, _ := startServer(t)
+	queries := ServerQueries()
+	st, err := Replay(ts.URL, queries, ReplayOptions{
+		Concurrency: 2, Limit: 1, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("limited replay had %d errors", st.Errors)
+	}
+	if st.Queries != len(queries) {
+		t.Fatalf("replay evaluated %d queries, want %d", st.Queries, len(queries))
 	}
 }
 

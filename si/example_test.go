@@ -1,6 +1,7 @@
 package si_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -46,13 +47,13 @@ func Example() {
 	}
 	defer ix.Close()
 
-	n, err := ix.Count("NP(DT)")
+	n, err := ix.Count(context.Background(), "NP(DT)")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("NP with determiner:", n)
 
-	n, err = ix.Count("S(//NNS)")
+	n, err = ix.Count(context.Background(), "S(//NNS)")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,8 +63,9 @@ func Example() {
 	// clauses containing a plural noun: 2
 }
 
-// ExampleIndex_Search shows match structure: tree id plus the matched
-// node, which can be resolved back to the parse.
+// ExampleIndex_Search shows match structure — tree id plus the matched
+// node, resolved back to the parse — consumed through the streaming
+// All() iterator.
 func ExampleIndex_Search() {
 	dir := exampleDir()
 	defer os.RemoveAll(dir)
@@ -81,11 +83,14 @@ func ExampleIndex_Search() {
 	}
 	defer ix.Close()
 
-	matches, err := ix.Search("NP(NNS)")
+	res, err := ix.Search(context.Background(), "NP(NNS)")
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, m := range matches {
+	for m, err := range res.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		tree, err := ix.Tree(int(m.TID))
 		if err != nil {
 			log.Fatal(err)
@@ -117,12 +122,12 @@ func ExampleIndex_SearchBatch() {
 	defer ix.Close()
 
 	queries := []string{"NP(DT)(NN)", "S(NP(DT)(NN))(VP)", "VP(VBZ)(NP(DT)(NN))"}
-	results, err := ix.SearchBatch(queries)
+	results, err := ix.SearchBatch(context.Background(), queries)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, ms := range results {
-		fmt.Printf("%s: %d matches\n", queries[i], len(ms))
+	for i, r := range results {
+		fmt.Printf("%s: %d matches\n", queries[i], r.Count)
 	}
 	fmt.Printf("shared covers made the batch cheaper: %v\n",
 		ix.Stats().PostingFetches < 3*3) // 3 queries x 3 pieces each, fetched once apiece

@@ -1,6 +1,7 @@
 package si_test
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -37,7 +38,7 @@ func TestShardedBuildAndOpen(t *testing.T) {
 			t.Fatalf("NumTrees = %d", ix.NumTrees())
 		}
 		for _, q := range queries {
-			n, err := ix.Count(q)
+			n, err := ix.Count(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -73,7 +74,7 @@ func TestConcurrentSearchSharded(t *testing.T) {
 	queries := []string{"NP(DT)(NN)", "S(NP)(VP)", "VP(VBZ)", "S(//NN)"}
 	want := make([]int, len(queries))
 	for i, q := range queries {
-		if want[i], err = ix.Count(q); err != nil {
+		if want[i], err = ix.Count(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -85,15 +86,15 @@ func TestConcurrentSearchSharded(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < 10; r++ {
 				qi := (g + r) % len(queries)
-				ms, err := ix.Search(queries[qi])
+				res, err := ix.Search(context.Background(), queries[qi])
 				if err != nil {
 					t.Error(err)
 					return
 				}
-				if len(ms) != want[qi] {
-					t.Errorf("%s: %d matches, want %d", queries[qi], len(ms), want[qi])
+				if len(res.Matches) != want[qi] {
+					t.Errorf("%s: %d matches, want %d", queries[qi], len(res.Matches), want[qi])
 				}
-				n, err := ix.Count(queries[qi])
+				n, err := ix.Count(context.Background(), queries[qi])
 				if err != nil || n != want[qi] {
 					t.Errorf("%s: Count = %d (%v), want %d", queries[qi], n, err, want[qi])
 				}

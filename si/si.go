@@ -14,7 +14,17 @@
 //	info, err := si.Build("idx", trees, si.BuildOptions{MSS: 3})
 //	ix, err := si.Open("idx")
 //	defer ix.Close()
-//	matches, err := ix.Search("VP(VBZ(is))(NP(DT(a))(NN))")
+//	res, err := ix.Search(ctx, "VP(VBZ(is))(NP(DT(a))(NN))")
+//	for _, m := range res.Matches { ... }
+//
+// Search is context-first and options-carrying (the v2 API): pass
+// WithLimit/WithOffset to page through results — on a sharded index a
+// limited search stops fetching posting lists as soon as enough
+// matches are merged — and cancel or deadline the context to bound a
+// query's cost. Count uses a dedicated count-only path that allocates
+// no match slices. The SearchResult reports per-query execution
+// statistics (posting fetches, plan-cache hit, shards consulted,
+// truncation) and streams matches via All().
 //
 // For large corpora or serving workloads, BuildOptions.Shards
 // partitions the index into independently built shards that queries
@@ -27,6 +37,7 @@
 package si
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -199,15 +210,66 @@ func (i *Index) Info() BuildInfo {
 		DataBytes: m.DataBytes, Shards: max(m.Shards, 1)}
 }
 
-// Query evaluates a parsed query and returns matches sorted by
-// (tree, root).
-func (i *Index) Query(q *Query) ([]Match, error) { return i.ix.Query(q) }
+// SearchOptions bound and shape one search; build them from
+// SearchOption values (WithLimit, WithOffset, WithCountOnly). The zero
+// value asks for every match. The deadline/cancellation half of the
+// options travels in the context.Context every search accepts.
+type SearchOptions = core.SearchOpts
 
-// Search parses and evaluates a query in one call. With
-// OpenOptions.PlanCacheSize set, a repeated query string skips parsing
-// and decomposition via the plan cache.
-func (i *Index) Search(querySrc string) ([]Match, error) {
-	return i.ix.QueryText(querySrc)
+// SearchOption is a functional option of Search, Query and SearchBatch.
+type SearchOption func(*SearchOptions)
+
+// WithLimit caps the number of matches returned (after any offset);
+// n <= 0 means unlimited. On a sharded index a limited search consults
+// shards lazily in tid order and stops issuing posting fetches once
+// the demand is met, so small limits over large result sets cost a
+// fraction of a full search.
+func WithLimit(n int) SearchOption { return func(o *SearchOptions) { o.Limit = n } }
+
+// WithOffset skips the first n matches in global (tree, root) order
+// before the limit applies — result paging for serving layers.
+func WithOffset(n int) SearchOption { return func(o *SearchOptions) { o.Offset = n } }
+
+// WithCountOnly evaluates the query without materializing any match
+// slice: SearchResult.Count is the exact total and Matches stays nil.
+// Count is the one-call form.
+func WithCountOnly() SearchOption { return func(o *SearchOptions) { o.CountOnly = true } }
+
+// searchOptions folds SearchOption values into a SearchOptions.
+func searchOptions(opts []SearchOption) SearchOptions {
+	var o SearchOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// SearchResult is the outcome of one search: the requested window of
+// Matches in (tree, root) order, the match Count (exact unless
+// Stats.Truncated reports early termination), per-query execution
+// Stats, and a streaming iterator All().
+type SearchResult = core.Result
+
+// SearchStats are per-query execution statistics: posting fetches
+// issued, plan-cache hit, shards consulted, and whether the result was
+// truncated by a limit.
+type SearchStats = core.SearchStats
+
+// Query evaluates a parsed query under ctx. Options as in Search.
+func (i *Index) Query(ctx context.Context, q *Query, opts ...SearchOption) (*SearchResult, error) {
+	return i.ix.SearchQuery(ctx, q, searchOptions(opts))
+}
+
+// Search parses and evaluates a query in one call. The context bounds
+// evaluation: cancellation and deadlines are checked inside the join
+// and scan loops, so an expired ctx aborts promptly with ctx.Err().
+// With OpenOptions.PlanCacheSize set, a repeated query string skips
+// parsing and decomposition via the plan cache.
+//
+//	res, err := ix.Search(ctx, "NP(DT)(NN)", si.WithLimit(10))
+//	for m, err := range res.All() { ... }
+func (i *Index) Search(ctx context.Context, querySrc string, opts ...SearchOption) (*SearchResult, error) {
+	return i.ix.Search(ctx, querySrc, searchOptions(opts))
 }
 
 // SearchBatch evaluates a batch of queries in one pass: all queries
@@ -215,16 +277,24 @@ func (i *Index) Search(querySrc string) ([]Match, error) {
 // each distinct cover key's posting list is fetched once per shard for
 // the whole batch — on workloads with shared covers this issues
 // strictly fewer posting fetches than len(srcs) Search calls.
-// Results[i] is identical to Search(srcs[i]); any unparsable query
-// fails the whole batch with an error naming its position.
-func (i *Index) SearchBatch(srcs []string) ([][]Match, error) {
-	return i.ix.QueryTextBatch(srcs)
+// Results[i] matches Search(ctx, srcs[i]) with the same options; any
+// unparsable query fails the whole batch with an error naming its
+// position. Batches optimize fetch sharing rather than early
+// termination, so limits apply at the merge.
+func (i *Index) SearchBatch(ctx context.Context, srcs []string, opts ...SearchOption) ([]*SearchResult, error) {
+	return i.ix.SearchBatch(ctx, srcs, searchOptions(opts))
 }
 
-// Count returns only the number of matches of a query.
-func (i *Index) Count(querySrc string) (int, error) {
-	ms, err := i.Search(querySrc)
-	return len(ms), err
+// Count returns the exact number of matches of a query through the
+// count-only path: join output is counted directly and no match slice
+// is allocated anywhere — cheaper than Search for counting, especially
+// on high-cardinality queries (see BenchmarkCountOnly).
+func (i *Index) Count(ctx context.Context, querySrc string) (int, error) {
+	res, err := i.ix.Search(ctx, querySrc, SearchOptions{CountOnly: true})
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
 }
 
 // Stats are cumulative serving counters of an open index: physical

@@ -1,6 +1,7 @@
 package si_test
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -32,14 +33,18 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if ix.MSS() != 3 || ix.Coding() != si.RootSplit || ix.NumTrees() != 200 {
 		t.Errorf("meta: mss=%d coding=%v trees=%d", ix.MSS(), ix.Coding(), ix.NumTrees())
 	}
-	ms, err := ix.Search("NP(DT)(NN)")
+	res, err := ix.Search(context.Background(), "NP(DT)(NN)")
 	if err != nil {
 		t.Fatal(err)
 	}
+	ms := res.Matches
 	if len(ms) == 0 {
 		t.Fatal("no matches for a common construction")
 	}
-	n, err := ix.Count("NP(DT)(NN)")
+	if res.Count != len(ms) || res.Stats.Truncated {
+		t.Errorf("unlimited search: Count = %d, truncated = %v", res.Count, res.Stats.Truncated)
+	}
+	n, err := ix.Count(context.Background(), "NP(DT)(NN)")
 	if err != nil || n != len(ms) {
 		t.Errorf("Count = %d, %v", n, err)
 	}
@@ -51,7 +56,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if got := tr.Nodes[ms[0].Root].Label; got != "NP" {
 		t.Errorf("match root label = %q", got)
 	}
-	if _, err := ix.Search("NP((("); err == nil {
+	if _, err := ix.Search(context.Background(), "NP((("); err == nil {
 		t.Error("bad query accepted")
 	}
 }
@@ -130,11 +135,11 @@ func TestKeysAndSelectivity(t *testing.T) {
 func TestAllCodingsViaPublicAPI(t *testing.T) {
 	for _, coding := range []si.Coding{si.FilterBased, si.RootSplit, si.SubtreeInterval} {
 		ix := buildSmall(t, si.BuildOptions{MSS: 2, Coding: coding})
-		ms, err := ix.Search("S(NP)(VP)")
+		res, err := ix.Search(context.Background(), "S(NP)(VP)")
 		if err != nil {
 			t.Fatalf("%v: %v", coding, err)
 		}
-		if len(ms) == 0 {
+		if len(res.Matches) == 0 {
 			t.Errorf("%v: no matches", coding)
 		}
 	}
