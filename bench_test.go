@@ -415,57 +415,83 @@ func BenchmarkCountOnly(b *testing.B) {
 	})
 }
 
-// BenchmarkLimitedSearch is the early-termination claim of the v2 API
-// on a sharded index: a small limit consults shards lazily and must
-// issue strictly fewer posting fetches than the unlimited fan-out of
-// the same query (asserted on the fetch counter, so it holds at
-// -benchtime=1x in CI too).
+// BenchmarkLimitedSearch is the early-termination claim of the v2 API,
+// asserted at both levels of limit pushdown (on counters rather than
+// wall clock, so the guarantees hold at -benchtime=1x in CI too):
+//
+//   - across shards (shards=4): a small limit consults shards lazily
+//     and must issue strictly fewer posting fetches than the unlimited
+//     fan-out of the same query;
+//   - inside a shard (shards=1, where no shard can be skipped): the
+//     streaming join must produce strictly fewer join rows than the
+//     unlimited run, with no regression in posting fetches.
 func BenchmarkLimitedSearch(b *testing.B) {
-	dir := filepath.Join(b.TempDir(), "ix")
-	opts := si.DefaultBuildOptions()
-	opts.Shards = 4
-	if _, err := si.Build(dir, si.GenerateCorpus(2012, 4000), opts); err != nil {
-		b.Fatal(err)
-	}
-	ix, err := si.Open(dir)
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer ix.Close()
 	const q = "NP(DT)(NN)"
-
-	base := ix.Stats().PostingFetches
-	if _, err := ix.Search(context.Background(), q); err != nil {
-		b.Fatal(err)
-	}
-	fullFetches := ix.Stats().PostingFetches - base
-	lres, err := ix.Search(context.Background(), q, si.WithLimit(5))
-	if err != nil {
-		b.Fatal(err)
-	}
-	limitedFetches := ix.Stats().PostingFetches - base - fullFetches
-	if limitedFetches >= fullFetches {
-		b.Fatalf("limited search issued %d posting fetches, unlimited %d; want strictly fewer",
-			limitedFetches, fullFetches)
-	}
-	if len(lres.Matches) != 5 || !lres.Stats.Truncated {
-		b.Fatalf("limited search returned %d matches truncated=%v", len(lres.Matches), lres.Stats.Truncated)
-	}
-
-	b.Run("unlimited", func(b *testing.B) {
-		b.ReportMetric(float64(fullFetches), "fetches/op")
-		for i := 0; i < b.N; i++ {
-			if _, err := ix.Search(context.Background(), q); err != nil {
-				b.Fatal(err)
-			}
+	for _, shards := range []int{1, 4} {
+		dir := filepath.Join(b.TempDir(), fmt.Sprintf("ix%d", shards))
+		opts := si.DefaultBuildOptions()
+		opts.Shards = shards
+		if _, err := si.Build(dir, si.GenerateCorpus(2012, 4000), opts); err != nil {
+			b.Fatal(err)
 		}
-	})
-	b.Run("limit5", func(b *testing.B) {
-		b.ReportMetric(float64(limitedFetches), "fetches/op")
-		for i := 0; i < b.N; i++ {
-			if _, err := ix.Search(context.Background(), q, si.WithLimit(5)); err != nil {
-				b.Fatal(err)
-			}
+		ix, err := si.Open(dir)
+		if err != nil {
+			b.Fatal(err)
 		}
-	})
+		defer ix.Close()
+
+		base := ix.Stats().PostingFetches
+		fres, err := ix.Search(context.Background(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Fixture guard: the strictly-fewer assertions below presume the
+		// limit is small relative to the result set; a corpus or query
+		// change that breaks this should fail here, not look like an
+		// engine regression.
+		if fres.Count < 100 {
+			b.Fatalf("shards=%d: fixture matches only %d times; limit 5 would not be small relative to it", shards, fres.Count)
+		}
+		fullFetches := ix.Stats().PostingFetches - base
+		lres, err := ix.Search(context.Background(), q, si.WithLimit(5))
+		if err != nil {
+			b.Fatal(err)
+		}
+		limitedFetches := ix.Stats().PostingFetches - base - fullFetches
+		if len(lres.Matches) != 5 || !lres.Stats.Truncated {
+			b.Fatalf("shards=%d: limited search returned %d matches truncated=%v",
+				shards, len(lres.Matches), lres.Stats.Truncated)
+		}
+		if shards > 1 && limitedFetches >= fullFetches {
+			b.Fatalf("shards=%d: limited search issued %d posting fetches, unlimited %d; want strictly fewer",
+				shards, limitedFetches, fullFetches)
+		}
+		if limitedFetches > fullFetches {
+			b.Fatalf("shards=%d: limited search issued %d posting fetches, unlimited %d; limits must not regress fetches",
+				shards, limitedFetches, fullFetches)
+		}
+		if lres.Stats.JoinRows >= fres.Stats.JoinRows {
+			b.Fatalf("shards=%d: limited search produced %d join rows, unlimited %d; want strictly fewer",
+				shards, lres.Stats.JoinRows, fres.Stats.JoinRows)
+		}
+
+		b.Run(fmt.Sprintf("unlimited/shards=%d", shards), func(b *testing.B) {
+			b.ReportMetric(float64(fullFetches), "fetches/op")
+			b.ReportMetric(float64(fres.Stats.JoinRows), "joinrows/op")
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Search(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("limit5/shards=%d", shards), func(b *testing.B) {
+			b.ReportMetric(float64(limitedFetches), "fetches/op")
+			b.ReportMetric(float64(lres.Stats.JoinRows), "joinrows/op")
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Search(context.Background(), q, si.WithLimit(5)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

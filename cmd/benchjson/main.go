@@ -10,6 +10,20 @@
 // b.ReportMetric units such as fetches/op); header lines (goos,
 // goarch, pkg, cpu) become document metadata. Unrecognized lines are
 // ignored, so PASS/FAIL trailers and -v noise are harmless.
+//
+// With -baseline FILE the freshly parsed run is also diffed against a
+// previously emitted document: for every benchmark present in both
+// whose name matches -guard (default LimitedSearch), the deterministic
+// counter metrics (fetches/op, joinrows/op) must not exceed the
+// baseline by more than -tolerance (default 0.25, i.e. +25%), or the
+// command exits non-zero. Wall-clock metrics are never compared — only
+// counters stable enough to gate CI on. The gate fails CLOSED: a
+// baseline that loads but matches zero guarded counters (benchmarks
+// renamed, -guard typo) is an error, not a silent pass; only a missing
+// baseline file skips with a note. -write-baseline FILE emits, after a
+// passing gate, a stripped document holding just the guarded counters —
+// deterministic for a fixed corpus seed, so the committed baseline only
+// changes when the gated numbers do.
 package main
 
 import (
@@ -21,6 +35,10 @@ import (
 	"strconv"
 	"strings"
 )
+
+// guardedMetrics are the per-op counters stable enough to fail CI on;
+// ns/op and B/op stay informational (noisy across runners).
+var guardedMetrics = []string{"fetches/op", "joinrows/op"}
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
@@ -48,6 +66,10 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to diff guarded counters against (missing file = skip, empty = no gate)")
+	writeBaseline := flag.String("write-baseline", "", "write the stripped guarded-counter baseline here after a passing gate")
+	guard := flag.String("guard", "LimitedSearch", "substring of benchmark names whose counters are regression-gated")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative increase of guarded counters over the baseline")
 	flag.Parse()
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -55,6 +77,15 @@ func main() {
 	}
 	if len(doc.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	// Gate BEFORE writing anything: a failed gate must leave the
+	// previous baseline in place, or rerunning would compare the
+	// regressed run against itself and wave the regression through.
+	if *baseline != "" {
+		if err := diffBaseline(*baseline, doc, *guard, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline left unchanged; accept an intentional change by raising -tolerance (or regenerate after a rename with an empty -baseline) for one run")
+			fatal(err)
+		}
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -69,6 +100,97 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *writeBaseline != "" {
+		raw, err := json.MarshalIndent(stripBaseline(doc, *guard), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*writeBaseline, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// stripBaseline reduces a run to its regression-gated substance: the
+// guarded benchmarks with only their guarded counters. Those counters
+// are deterministic for the fixed corpus seed, so the stripped file is
+// byte-stable across machines and runs — committing it does not churn
+// on wall-clock noise, and any diff in it is a real counter change.
+func stripBaseline(doc *Doc, guard string) *Doc {
+	out := &Doc{}
+	for _, b := range doc.Benchmarks {
+		if !strings.Contains(b.Name, guard) {
+			continue
+		}
+		metrics := map[string]float64{}
+		for _, m := range guardedMetrics {
+			if v, ok := b.Metrics[m]; ok {
+				metrics[m] = v
+			}
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		out.Benchmarks = append(out.Benchmarks, Benchmark{Name: b.Name, Iterations: b.Iterations, Metrics: metrics})
+	}
+	return out
+}
+
+// diffBaseline compares doc's guarded counters against a previously
+// emitted JSON document, returning an error describing every
+// regression beyond the tolerance. Individual benchmarks or metrics
+// absent on one side are skipped, but a baseline that matches NOTHING
+// fails: a wholesale rename (or -guard typo) silently disarming the
+// gate is exactly how protected counters rot, so that case demands an
+// explicit baseline regeneration instead of a green run.
+func diffBaseline(path string, doc *Doc, guard string, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "benchjson: no baseline at %s; skipping regression gate\n", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("corrupt baseline %s: %w", path, err)
+	}
+	prev := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		prev[b.Name] = b
+	}
+	var regressions []string
+	compared := 0
+	for _, b := range doc.Benchmarks {
+		if !strings.Contains(b.Name, guard) {
+			continue
+		}
+		old, ok := prev[b.Name]
+		if !ok {
+			continue
+		}
+		for _, metric := range guardedMetrics {
+			cur, okCur := b.Metrics[metric]
+			was, okWas := old.Metrics[metric]
+			if !okCur || !okWas || was <= 0 {
+				continue
+			}
+			compared++
+			if cur > was*(1+tolerance) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s regressed: %.0f -> %.0f (>%+.0f%%)", b.Name, metric, was, cur, tolerance*100))
+			}
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("perf regression vs %s:\n  %s", path, strings.Join(regressions, "\n  "))
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s matched no guarded counters (guard %q): the gate would be a no-op — regenerate the baseline after a benchmark rename", path, guard)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d guarded counters within %.0f%% of baseline\n", compared, tolerance*100)
+	return nil
 }
 
 // parse reads benchmark text output into a Doc.

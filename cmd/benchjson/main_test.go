@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,6 +43,105 @@ ok  	repro	2.324s
 	last := doc.Benchmarks[2]
 	if last.Name != "BenchmarkCountOnly/count" || last.Iterations != 100 || last.Metrics["ns/op"] != 1074035 {
 		t.Fatalf("last benchmark: %+v", last)
+	}
+}
+
+// baselineDoc builds a Doc with one guarded benchmark carrying the
+// given fetch count.
+func baselineDoc(fetches float64) *Doc {
+	return &Doc{Benchmarks: []Benchmark{
+		{Name: "BenchmarkLimitedSearch/limit5/shards=4", Iterations: 1,
+			Metrics: map[string]float64{"fetches/op": fetches, "ns/op": 123456}},
+		{Name: "BenchmarkCountOnly/count", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 99}},
+	}}
+}
+
+// writeDoc marshals a Doc to a temp file and returns its path.
+func writeDoc(t *testing.T, doc *Doc) string {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffBaseline exercises the CI regression gate: guarded counters
+// within tolerance pass, beyond it fail with a named benchmark, and
+// ns/op noise is never compared.
+func TestDiffBaseline(t *testing.T) {
+	base := writeDoc(t, baselineDoc(4))
+
+	within := baselineDoc(5) // 4 -> 5 = +25%, exactly at the bound
+	within.Benchmarks[0].Metrics["ns/op"] = 10 * 123456
+	if err := diffBaseline(base, within, "LimitedSearch", 0.25); err != nil {
+		t.Fatalf("within-tolerance run failed the gate: %v", err)
+	}
+
+	beyond := baselineDoc(6) // +50%
+	err := diffBaseline(base, beyond, "LimitedSearch", 0.25)
+	if err == nil {
+		t.Fatal("a +50% fetch regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkLimitedSearch/limit5/shards=4") ||
+		!strings.Contains(err.Error(), "fetches/op") {
+		t.Fatalf("regression report names neither benchmark nor metric: %v", err)
+	}
+
+	// An unguarded benchmark regressing is not this gate's business.
+	unguarded := baselineDoc(4)
+	unguarded.Benchmarks[1].Metrics["ns/op"] = 1e9
+	if err := diffBaseline(base, unguarded, "LimitedSearch", 0.25); err != nil {
+		t.Fatalf("unguarded change failed the gate: %v", err)
+	}
+}
+
+// TestDiffBaselineFailsClosed asserts the gate's degradation modes: a
+// missing baseline file skips (first run of a fresh setup), but a
+// baseline that loads and matches nothing — a wholesale rename or a
+// -guard typo — errors rather than silently disarming the gate.
+func TestDiffBaselineFailsClosed(t *testing.T) {
+	if err := diffBaseline(filepath.Join(t.TempDir(), "nope.json"), baselineDoc(4), "LimitedSearch", 0.25); err != nil {
+		t.Fatalf("missing baseline failed the gate: %v", err)
+	}
+	base := writeDoc(t, baselineDoc(4))
+	renamed := &Doc{Benchmarks: []Benchmark{{
+		Name: "BenchmarkLimitedSearchV2/limit5", Iterations: 1,
+		Metrics: map[string]float64{"fetches/op": 1000},
+	}}}
+	if err := diffBaseline(base, renamed, "LimitedSearch", 0.25); err == nil {
+		t.Fatal("a baseline matching zero guarded counters passed the gate as a no-op")
+	}
+	if err := diffBaseline(base, baselineDoc(4), "LimitedSaerch", 0.25); err == nil {
+		t.Fatal("a -guard typo disarmed the gate silently")
+	}
+}
+
+// TestStripBaseline asserts the committed baseline form: guarded
+// benchmarks only, guarded counters only — no wall-clock noise that
+// would churn the committed file across machines.
+func TestStripBaseline(t *testing.T) {
+	doc := baselineDoc(4)
+	doc.GOOS, doc.CPU = "linux", "Some CPU @ 2.10GHz"
+	doc.Benchmarks[0].Metrics["joinrows/op"] = 99
+	stripped := stripBaseline(doc, "LimitedSearch")
+	if len(stripped.Benchmarks) != 1 {
+		t.Fatalf("stripped %d benchmarks, want the 1 guarded one", len(stripped.Benchmarks))
+	}
+	b := stripped.Benchmarks[0]
+	if b.Name != "BenchmarkLimitedSearch/limit5/shards=4" {
+		t.Fatalf("kept %q", b.Name)
+	}
+	if len(b.Metrics) != 2 || b.Metrics["fetches/op"] != 4 || b.Metrics["joinrows/op"] != 99 {
+		t.Fatalf("stripped metrics %v, want only the guarded counters", b.Metrics)
+	}
+	if stripped.GOOS != "" || stripped.CPU != "" {
+		t.Fatalf("stripped doc kept machine metadata: %+v", stripped)
 	}
 }
 

@@ -172,21 +172,78 @@ func TestPlanCacheCallerMutation(t *testing.T) {
 }
 
 // TestPlanCacheEviction asserts the cache is bounded: filling it far
-// past its capacity keeps the key count at the bound.
+// past its capacity keeps the plan count at the bound.
 func TestPlanCacheEviction(t *testing.T) {
 	c := newPlanCache(8)
-	pl := &Plan{Query: query.MustParse("A")}
-	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"} {
-		c.put(k, pl)
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	for _, k := range keys {
+		c.put(k, &Plan{Query: query.MustParse(k)})
 	}
 	if got := c.len(); got != 8 {
-		t.Fatalf("cache holds %d keys, want bound 8", got)
+		t.Fatalf("cache holds %d plans, want bound 8", got)
 	}
 	if _, ok := c.get("a"); ok {
 		t.Fatal("oldest key survived past the bound")
 	}
 	if _, ok := c.get("l"); !ok {
 		t.Fatal("newest key evicted")
+	}
+}
+
+// TestPlanCacheAliasesDoNotThrash is the regression test for the
+// alias-eviction bug: storing a raw-text alias right after its
+// canonical key hit used to evict that very canonical entry when the
+// cache sat at capacity, so a size-1 cache alternating two spellings
+// of one query missed on every single lookup. A plan's keys must count
+// once: after the first compilation, every further lookup of either
+// spelling hits.
+func TestPlanCacheAliasesDoNotThrash(t *testing.T) {
+	p := newPlanner(Meta{MSS: 3}, 1)
+	const alias = "NP(NN)(DT)"     // non-canonical sibling order
+	const canonical = "NP(DT)(NN)" // its canonical form
+	if _, _, err := p.planText(alias); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for _, src := range []string{canonical, alias} {
+			pl, hit, err := p.planText(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hit || pl == nil {
+				t.Fatalf("round %d %q: miss; alias storage evicted the canonical entry", i, src)
+			}
+		}
+	}
+	hits, misses := p.counters()
+	if misses != 1 || hits != 6 {
+		t.Fatalf("hits=%d misses=%d, want 6 hits and the single initial miss", hits, misses)
+	}
+	if got := p.cache.len(); got != 1 {
+		t.Fatalf("cache holds %d plans, want 1 (both keys share it)", got)
+	}
+}
+
+// TestPlanCacheAliasBound asserts the per-plan alias set stays capped:
+// unlimited distinct spellings of one query cannot grow a cached
+// plan's key set without bound.
+func TestPlanCacheAliasBound(t *testing.T) {
+	c := newPlanCache(4)
+	pl := &Plan{Query: query.MustParse("A")}
+	for _, k := range []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"} {
+		c.put(k, pl)
+	}
+	if got := c.len(); got != 1 {
+		t.Fatalf("one plan stored under many keys occupies %d slots, want 1", got)
+	}
+	live := 0
+	for _, k := range []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"} {
+		if _, ok := c.get(k); ok {
+			live++
+		}
+	}
+	if live != 1+maxPlanAliases {
+		t.Fatalf("%d keys resolve, want the first plus %d aliases", live, maxPlanAliases)
 	}
 }
 

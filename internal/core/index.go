@@ -114,6 +114,12 @@ type QueryStats struct {
 	PostingsFetched int // total postings read from the index
 	Candidates      int // filter-based only: tids surviving intersection
 	Validated       int // filter-based only: trees fetched and matched
+	// JoinRows measures evaluation work: posting entries decoded plus
+	// intermediate rows produced by join steps (join.Info.Rows); for
+	// the filter coding it is the number of trees validated. A bounded
+	// evaluation that stops early reports strictly fewer rows than the
+	// full run of the same query.
+	JoinRows int
 }
 
 // Counters are cumulative serving statistics of an open index handle;
@@ -155,7 +161,7 @@ func (ix *Index) QueryText(src string) ([]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	ms, _, _, err := ix.evalPlan(context.Background(), pl, ix.getPosting, false)
+	ms, _, _, err := ix.evalPlan(context.Background(), pl, ix.getPosting, evalOpts{})
 	return ms, err
 }
 
@@ -168,7 +174,7 @@ func (ix *Index) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	ms, _, st, err := ix.evalPlan(context.Background(), pl, ix.getPosting, false)
+	ms, _, st, err := ix.evalPlan(context.Background(), pl, ix.getPosting, evalOpts{})
 	return ms, st, err
 }
 
@@ -182,17 +188,18 @@ func (ix *Index) QueryTextBatch(srcs []string) ([][]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, _, err := ix.evalPlans(context.Background(), plans, ix.getPosting, false)
+	out, _, _, err := ix.evalPlans(context.Background(), plans, ix.getPosting, false)
 	return out, err
 }
 
 // evalPlans evaluates compiled plans against this index with a shared
-// memoized posting getter, returning per-plan matches and counts.
-// Repeated plans — duplicate or sibling-permuted queries resolve to
-// one *Plan through the plan cache — are evaluated once and their
-// (read-only) match slice shared across the corresponding outputs.
-// With countOnly the match slices stay nil and only counts are filled.
-func (ix *Index) evalPlans(ctx context.Context, plans []*Plan, get postingGetter, countOnly bool) ([][]Match, []int, error) {
+// memoized posting getter, returning per-plan matches and counts plus
+// the batch's total join rows. Repeated plans — duplicate or
+// sibling-permuted queries resolve to one *Plan through the plan
+// cache — are evaluated once and their (read-only) match slice shared
+// across the corresponding outputs. With countOnly the match slices
+// stay nil and only counts are filled.
+func (ix *Index) evalPlans(ctx context.Context, plans []*Plan, get postingGetter, countOnly bool) ([][]Match, []int, uint64, error) {
 	get = memoGetter(get)
 	type evaled struct {
 		ms []Match
@@ -201,19 +208,23 @@ func (ix *Index) evalPlans(ctx context.Context, plans []*Plan, get postingGetter
 	done := make(map[*Plan]evaled, len(plans))
 	out := make([][]Match, len(plans))
 	counts := make([]int, len(plans))
+	var rows uint64
 	for i, pl := range plans {
 		if ev, ok := done[pl]; ok {
 			out[i], counts[i] = ev.ms, ev.n
 			continue
 		}
-		ms, n, _, err := ix.evalPlan(ctx, pl, get, countOnly)
+		ms, n, st, err := ix.evalPlan(ctx, pl, get, evalOpts{countOnly: countOnly})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
+		}
+		if st != nil {
+			rows += uint64(st.JoinRows)
 		}
 		done[pl] = evaled{ms: ms, n: n}
 		out[i], counts[i] = ms, n
 	}
-	return out, counts, nil
+	return out, counts, rows, nil
 }
 
 // postingGetter returns the raw count-prefixed posting blob of an index
@@ -251,34 +262,84 @@ func memoGetter(get postingGetter) postingGetter {
 	}
 }
 
-// evalPlan evaluates a compiled plan, dispatching on the index coding.
-// It returns the sorted matches and their count; with countOnly the
-// match slice stays nil (no per-match allocation) and only the count
-// is meaningful. ctx cancels evaluation between and inside the fetch,
-// join and validation loops.
-func (ix *Index) evalPlan(ctx context.Context, pl *Plan, get postingGetter, countOnly bool) ([]Match, int, *QueryStats, error) {
+// evalOpts bound one plan evaluation on one index.
+type evalOpts struct {
+	// countOnly skips materializing matches; only the exact count is
+	// computed. Mutually exclusive with target.
+	countOnly bool
+	// target, when positive, stops evaluation once that many matches
+	// have been produced. The returned slice holds at most target+1
+	// matches — the extra one distinguishes "exactly target matches
+	// exist" from a truncated result, preserving window() semantics.
+	target int
+}
+
+// evalPlan evaluates a compiled plan, dispatching on the index coding
+// and bounds. It returns the sorted matches and their count; with
+// ev.countOnly the match slice stays nil (no per-match allocation) and
+// only the count is meaningful; with ev.target evaluation is streamed
+// and stops early (see evalOpts). ctx cancels evaluation between and
+// inside the fetch, join and validation loops.
+func (ix *Index) evalPlan(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
+	if ev.target > 0 && !ev.countOnly {
+		return ix.evalPlanBounded(ctx, pl, get, ev.target)
+	}
 	switch ix.meta.Coding {
 	case postings.FilterBased:
-		return ix.evalFilter(ctx, pl, get, countOnly)
+		return ix.evalFilter(ctx, pl, get, ev.countOnly)
 	case postings.RootSplit, postings.SubtreeInterval:
-		return ix.evalJoin(ctx, pl, get, countOnly)
+		return ix.evalJoin(ctx, pl, get, ev.countOnly)
 	default:
 		return nil, 0, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
 	}
 }
 
+// evalPlanBounded evaluates pl through the streaming producer, pulling
+// at most target+1 matches so unneeded posting entries are never
+// decoded and unneeded join rows never produced.
+func (ix *Index) evalPlanBounded(ctx context.Context, pl *Plan, get postingGetter, target int) ([]Match, int, *QueryStats, error) {
+	ms, st, err := ix.streamPlan(ctx, pl, get)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	out := make([]Match, 0, min(target+1, 64))
+	for len(out) <= target {
+		m, ok := ms.next()
+		if !ok {
+			break
+		}
+		out = append(out, m)
+	}
+	ms.finish(st)
+	if err := ms.err(); err != nil {
+		return nil, 0, nil, err
+	}
+	return out, len(out), st, nil
+}
+
+// postingPayload fetches one key's posting blob and strips the
+// validated count prefix — the header handling shared by the
+// materialized and streaming fetch paths. found=false means the key
+// is absent.
+func postingPayload(k subtree.Key, get postingGetter) (payload []byte, count int, found bool, err error) {
+	val, found, err := get(k)
+	if err != nil || !found {
+		return nil, 0, false, err
+	}
+	c, n := binary.Uvarint(val)
+	if n <= 0 {
+		return nil, 0, false, fmt.Errorf("core: corrupt posting count for %q", k)
+	}
+	return val[n:], int(c), true, nil
+}
+
 // fetchPiece reads the posting list of one plan piece, decoded into
 // join relation form. found=false means the key is absent (no matches).
 func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter) (join.Relation, int, bool, error) {
-	val, found, err := get(pp.Key)
+	payload, count, found, err := postingPayload(pp.Key, get)
 	if err != nil || !found {
 		return join.Relation{}, 0, false, err
 	}
-	count, n := binary.Uvarint(val)
-	if n <= 0 {
-		return join.Relation{}, 0, false, fmt.Errorf("core: corrupt posting count for %q", pp.Key)
-	}
-	payload := val[n:]
 	rel := join.Relation{Name: string(pp.Key)}
 	switch ix.meta.Coding {
 	case postings.RootSplit:
@@ -323,7 +384,7 @@ func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter) (join.Relation, int
 	default:
 		return join.Relation{}, 0, false, fmt.Errorf("core: fetch with coding %v", ix.meta.Coding)
 	}
-	return rel, int(count), true, nil
+	return rel, count, true, nil
 }
 
 // evalJoin evaluates a plan under root-split or subtree-interval coding.
@@ -345,11 +406,51 @@ func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, coun
 		rels = append(rels, rel)
 	}
 	st.Joins = len(rels) - 1
-	ms, n, err := join.Run(ctx, pl.Query, rels, join.Options{CountOnly: countOnly})
+	ms, info, err := join.Run(ctx, pl.Query, rels, join.Options{CountOnly: countOnly})
 	if err != nil {
 		return nil, 0, nil, err
 	}
-	return ms, n, st, nil
+	st.JoinRows = info.Rows
+	return ms, info.Count, st, nil
+}
+
+// filterCandidates runs the filter coding's candidate phase, shared by
+// the materialized and streaming paths: fetch each piece's tid list,
+// intersect, and report the phase's stats. found=false means a piece
+// key is absent (no matches anywhere); st is valid either way.
+func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGetter) (cands []uint32, st *QueryStats, found bool, err error) {
+	st = &QueryStats{Pieces: len(pl.Pieces)}
+	var lists [][]uint32
+	for _, pp := range pl.Pieces {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, false, err
+		}
+		val, ok, err := get(pp.Key)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if !ok {
+			return nil, st, false, nil
+		}
+		_, n := binary.Uvarint(val)
+		if n <= 0 {
+			return nil, nil, false, fmt.Errorf("core: corrupt posting count for %q", pp.Key)
+		}
+		var tids []uint32
+		it := postings.NewFilterIterator(val[n:])
+		for it.Next() {
+			tids = append(tids, it.TID())
+		}
+		if err := it.Err(); err != nil {
+			return nil, nil, false, err
+		}
+		st.PostingsFetched += len(tids)
+		lists = append(lists, tids)
+	}
+	st.Joins = len(lists) - 1
+	cands = intersect(lists)
+	st.Candidates = len(cands)
+	return cands, st, true, nil
 }
 
 // evalFilter evaluates a plan under filter-based coding: intersect tid
@@ -359,37 +460,13 @@ func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, coun
 // validation dominates this coding's cost, so an expired ctx stops the
 // scan within one tree's worth of work.
 func (ix *Index) evalFilter(ctx context.Context, pl *Plan, get postingGetter, countOnly bool) ([]Match, int, *QueryStats, error) {
-	st := &QueryStats{Pieces: len(pl.Pieces)}
-	var lists [][]uint32
-	for _, pp := range pl.Pieces {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, nil, err
-		}
-		val, found, err := get(pp.Key)
-		if err != nil {
-			return nil, 0, nil, err
-		}
-		if !found {
-			return nil, 0, st, nil
-		}
-		_, n := binary.Uvarint(val)
-		if n <= 0 {
-			return nil, 0, nil, fmt.Errorf("core: corrupt posting count for %q", pp.Key)
-		}
-		var tids []uint32
-		it := postings.NewFilterIterator(val[n:])
-		for it.Next() {
-			tids = append(tids, it.TID())
-		}
-		if err := it.Err(); err != nil {
-			return nil, 0, nil, err
-		}
-		st.PostingsFetched += len(tids)
-		lists = append(lists, tids)
+	cands, st, found, err := ix.filterCandidates(ctx, pl, get)
+	if err != nil {
+		return nil, 0, nil, err
 	}
-	st.Joins = len(lists) - 1
-	cands := intersect(lists)
-	st.Candidates = len(cands)
+	if !found {
+		return nil, 0, st, nil
+	}
 
 	m := match.New(pl.Query)
 	var out []Match
@@ -412,6 +489,7 @@ func (ix *Index) evalFilter(ctx context.Context, pl *Plan, get postingGetter, co
 			out = append(out, Match{TID: tid, Root: uint32(root)})
 		}
 	}
+	st.JoinRows = st.Validated
 	return out, count, st, nil
 }
 

@@ -14,29 +14,46 @@ import (
 // query text — both the raw text a caller submitted and the query's
 // canonical form point at the same *Plan, so a repeated query string
 // skips parsing entirely while a reordered-but-equivalent query still
-// hits through its canonical key. Each stored key (alias or canonical)
-// counts toward the bound. All methods are safe for concurrent use.
-// Hit/miss accounting lives in the planner (one hit or miss per plan
-// lookup, regardless of how many keys were probed).
+// hits through its canonical key. The bound counts *plans*, not keys:
+// one LRU element holds a plan together with every key resolving to it
+// (the canonical key plus up to maxPlanAliases raw-text aliases), so
+// storing an alias can never evict the canonical entry it points at.
+// (The previous per-key accounting did exactly that: at capacity, the
+// alias put after a canonical-key hit evicted the canonical key it had
+// just hit — pathological thrash at PlanCacheSize=1.) All methods are
+// safe for concurrent use. Hit/miss accounting lives in the planner
+// (one hit or miss per plan lookup, regardless of how many keys were
+// probed).
 type planCache struct {
-	mu  sync.Mutex
-	max int
-	m   map[string]*list.Element
-	lru *list.List // front = most recent; elements hold *planEntry
+	mu     sync.Mutex
+	max    int
+	m      map[string]*list.Element // every live key → its plan's element
+	byPlan map[*Plan]*list.Element  // alias attachment: plan → its element
+	lru    *list.List               // front = most recent; elements hold *planEntry
 }
 
-// planEntry is one cached key; several entries may share a *Plan.
+// maxPlanAliases caps the raw-text alias keys kept per plan beyond its
+// first key, so adversarial streams of distinct spellings of one query
+// cannot grow a cached plan's key set without bound.
+const maxPlanAliases = 4
+
+// planEntry is one cached plan with every key that resolves to it.
 type planEntry struct {
-	key  string
+	keys []string // keys[0] is the first key stored (the canonical text)
 	plan *Plan
 }
 
-// newPlanCache returns a cache bounded to max keys (nil when max <= 0).
+// newPlanCache returns a cache bounded to max plans (nil when max <= 0).
 func newPlanCache(max int) *planCache {
 	if max <= 0 {
 		return nil
 	}
-	return &planCache{max: max, m: make(map[string]*list.Element), lru: list.New()}
+	return &planCache{
+		max:    max,
+		m:      make(map[string]*list.Element),
+		byPlan: make(map[*Plan]*list.Element),
+		lru:    list.New(),
+	}
 }
 
 // get returns the plan cached under key, bumping its recency.
@@ -51,25 +68,67 @@ func (c *planCache) get(key string) (*Plan, bool) {
 	return e.Value.(*planEntry).plan, true
 }
 
-// put stores plan under key, evicting the least recently used keys
-// beyond the bound. Storing an existing key refreshes it.
+// put stores plan under key. A key whose plan is already cached
+// attaches as an alias of the existing entry (bounded by
+// maxPlanAliases) rather than occupying — or evicting — a slot of its
+// own; only genuinely new plans count toward the bound and trigger
+// eviction of the least recently used plan with all its keys.
 func (c *planCache) put(key string, plan *Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[key]; ok {
-		e.Value.(*planEntry).plan = plan
+		ent := e.Value.(*planEntry)
+		if ent.plan != plan {
+			// The key re-binds to a different plan (a rebuilt entry):
+			// detach it from the old plan's key set and fall through to
+			// a fresh store.
+			c.detachLocked(e, key)
+		} else {
+			c.lru.MoveToFront(e)
+			return
+		}
+	}
+	if e, ok := c.byPlan[plan]; ok {
+		ent := e.Value.(*planEntry)
+		if len(ent.keys) <= maxPlanAliases {
+			ent.keys = append(ent.keys, key)
+			c.m[key] = e
+		}
 		c.lru.MoveToFront(e)
 		return
 	}
-	c.m[key] = c.lru.PushFront(&planEntry{key: key, plan: plan})
+	e := c.lru.PushFront(&planEntry{keys: []string{key}, plan: plan})
+	c.m[key] = e
+	c.byPlan[plan] = e
 	for c.lru.Len() > c.max {
 		last := c.lru.Back()
 		c.lru.Remove(last)
-		delete(c.m, last.Value.(*planEntry).key)
+		ent := last.Value.(*planEntry)
+		for _, k := range ent.keys {
+			delete(c.m, k)
+		}
+		delete(c.byPlan, ent.plan)
 	}
 }
 
-// len returns the number of cached keys.
+// detachLocked removes key from the entry e points at, dropping the
+// whole entry when that was its last key. Callers hold c.mu.
+func (c *planCache) detachLocked(e *list.Element, key string) {
+	ent := e.Value.(*planEntry)
+	for i, k := range ent.keys {
+		if k == key {
+			ent.keys = append(ent.keys[:i], ent.keys[i+1:]...)
+			break
+		}
+	}
+	delete(c.m, key)
+	if len(ent.keys) == 0 {
+		c.lru.Remove(e)
+		delete(c.byPlan, ent.plan)
+	}
+}
+
+// len returns the number of cached plans (the unit the bound counts).
 func (c *planCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

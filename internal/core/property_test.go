@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"path/filepath"
 	"reflect"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/join"
 	"repro/internal/lingtree"
 	"repro/internal/postings"
 	"repro/internal/query"
@@ -126,6 +128,67 @@ func TestQuickEndToEndAllCodings(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStackJoinAgreesWithBlock is the structural-join property
+// test: on random corpora and random //-bearing queries (whose
+// structural steps carry residual predicates — extra parent/ancestor
+// edges and sibling distinctness), evaluation with the Stack-Tree join
+// must agree exactly with the block-nested merge under
+// DisableStackJoin, through both the materialized path and the
+// streaming (limited) path. Must not run parallel to other tests:
+// DisableStackJoin is a package-global ablation switch.
+func TestQuickStackJoinAgreesWithBlock(t *testing.T) {
+	defer func() { join.DisableStackJoin = false }()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trees := randomForest(rng, 25)
+		dir := filepath.Join(t.TempDir(), "sj")
+		if _, err := Build(dir, trees, Options{MSS: 3, Coding: postings.RootSplit}); err != nil {
+			return false
+		}
+		ix, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		defer ix.Close()
+		ctx := context.Background()
+		for i := 0; i < 10; i++ {
+			q := randomQuery(rng)
+			if !q.HasDescendantAxis() {
+				continue // only // steps take the stack join
+			}
+			src := q.Canonical()
+			var byMode [2]*Result
+			var byModeLim [2]*Result
+			for mode, disable := range []bool{false, true} {
+				join.DisableStackJoin = disable
+				byMode[mode], err = ix.Search(ctx, src, SearchOpts{})
+				if err != nil {
+					t.Logf("query %s disable=%v: %v", src, disable, err)
+					return false
+				}
+				byModeLim[mode], err = ix.Search(ctx, src, SearchOpts{Limit: 3})
+				if err != nil {
+					t.Logf("query %s disable=%v limited: %v", src, disable, err)
+					return false
+				}
+			}
+			join.DisableStackJoin = false
+			if !reflect.DeepEqual(byMode[0].Matches, byMode[1].Matches) {
+				t.Logf("query %s: stack %v, block %v", src, trunc(byMode[0].Matches), trunc(byMode[1].Matches))
+				return false
+			}
+			if !reflect.DeepEqual(byModeLim[0].Matches, byModeLim[1].Matches) {
+				t.Logf("query %s limited: stack %v, block %v", src, byModeLim[0].Matches, byModeLim[1].Matches)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
 	}
 }

@@ -68,28 +68,68 @@ type SearchStats struct {
 	// every partition was consulted. Count is then a lower bound on
 	// the total number of matches.
 	Truncated bool `json:"truncated"`
+	// JoinRows measures join work: posting entries decoded plus
+	// intermediate rows produced by join steps, summed over the shards
+	// consulted (for a batch: the whole batch). Limits push down into
+	// the join itself, so whenever a limit truncates the result the
+	// search reports strictly fewer rows than the unlimited run of the
+	// same query — the in-shard half of early termination, next to the
+	// cross-shard fetch savings. (A limit the result fits inside does
+	// all the work and saves nothing.)
+	JoinRows uint64 `json:"join_rows"`
 }
 
-// Result is the outcome of one v2 search.
+// Result is the outcome of one v2 search. Search returns it fully
+// materialized; SearchStream returns it *pending* — Matches stays nil,
+// All() pulls matches out of the still-running evaluation, and Count
+// and Stats are finalized when that iteration ends.
 type Result struct {
 	// Matches holds the requested window of matches in global
-	// (tid, root) order; nil in count-only mode.
+	// (tid, root) order; nil in count-only mode and for pending
+	// (SearchStream) results, whose matches flow through All instead.
 	Matches []Match
 	// Count is the number of matches found before evaluation stopped:
 	// the exact total for unlimited or count-only searches, a lower
 	// bound (>= len(Matches), since Offset skips within it) when
-	// Stats.Truncated is set.
+	// Stats.Truncated is set. On a pending result it is meaningful
+	// only after All's iteration ends.
 	Count int
-	// Stats reports how the search executed.
+	// Stats reports how the search executed; finalized with Count on
+	// pending results.
 	Stats SearchStats
+
+	// stream backs a pending result; nil once consumed (or for plain
+	// Search results, always).
+	stream *resultStream
 }
 
 // All streams the result's matches as an iter.Seq2 — the form serving
-// layers range over to write NDJSON incrementally. The error value is
-// reserved for evaluation modes that discover failures mid-stream;
-// with today's materialized results it is always nil.
+// layers range over to write NDJSON incrementally. On a materialized
+// result it walks Matches and the error value is always nil. On a
+// pending result (SearchStream) it is the evaluation itself: each
+// iteration step advances the join just far enough to produce the
+// next match, and an evaluation failure (I/O error, cancellation)
+// surfaces as the final yielded error. A pending result's iterator is
+// single-use; Count and Stats are finalized when it returns, even if
+// the consumer breaks early.
 func (r *Result) All() iter.Seq2[Match, error] {
 	return func(yield func(Match, error) bool) {
+		if s := r.stream; s != nil {
+			r.stream = nil
+			defer s.finish(r)
+			for {
+				m, ok := s.pull()
+				if !ok {
+					if err := s.err; err != nil {
+						yield(Match{}, err)
+					}
+					return
+				}
+				if !yield(m, nil) {
+					return
+				}
+			}
+		}
 		for _, m := range r.Matches {
 			if !yield(m, nil) {
 				return
@@ -168,13 +208,18 @@ func (ix *Index) SearchQuery(ctx context.Context, q *query.Query, opts SearchOpt
 }
 
 // searchPlan runs one compiled plan on this single-directory index.
-// The index evaluates in one piece, so Limit/Offset are applied to the
-// sorted output; the early-termination fetch savings live in the
-// sharded path.
+// A bounded search (Limit set) evaluates through the streaming join,
+// which stops decoding postings and producing join rows once
+// Offset+Limit matches exist — early termination *inside* the shard;
+// unbounded and count-only searches evaluate in one piece.
 func (ix *Index) searchPlan(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
 	var fetched uint64
 	get := countingGetter(ix.getPosting, &fetched)
-	ms, n, _, err := ix.evalPlan(ctx, pl, get, opts.CountOnly)
+	ev := evalOpts{countOnly: opts.CountOnly}
+	if !opts.CountOnly {
+		ev.target = opts.target()
+	}
+	ms, n, st, err := ix.evalPlan(ctx, pl, get, ev)
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +230,9 @@ func (ix *Index) searchPlan(ctx context.Context, pl *Plan, opts SearchOpts, hit 
 		res.Matches, res.Count, res.Stats.Truncated = window(ms, opts)
 	}
 	res.Stats.PostingFetches = fetched
+	if st != nil {
+		res.Stats.JoinRows = uint64(st.JoinRows)
+	}
 	return res, nil
 }
 
@@ -199,21 +247,24 @@ func (ix *Index) SearchBatch(ctx context.Context, srcs []string, opts SearchOpts
 		return nil, err
 	}
 	var fetched uint64
-	mss, counts, err := ix.evalPlans(ctx, plans, countingGetter(ix.getPosting, &fetched), opts.CountOnly)
+	mss, counts, rows, err := ix.evalPlans(ctx, plans, countingGetter(ix.getPosting, &fetched), opts.CountOnly)
 	if err != nil {
 		return nil, err
 	}
-	return batchResults(mss, counts, hits, opts, fetched, 1), nil
+	return batchResults(mss, counts, hits, opts, fetched, rows, 1), nil
 }
 
 // batchResults shapes per-plan batch outputs into windowed Results.
-func batchResults(mss [][]Match, counts []int, hits []bool, opts SearchOpts, fetched uint64, shards int) []*Result {
+// fetched and rows are whole-batch totals (shared work cannot be
+// attributed to one query), echoed into every result's Stats.
+func batchResults(mss [][]Match, counts []int, hits []bool, opts SearchOpts, fetched, rows uint64, shards int) []*Result {
 	out := make([]*Result, len(mss))
 	for i := range mss {
 		r := &Result{Stats: SearchStats{
 			PostingFetches:  fetched,
 			PlanCacheHit:    hits[i],
 			ShardsConsulted: shards,
+			JoinRows:        rows,
 		}}
 		if opts.CountOnly {
 			r.Count = counts[i]
@@ -275,11 +326,21 @@ const lazyLookahead = 2
 // order (evaluated lazyLookahead at a time) and stopping once
 // Offset+Limit matches are merged is therefore exact, and every shard
 // never started is posting fetches never issued (asserted against the
-// fetch counter in the tests).
+// fetch counter in the tests). Each shard additionally evaluates with
+// the target pushed into its join, so no shard ever produces more
+// than target+1 matches' worth of join rows. A shard that fails
+// *after* the window is already complete does not fail the search:
+// its results were never needed, so the completed window is returned
+// with Truncated set. Successful shards already in flight past the
+// failure still fold into Count and ShardsConsulted — their matches
+// exist, so the found-count stays a valid lower bound — while the
+// window itself only ever uses matches merged before the gap, keeping
+// the prefix property intact.
 func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit bool, target int) (*Result, error) {
 	type shardOut struct {
 		ms      []Match
 		fetched uint64
+		rows    int
 		err     error
 	}
 	outs := make([]chan shardOut, len(s.shards))
@@ -287,7 +348,11 @@ func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 		outs[i] = make(chan shardOut, 1)
 		go func(i int, sh *Index) {
 			var o shardOut
-			o.ms, _, _, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), false)
+			var st *QueryStats
+			o.ms, _, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{target: target})
+			if st != nil {
+				o.rows = st.JoinRows
+			}
 			outs[i] <- o
 		}(i, s.shards[i])
 	}
@@ -296,15 +361,20 @@ func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 		launch(launched)
 		launched++
 	}
-	var fetched uint64
+	var fetched, rows uint64
 	var all []Match
 	var firstErr error
+	satisfied := false // the target window is complete without further shards
 	consulted := 0
 	for i := 0; i < launched; i++ {
 		o := <-outs[i]
 		fetched += o.fetched
+		rows += uint64(o.rows)
 		if o.err != nil {
-			if firstErr == nil {
+			// Only a shard the window still depends on can fail the
+			// search; a lookahead shard erroring after the window filled
+			// was speculative work the result never needed.
+			if firstErr == nil && !satisfied {
 				firstErr = fmt.Errorf("core: shard %d: %w", i, o.err)
 			}
 			continue // keep draining in-flight shards before returning
@@ -312,9 +382,14 @@ func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 		if firstErr != nil {
 			continue
 		}
+		// Successful in-flight shards keep contributing to the found
+		// count even once the window is satisfied (or a later shard's
+		// error was skipped): the window itself only ever uses the
+		// leading matches, which predate any skipped shard.
 		all = rebase(all, o.ms, s.offsets[i])
 		consulted++
 		if len(all) >= target {
+			satisfied = true
 			continue // stop launching; drain what is already in flight
 		}
 		if launched < len(s.shards) {
@@ -329,6 +404,7 @@ func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 		PostingFetches:  fetched,
 		PlanCacheHit:    hit,
 		ShardsConsulted: consulted,
+		JoinRows:        rows,
 	}}
 	var trimmed bool
 	res.Matches, res.Count, trimmed = window(all, opts)
@@ -344,6 +420,7 @@ func (s *Sharded) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, h
 		ms      []Match
 		n       int
 		fetched uint64
+		rows    int
 		err     error
 	}
 	outs := make([]shardOut, len(s.shards))
@@ -353,7 +430,11 @@ func (s *Sharded) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, h
 		go func(i int, sh *Index) {
 			defer wg.Done()
 			o := &outs[i]
-			o.ms, o.n, _, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), opts.CountOnly)
+			var st *QueryStats
+			o.ms, o.n, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{countOnly: opts.CountOnly})
+			if st != nil {
+				o.rows = st.JoinRows
+			}
 		}(i, sh)
 	}
 	wg.Wait()
@@ -367,6 +448,7 @@ func (s *Sharded) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, h
 		total += len(outs[i].ms)
 		res.Count += outs[i].n
 		res.Stats.PostingFetches += outs[i].fetched
+		res.Stats.JoinRows += uint64(outs[i].rows)
 	}
 	if opts.CountOnly {
 		return res, nil
@@ -393,6 +475,7 @@ func (s *Sharded) SearchBatch(ctx context.Context, srcs []string, opts SearchOpt
 		ms      [][]Match
 		counts  []int
 		fetched uint64
+		rows    uint64
 		err     error
 	}
 	outs := make([]shardOut, len(s.shards))
@@ -402,16 +485,17 @@ func (s *Sharded) SearchBatch(ctx context.Context, srcs []string, opts SearchOpt
 		go func(i int, sh *Index) {
 			defer wg.Done()
 			o := &outs[i]
-			o.ms, o.counts, o.err = sh.evalPlans(ctx, plans, countingGetter(sh.getPosting, &o.fetched), opts.CountOnly)
+			o.ms, o.counts, o.rows, o.err = sh.evalPlans(ctx, plans, countingGetter(sh.getPosting, &o.fetched), opts.CountOnly)
 		}(i, sh)
 	}
 	wg.Wait()
-	var fetched uint64
+	var fetched, rows uint64
 	for i := range outs {
 		if outs[i].err != nil {
 			return nil, fmt.Errorf("core: shard %d: %w", i, outs[i].err)
 		}
 		fetched += outs[i].fetched
+		rows += outs[i].rows
 	}
 	merged := make([][]Match, len(plans))
 	counts := make([]int, len(plans))
@@ -432,5 +516,162 @@ func (s *Sharded) SearchBatch(ctx context.Context, srcs []string, opts SearchOpt
 		}
 		merged[qi] = all
 	}
-	return batchResults(merged, counts, hits, opts, fetched, len(s.shards)), nil
+	return batchResults(merged, counts, hits, opts, fetched, rows, len(s.shards)), nil
+}
+
+// SearchStream parses src and returns a *pending* Result: evaluation
+// advances only as the caller iterates Result.All, with the first
+// match available while the join is still running. Shards are
+// consulted strictly in tid order, one at a time, each through the
+// streaming join — a consumer that stops early (or a Limit that is
+// reached) leaves later shards unopened and later postings undecoded.
+// Count and Stats are finalized when the iteration ends. CountOnly is
+// rejected: counting is a materializing operation (use Search).
+func (s *Sharded) SearchStream(ctx context.Context, src string, opts SearchOpts) (*Result, error) {
+	pl, hit, err := s.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	return newStreamResult(ctx, s.shards, s.offsets, pl, opts, hit)
+}
+
+// SearchStream on a single-directory index: as Sharded.SearchStream,
+// with the one directory as the only "shard".
+func (ix *Index) SearchStream(ctx context.Context, src string, opts SearchOpts) (*Result, error) {
+	pl, hit, err := ix.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	return newStreamResult(ctx, []*Index{ix}, []uint32{0}, pl, opts, hit)
+}
+
+// resultStream is the engine behind a pending Result: a cursor over
+// the per-shard match streams that enforces offset/limit and gathers
+// stats as it goes. It runs entirely on the consumer's goroutine.
+type resultStream struct {
+	ctx     context.Context
+	shards  []*Index
+	offsets []uint32
+	pl      *Plan
+	target  int // offset+limit; 0 = unbounded
+	offset  int
+
+	si        int          // current shard while cur != nil, else next to open
+	cur       *matchStream // nil between shards
+	curStats  *QueryStats
+	fetched   uint64
+	rows      uint64
+	produced  int // matches pulled out of shards, offset-skipped ones included
+	consulted int
+	hit       bool
+	truncated bool
+	finished  bool
+	err       error
+}
+
+// newStreamResult builds a pending Result over the given shard set.
+func newStreamResult(ctx context.Context, shards []*Index, offsets []uint32, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
+	if opts.CountOnly {
+		return nil, fmt.Errorf("core: count-only search has no streaming form; use Search")
+	}
+	rs := &resultStream{
+		ctx:     ctx,
+		shards:  shards,
+		offsets: offsets,
+		pl:      pl,
+		target:  opts.target(),
+		offset:  max(opts.Offset, 0),
+		hit:     hit,
+	}
+	return &Result{stream: rs}, nil
+}
+
+// pull returns the next in-window match, advancing shard streams as
+// needed. After the window closes it peeks one match further so the
+// truncation flag matches the materialized path's semantics, then
+// reports the stream as finished.
+func (rs *resultStream) pull() (Match, bool) {
+	for {
+		if rs.finished || rs.err != nil {
+			return Match{}, false
+		}
+		if rs.cur == nil {
+			if rs.si >= len(rs.shards) {
+				rs.finished = true // every shard exhausted: counts are exact
+				return Match{}, false
+			}
+			sh := rs.shards[rs.si]
+			ms, st, err := sh.streamPlan(rs.ctx, rs.pl, countingGetter(sh.getPosting, &rs.fetched))
+			if err != nil {
+				rs.err = fmt.Errorf("core: shard %d: %w", rs.si, err)
+				return Match{}, false
+			}
+			rs.cur, rs.curStats = ms, st
+			rs.consulted++
+		}
+		m, ok := rs.cur.next()
+		if !ok {
+			if err := rs.cur.err(); err != nil {
+				rs.err = fmt.Errorf("core: shard %d: %w", rs.si, err)
+				return Match{}, false
+			}
+			rs.closeShard()
+			// The window is complete; whether more shards hold matches
+			// is unknown and not worth their posting fetches — exactly
+			// the materialized lazy path's truncation semantics.
+			if rs.target > 0 && rs.produced >= rs.target && rs.si < len(rs.shards) {
+				rs.truncated = true
+				rs.finished = true
+				return Match{}, false
+			}
+			continue
+		}
+		rs.produced++
+		if rs.produced <= rs.offset {
+			continue // paging: skip into the window
+		}
+		if rs.target > 0 && rs.produced > rs.target {
+			// The peek match past the window: evaluation found more than
+			// the window holds, so the count is a lower bound.
+			rs.truncated = true
+			rs.finished = true
+			return Match{}, false
+		}
+		return Match{TID: m.TID + rs.offsets[rs.si], Root: m.Root}, true
+	}
+}
+
+// closeShard folds the current shard's work counters and moves on.
+func (rs *resultStream) closeShard() {
+	if rs.cur == nil {
+		return
+	}
+	if rs.curStats != nil {
+		rs.cur.finish(rs.curStats)
+		rs.rows += uint64(rs.curStats.JoinRows)
+	}
+	rs.cur, rs.curStats = nil, nil
+	rs.si++
+}
+
+// finish finalizes the pending Result's Count and Stats; called by
+// Result.All when its iteration ends, including on early break. A
+// stream that did not run to its natural end — the consumer broke out
+// mid-shard, or evaluation failed — is truncated by definition: its
+// Count reflects only the matches produced, so the exactness contract
+// (unflagged Count == exact total) must not be claimed.
+func (rs *resultStream) finish(r *Result) {
+	if rs.cur != nil && rs.curStats != nil {
+		rs.cur.finish(rs.curStats)
+		rs.rows += uint64(rs.curStats.JoinRows)
+		rs.cur, rs.curStats = nil, nil
+	}
+	r.Count = rs.produced
+	r.Stats = SearchStats{
+		PostingFetches:  rs.fetched,
+		PlanCacheHit:    rs.hit,
+		ShardsConsulted: rs.consulted,
+		Truncated:       rs.truncated || !rs.finished || rs.consulted < len(rs.shards),
+		JoinRows:        rs.rows,
+	}
 }

@@ -242,6 +242,7 @@ type Handle interface {
 	Meta() Meta
 	Close() error
 	Search(ctx context.Context, src string, opts SearchOpts) (*Result, error)
+	SearchStream(ctx context.Context, src string, opts SearchOpts) (*Result, error)
 	SearchQuery(ctx context.Context, q *query.Query, opts SearchOpts) (*Result, error)
 	SearchBatch(ctx context.Context, srcs []string, opts SearchOpts) ([]*Result, error)
 	Query(q *query.Query) ([]Match, error)
@@ -329,7 +330,7 @@ func (s *Sharded) evalPlanFanout(pl *Plan) ([]Match, *QueryStats, error) {
 		wg.Add(1)
 		go func(i int, sh *Index) {
 			defer wg.Done()
-			ms, _, st, err := sh.evalPlan(context.Background(), pl, sh.getPosting, false)
+			ms, _, st, err := sh.evalPlan(context.Background(), pl, sh.getPosting, evalOpts{})
 			results[i] = result{ms: ms, st: st, err: err}
 		}(i, sh)
 	}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/join"
+	"repro/internal/match"
+	"repro/internal/postings"
+)
+
+// This file adapts one index's plan evaluation to a pull-based match
+// stream: posting blobs are fetched up front (one B+Tree read per
+// piece, same as the materialized path) but *decoded* lazily, and the
+// join advances tree by tree only as matches are demanded
+// (join.Stream). A consumer that stops after offset+limit matches
+// therefore stops the decode and join work inside the shard — the
+// in-shard half of limit pushdown. The filter coding streams too:
+// candidate tids intersect eagerly (cheap), but trees are fetched and
+// validated one at a time, so a satisfied limit stops the costly
+// validation scan.
+
+// matchStream is a pull producer of one plan's matches on one index,
+// in (tid, root) order.
+type matchStream struct {
+	// next returns the next match; ok=false at the end or on error.
+	next func() (Match, bool)
+	// err reports what stopped the stream, nil on clean exhaustion or
+	// while matches are still flowing.
+	err func() error
+	// finish folds the stream's work counters into st (JoinRows,
+	// PostingsFetched, Validated); callable at any point, typically
+	// once after the last next.
+	finish func(st *QueryStats)
+}
+
+// streamPlan builds the match stream of one compiled plan, returning
+// it with a QueryStats carrying the structural counters (Pieces,
+// Joins, Candidates); the work counters land in finish.
+func (ix *Index) streamPlan(ctx context.Context, pl *Plan, get postingGetter) (*matchStream, *QueryStats, error) {
+	switch ix.meta.Coding {
+	case postings.RootSplit, postings.SubtreeInterval:
+		return ix.streamJoin(ctx, pl, get)
+	case postings.FilterBased:
+		return ix.streamFilter(ctx, pl, get)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
+	}
+}
+
+// pieceCursor returns the lazily-decoding entry cursor of one plan
+// piece's posting blob; found=false means the key is absent (the query
+// cannot match anywhere).
+func (ix *Index) pieceCursor(pp PlanPiece, get postingGetter) (join.StreamRelation, bool, error) {
+	payload, _, found, err := postingPayload(pp.Key, get)
+	if err != nil || !found {
+		return join.StreamRelation{}, false, err
+	}
+	rel := join.StreamRelation{Name: string(pp.Key)}
+	switch ix.meta.Coding {
+	case postings.RootSplit:
+		rel.Slots = []int{pp.Root}
+		rel.Cursor = &rootCursor{it: postings.NewRootIterator(payload)}
+	case postings.SubtreeInterval:
+		rel.Slots = pp.Slots
+		rel.Cursor = &intervalCursor{it: postings.NewIntervalIterator(payload), perms: pp.Perms, pi: len(pp.Perms)}
+	default:
+		return join.StreamRelation{}, false, fmt.Errorf("core: stream with coding %v", ix.meta.Coding)
+	}
+	return rel, true, nil
+}
+
+// streamJoin builds the streaming evaluation for the join codings.
+func (ix *Index) streamJoin(ctx context.Context, pl *Plan, get postingGetter) (*matchStream, *QueryStats, error) {
+	st := &QueryStats{Pieces: len(pl.Pieces), Joins: len(pl.Pieces) - 1}
+	rels := make([]join.StreamRelation, 0, len(pl.Pieces))
+	for _, pp := range pl.Pieces {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		rel, found, err := ix.pieceCursor(pp, get)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !found {
+			// A piece with no postings: no matches anywhere.
+			return emptyStream(), st, nil
+		}
+		rels = append(rels, rel)
+	}
+	js, err := join.NewStream(ctx, pl.Query, rels)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &matchStream{
+		next: js.Next,
+		err:  js.Err,
+		finish: func(st *QueryStats) {
+			st.JoinRows = js.Rows()
+			st.PostingsFetched = js.EntriesRead()
+		},
+	}, st, nil
+}
+
+// streamFilter builds the streaming evaluation for the filter coding:
+// tid lists intersect eagerly (shared with evalFilter), candidate
+// trees validate lazily.
+func (ix *Index) streamFilter(ctx context.Context, pl *Plan, get postingGetter) (*matchStream, *QueryStats, error) {
+	cands, st, found, err := ix.filterCandidates(ctx, pl, get)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !found {
+		return emptyStream(), st, nil
+	}
+
+	m := match.New(pl.Query)
+	var (
+		buf       []Match
+		bufI, ci  int
+		validated int
+		serr      error
+	)
+	next := func() (Match, bool) {
+		for {
+			if bufI < len(buf) {
+				mm := buf[bufI]
+				bufI++
+				return mm, true
+			}
+			if serr != nil || ci >= len(cands) {
+				return Match{}, false
+			}
+			if err := ctx.Err(); err != nil {
+				serr = err
+				return Match{}, false
+			}
+			tid := cands[ci]
+			ci++
+			t, err := ix.store.Tree(int(tid))
+			if err != nil {
+				serr = err
+				return Match{}, false
+			}
+			validated++
+			buf, bufI = buf[:0], 0
+			for _, root := range m.Roots(t) {
+				buf = append(buf, Match{TID: tid, Root: uint32(root)})
+			}
+		}
+	}
+	return &matchStream{
+		next: next,
+		err:  func() error { return serr },
+		finish: func(st *QueryStats) {
+			st.Validated = validated
+			st.JoinRows = validated
+		},
+	}, st, nil
+}
+
+// emptyStream is the no-matches stream (an absent cover piece).
+func emptyStream() *matchStream {
+	return &matchStream{
+		next:   func() (Match, bool) { return Match{}, false },
+		err:    func() error { return nil },
+		finish: func(*QueryStats) {},
+	}
+}
+
+// rootCursor adapts a root-split posting iterator to the join's entry
+// cursor: each posting becomes a one-column entry binding the piece
+// root.
+type rootCursor struct {
+	it *postings.RootIterator
+}
+
+// Next decodes the next root-split posting.
+func (c *rootCursor) Next() (postings.IntervalEntry, bool) {
+	if !c.it.Next() {
+		return postings.IntervalEntry{}, false
+	}
+	e := c.it.Entry()
+	return postings.IntervalEntry{TID: e.TID, Nodes: []postings.NodeRef{e.NodeRef}}, true
+}
+
+// Err reports the iterator's decode error, if any.
+func (c *rootCursor) Err() error { return c.it.Err() }
+
+// intervalCursor adapts a subtree-interval posting iterator, expanding
+// each instance by the pattern's slot automorphisms (see
+// Index.fetchPiece) lazily: the perm variants of one instance are
+// emitted consecutively, which preserves the tid grouping the join
+// stream needs.
+type intervalCursor struct {
+	it    *postings.IntervalIterator
+	perms [][]int
+	cur   postings.IntervalEntry
+	pi    int // next perm of cur to emit; >= len(perms) pulls a fresh instance
+}
+
+// Next decodes (or permutes) the next interval posting.
+func (c *intervalCursor) Next() (postings.IntervalEntry, bool) {
+	if len(c.perms) <= 1 {
+		if !c.it.Next() {
+			return postings.IntervalEntry{}, false
+		}
+		return c.it.Entry(), true
+	}
+	if c.pi >= len(c.perms) {
+		if !c.it.Next() {
+			return postings.IntervalEntry{}, false
+		}
+		c.cur = c.it.Entry()
+		c.pi = 0
+	}
+	pm := c.perms[c.pi]
+	c.pi++
+	nodes := make([]postings.NodeRef, len(c.cur.Nodes))
+	for i, src := range pm {
+		nodes[i] = c.cur.Nodes[src]
+	}
+	return postings.IntervalEntry{TID: c.cur.TID, Nodes: nodes}, true
+}
+
+// Err reports the iterator's decode error, if any.
+func (c *intervalCursor) Err() error { return c.it.Err() }

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// streamTestQueries mix single-piece, multi-piece, //-edge and
+// no-match shapes so the bounded path exercises merge, stack and
+// equality join steps.
+var streamTestQueries = []string{
+	"NP(DT)(NN)",
+	"S(NP)(VP)",
+	"S(//NN)",
+	"S(NP(DT)(NN))(VP(VBZ))",
+	"VP(//DT(the))",
+	"ZZZ(QQQ)",
+}
+
+// TestBoundedEvalIsPrefixAllCodings asserts, for every coding, that a
+// limited single-index search returns exactly the leading window of
+// the unlimited search while producing strictly fewer join rows
+// whenever it truncates — the in-shard half of limit pushdown — and
+// never issuing more posting fetches.
+func TestBoundedEvalIsPrefixAllCodings(t *testing.T) {
+	trees := shardCorpus(500)
+	ctx := context.Background()
+	for coding, ix := range buildAll(t, trees, 3) {
+		for _, src := range streamTestQueries {
+			full, err := ix.Search(ctx, src, SearchOpts{})
+			if err != nil {
+				t.Fatalf("%v %s: %v", coding, src, err)
+			}
+			for _, limit := range []int{1, 3, 1 << 20} {
+				for _, offset := range []int{0, 2} {
+					res, err := ix.Search(ctx, src, SearchOpts{Limit: limit, Offset: offset})
+					if err != nil {
+						t.Fatalf("%v %s limit=%d: %v", coding, src, limit, err)
+					}
+					want := full.Matches
+					if offset < len(want) {
+						want = want[offset:]
+					} else {
+						want = nil
+					}
+					if limit < len(want) {
+						want = want[:limit]
+					}
+					if len(res.Matches) != len(want) {
+						t.Fatalf("%v %s limit=%d offset=%d: %d matches, want %d",
+							coding, src, limit, offset, len(res.Matches), len(want))
+					}
+					for i := range want {
+						if res.Matches[i] != want[i] {
+							t.Fatalf("%v %s limit=%d offset=%d: match %d = %+v, want %+v",
+								coding, src, limit, offset, i, res.Matches[i], want[i])
+						}
+					}
+					if res.Stats.PostingFetches > full.Stats.PostingFetches {
+						t.Fatalf("%v %s limit=%d: %d posting fetches, unlimited %d; limits must not regress fetches",
+							coding, src, limit, res.Stats.PostingFetches, full.Stats.PostingFetches)
+					}
+					if res.Stats.Truncated {
+						if res.Stats.JoinRows >= full.Stats.JoinRows {
+							t.Fatalf("%v %s limit=%d offset=%d: truncated run produced %d join rows, unlimited %d; want strictly fewer",
+								coding, src, limit, offset, res.Stats.JoinRows, full.Stats.JoinRows)
+						}
+						if res.Count > full.Count {
+							t.Fatalf("%v %s: truncated count %d > total %d", coding, src, res.Count, full.Count)
+						}
+					} else if res.Count != full.Count {
+						t.Fatalf("%v %s limit=%d offset=%d: untruncated count %d, want %d",
+							coding, src, limit, offset, res.Count, full.Count)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchLazySkipsUnneededShardError is the drain-error regression
+// test: a lookahead shard that fails *after* the target window is
+// already satisfied must not fail the whole search — its results were
+// never needed — while a shard the window still depends on failing
+// must still surface an error.
+func TestSearchLazySkipsUnneededShardError(t *testing.T) {
+	trees := shardCorpus(600)
+	ctx := context.Background()
+	const q = "NP(DT)(NN)"
+
+	healthy := openSharded(t, trees, 4, OpenOptions{})
+	full, err := healthy.Search(ctx, q, SearchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Matches) < 20 {
+		t.Fatalf("vacuous corpus: only %d matches", len(full.Matches))
+	}
+
+	broken, ok := openSharded(t, trees, 4, OpenOptions{}).(*Sharded)
+	if !ok {
+		t.Fatal("openSharded did not return a *Sharded")
+	}
+	// Sabotage shard 1 — inside the lazy lookahead window, so it is in
+	// flight while shard 0 satisfies a small limit.
+	if err := broken.shards[1].tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := broken.Search(ctx, q, SearchOpts{Limit: 2})
+	if err != nil {
+		t.Fatalf("limited search satisfied by shard 0 failed on the unneeded shard 1: %v", err)
+	}
+	if len(res.Matches) != 2 || !res.Stats.Truncated {
+		t.Fatalf("got %d matches truncated=%v, want the completed window flagged truncated",
+			len(res.Matches), res.Stats.Truncated)
+	}
+	for i := range res.Matches {
+		if res.Matches[i] != full.Matches[i] {
+			t.Fatalf("window match %d = %+v, want %+v", i, res.Matches[i], full.Matches[i])
+		}
+	}
+
+	// A window that genuinely needs the broken shard must still error.
+	if _, err := broken.Search(ctx, q, SearchOpts{Limit: full.Count}); err == nil {
+		t.Fatal("search depending on the broken shard unexpectedly succeeded")
+	}
+	// And so must the unlimited fan-out.
+	if _, err := broken.Search(ctx, q, SearchOpts{}); err == nil {
+		t.Fatal("unlimited search over the broken shard unexpectedly succeeded")
+	}
+}
+
+// TestSearchStreamParity asserts the pending-result path: draining
+// SearchStream yields exactly Search's window, finalizes equivalent
+// stats, and an early break stops evaluation mid-way (later shards
+// never consulted, fewer join rows than the full evaluation).
+func TestSearchStreamParity(t *testing.T) {
+	trees := shardCorpus(600)
+	ctx := context.Background()
+	for _, shards := range []int{1, 4} {
+		h := openSharded(t, trees, shards, OpenOptions{})
+		for _, src := range streamTestQueries {
+			for _, opts := range []SearchOpts{{}, {Limit: 3}, {Limit: 4, Offset: 2}} {
+				want, err := h.Search(ctx, src, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := h.SearchStream(ctx, src, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []Match
+				for m, err := range res.All() {
+					if err != nil {
+						t.Fatalf("shards=%d %s: stream error: %v", shards, src, err)
+					}
+					got = append(got, m)
+				}
+				if len(got) != len(want.Matches) {
+					t.Fatalf("shards=%d %s %+v: stream yielded %d matches, Search %d",
+						shards, src, opts, len(got), len(want.Matches))
+				}
+				for i := range got {
+					if got[i] != want.Matches[i] {
+						t.Fatalf("shards=%d %s: stream match %d = %+v, want %+v",
+							shards, src, i, got[i], want.Matches[i])
+					}
+				}
+				if want.Stats.Truncated != res.Stats.Truncated {
+					t.Fatalf("shards=%d %s %+v: stream truncated=%v, Search %v",
+						shards, src, opts, res.Stats.Truncated, want.Stats.Truncated)
+				}
+				// A second iteration of a consumed pending result yields
+				// nothing rather than re-evaluating.
+				for range res.All() {
+					t.Fatalf("shards=%d %s: consumed stream yielded again", shards, src)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchStreamStopsOnBreak asserts abandoning the iterator stops
+// evaluation: on a sharded index, breaking after the first match
+// leaves later shards unconsulted and their posting fetches unissued.
+func TestSearchStreamStopsOnBreak(t *testing.T) {
+	trees := shardCorpus(800)
+	ctx := context.Background()
+	h := openSharded(t, trees, 4, OpenOptions{})
+	const q = "NP(DT)(NN)"
+	full, err := h.Search(ctx, q, SearchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.SearchStream(ctx, q, SearchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, err := range res.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n++; n >= 1 {
+			break
+		}
+	}
+	if res.Stats.ShardsConsulted >= 4 {
+		t.Fatalf("break after one match still consulted %d shards", res.Stats.ShardsConsulted)
+	}
+	if !res.Stats.Truncated {
+		t.Fatal("abandoned stream must report truncation")
+	}
+	if res.Stats.PostingFetches >= full.Stats.PostingFetches {
+		t.Fatalf("abandoned stream issued %d fetches, full search %d; want strictly fewer",
+			res.Stats.PostingFetches, full.Stats.PostingFetches)
+	}
+	if res.Stats.JoinRows >= full.Stats.JoinRows {
+		t.Fatalf("abandoned stream produced %d join rows, full search %d; want strictly fewer",
+			res.Stats.JoinRows, full.Stats.JoinRows)
+	}
+
+	// On a SINGLE shard too: breaking mid-shard leaves no unconsulted
+	// shards to infer truncation from, but the partial Count must still
+	// be flagged — an unflagged Count claims exactness.
+	h1 := openSharded(t, trees, 1, OpenOptions{})
+	res1, err := h1.SearchStream(ctx, q, SearchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range res1.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if !res1.Stats.Truncated {
+		t.Fatalf("single-shard abandoned stream reported count %d with truncated=false", res1.Count)
+	}
+}
+
+// TestSearchStreamRejectsCountOnly pins the API contract: counting is
+// a materializing operation with no streaming form.
+func TestSearchStreamRejectsCountOnly(t *testing.T) {
+	h := openSharded(t, shardCorpus(50), 1, OpenOptions{})
+	if _, err := h.SearchStream(context.Background(), "NP", SearchOpts{CountOnly: true}); err == nil {
+		t.Fatal("SearchStream accepted CountOnly")
+	}
+}

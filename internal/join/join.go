@@ -64,6 +64,18 @@ type Options struct {
 	CountOnly bool
 }
 
+// Info reports how one Run executed.
+type Info struct {
+	// Count is the number of distinct (tid, root) matches.
+	Count int
+	// Rows measures join work: every relation entry that entered the
+	// pipeline plus every intermediate row produced by a join step. The
+	// streaming producer reports the same measure, so a limited
+	// evaluation that stops early shows strictly fewer rows than the
+	// full run of the same query (asserted by tests and benchmarks).
+	Rows int
+}
+
 // canceller amortizes context checks over hot join loops: the deadline
 // is consulted once per 1024 ticks, so cancellation is detected within
 // a bounded amount of work without a per-row atomic load.
@@ -91,27 +103,30 @@ func Execute(q *query.Query, rels []Relation) ([]Match, error) {
 }
 
 // Run joins the relations under ctx and returns the distinct (tid,
-// root image) matches of the query root, plus their count. Every query
-// node must be bound by at least one relation slot *or* be enforceable
-// transitively; the query root must be bound. Cancellation is checked
-// on entry, between join steps, and periodically inside merge loops,
-// so an expired ctx aborts evaluation promptly with ctx.Err(). With
-// Options.CountOnly the match slice stays nil and only the count is
-// computed.
-func Run(ctx context.Context, q *query.Query, rels []Relation, opt Options) ([]Match, int, error) {
+// root image) matches of the query root, plus execution Info. Every
+// query node must be bound by at least one relation slot *or* be
+// enforceable transitively; the query root must be bound. Cancellation
+// is checked on entry, between join steps, and periodically inside
+// merge loops, so an expired ctx aborts evaluation promptly with
+// ctx.Err(). With Options.CountOnly the match slice stays nil and only
+// the count is computed. For incremental evaluation that can stop
+// mid-join, use NewStream instead.
+func Run(ctx context.Context, q *query.Query, rels []Relation, opt Options) ([]Match, Info, error) {
+	var info Info
 	if err := ctx.Err(); err != nil {
-		return nil, 0, err
+		return nil, info, err
 	}
 	if len(rels) == 0 {
-		return nil, 0, fmt.Errorf("join: no relations")
+		return nil, info, fmt.Errorf("join: no relations")
 	}
 	for _, r := range rels {
 		if len(r.Entries) == 0 {
-			return nil, 0, nil // empty posting list: no matches anywhere
+			return nil, info, nil // empty posting list: no matches anywhere
 		}
 		if len(r.Slots) == 0 {
-			return nil, 0, fmt.Errorf("join: relation %q has no slots", r.Name)
+			return nil, info, fmt.Errorf("join: relation %q has no slots", r.Name)
 		}
+		info.Rows += len(r.Entries)
 	}
 	preds := buildPredicates(q)
 
@@ -119,26 +134,39 @@ func Run(ctx context.Context, q *query.Query, rels []Relation, opt Options) ([]M
 	// add the smallest relation connected to the bound set.
 	order, err := planOrder(q, rels)
 	if err != nil {
-		return nil, 0, err
+		return nil, info, err
 	}
 
 	cc := &canceller{ctx: ctx}
 	cur := newTable(rels[order[0]])
 	for _, ri := range order[1:] {
 		if err := ctx.Err(); err != nil {
-			return nil, 0, err
+			return nil, info, err
 		}
 		cur, err = joinStep(cc, cur, rels[ri], preds)
 		if err != nil {
-			return nil, 0, err
+			return nil, info, err
 		}
+		info.Rows += len(cur.rows)
 		if len(cur.rows) == 0 {
-			return nil, 0, nil
+			return nil, info, nil
 		}
 	}
 	// Final residual pass: predicates whose nodes only became jointly
 	// bound at the end are already applied incrementally; what remains
 	// is projecting the root and deduplicating.
+	out, n, err := projectRoot(cc, q, cur, opt.CountOnly)
+	if err != nil {
+		return nil, info, err
+	}
+	info.Count = n
+	return out, info, nil
+}
+
+// projectRoot projects the query root's column out of the final table,
+// deduplicates (tid, root) pairs and sorts them; with countOnly only
+// the count is computed.
+func projectRoot(cc *canceller, q *query.Query, cur *table, countOnly bool) ([]Match, int, error) {
 	rootCol, ok := cur.col[q.Root()]
 	if !ok {
 		return nil, 0, fmt.Errorf("join: query root is not bound by any relation")
@@ -154,11 +182,11 @@ func Run(ctx context.Context, q *query.Query, rels []Relation, opt Options) ([]M
 			continue
 		}
 		seen[k] = struct{}{}
-		if !opt.CountOnly {
+		if !countOnly {
 			out = append(out, Match{TID: row.tid, Root: row.bind[rootCol].Pre})
 		}
 	}
-	if opt.CountOnly {
+	if countOnly {
 		return nil, len(seen), nil
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,296 @@
+package join
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/postings"
+	"repro/internal/query"
+)
+
+// This file is the incremental join mode: instead of materializing
+// every relation and intermediate table before producing the first
+// match (Run), a Stream pulls posting entries lazily and joins one
+// tree at a time. Because every relation is (tid, pre)-sorted and a
+// match requires every cover piece to occur in the tree, the distinct
+// (tid, root) matches of tree T depend only on each relation's
+// entries with tid == T — so aligning the cursors on their next common
+// tid, joining that block with the same machinery as Run, and emitting
+// the block's matches yields the global (tid, root) order one tree at
+// a time. A consumer that stops pulling (a search that has its
+// offset+limit window) therefore stops the decoding and joining of
+// every entry it never needed — the in-shard half of limit pushdown,
+// complementing the cross-shard early termination in internal/core.
+
+// EntryCursor is a pull source of (tid, pre)-sorted posting entries —
+// the lazily-decoded counterpart of Relation.Entries. Next returns the
+// next entry until the list is exhausted or a decode error occurs;
+// Err distinguishes the two after Next returns false.
+type EntryCursor interface {
+	// Next returns the next entry in (tid, pre) order; ok reports
+	// whether one was produced.
+	Next() (e postings.IntervalEntry, ok bool)
+	// Err reports the decode error that stopped Next, if any.
+	Err() error
+}
+
+// StreamRelation is one lazily-decoded join input: Slots as in
+// Relation, entries pulled from Cursor on demand.
+type StreamRelation struct {
+	Name   string      // for diagnostics: the piece's key
+	Slots  []int       // query node bound by each entry column
+	Cursor EntryCursor // (tid, pre)-sorted entry source
+}
+
+// Stream evaluates a join incrementally: Next emits the distinct
+// (tid, root image) matches of the query root in global (tid, root)
+// order, advancing the underlying cursors only as far as demanded.
+// A Stream is single-use and not safe for concurrent use.
+type Stream struct {
+	ctx   context.Context
+	q     *query.Query
+	preds []pred
+	cc    *canceller
+
+	rels  []StreamRelation
+	heads []postings.IntervalEntry // heads[i]: next undelivered entry of rels[i]
+	live  []bool                   // heads[i] valid; false once a cursor is exhausted
+	minis []Relation               // reusable single-tid relations
+	order []int                    // join order, computed on the first block and reused
+
+	buf  []Match // matches of the current tid, drained in order
+	bufI int
+
+	read int // entries pulled from cursors
+	rows int // read + rows produced by join steps
+	done bool
+	err  error
+}
+
+// NewStream validates the inputs and returns a stream positioned
+// before the first match. Relation and query requirements are those of
+// Run; an empty posting list is not an error (the stream just produces
+// nothing).
+func NewStream(ctx context.Context, q *query.Query, rels []StreamRelation) (*Stream, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("join: no relations")
+	}
+	rootBound := false
+	for _, r := range rels {
+		if len(r.Slots) == 0 {
+			return nil, fmt.Errorf("join: relation %q has no slots", r.Name)
+		}
+		for _, s := range r.Slots {
+			if s == q.Root() {
+				rootBound = true
+			}
+		}
+	}
+	if !rootBound {
+		return nil, fmt.Errorf("join: query root is not bound by any relation")
+	}
+	s := &Stream{
+		ctx:   ctx,
+		q:     q,
+		preds: buildPredicates(q),
+		cc:    &canceller{ctx: ctx},
+		rels:  rels,
+		heads: make([]postings.IntervalEntry, len(rels)),
+		live:  make([]bool, len(rels)),
+		minis: make([]Relation, len(rels)),
+	}
+	for i, r := range rels {
+		s.minis[i] = Relation{Name: r.Name, Slots: r.Slots}
+		if s.done {
+			continue // a source is already known empty: nothing can match
+		}
+		if !s.pull(i) {
+			// One source is empty (or corrupt): no tree can match, so
+			// the remaining cursors are not even primed.
+			s.done = true
+		}
+	}
+	return s, nil
+}
+
+// Next returns the next match; ok=false at the end of the stream or on
+// error (consult Err). Matches arrive in ascending (tid, root) order.
+func (s *Stream) Next() (Match, bool) {
+	for {
+		if s.bufI < len(s.buf) {
+			m := s.buf[s.bufI]
+			s.bufI++
+			return m, true
+		}
+		if s.done || s.err != nil {
+			return Match{}, false
+		}
+		s.fill()
+	}
+}
+
+// Err reports the error that terminated the stream, if any: a cursor
+// decode failure, a join error, or the context's cancellation.
+func (s *Stream) Err() error { return s.err }
+
+// Rows reports join work so far, measured exactly as Info.Rows: cursor
+// entries decoded plus intermediate rows produced by join steps.
+func (s *Stream) Rows() int { return s.rows }
+
+// EntriesRead reports how many posting entries have been decoded so
+// far — the stream's share of Rows attributable to input, the measure
+// core reports as postings fetched for bounded evaluations.
+func (s *Stream) EntriesRead() int { return s.read }
+
+// pull advances source i, refreshing its head. It returns false when
+// the source is exhausted or failed (s.err is set on failure).
+func (s *Stream) pull(i int) bool {
+	e, ok := s.rels[i].Cursor.Next()
+	if !ok {
+		s.live[i] = false
+		if err := s.rels[i].Cursor.Err(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("join: relation %q: %w", s.rels[i].Name, err)
+		}
+		return false
+	}
+	s.heads[i] = e
+	s.live[i] = true
+	s.read++
+	s.rows++
+	return true
+}
+
+// fill advances to the next tid present in every source and joins its
+// block, leaving the block's matches in buf. It sets done when any
+// source is exhausted and err on failure or cancellation.
+func (s *Stream) fill() {
+	s.buf, s.bufI = s.buf[:0], 0
+	for {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return
+		}
+		tid, ok := s.align()
+		if !ok {
+			return // done or err set
+		}
+		if !s.collect(tid) {
+			return // a cursor failed mid-block
+		}
+		ms, rows, err := s.joinTID()
+		s.rows += rows
+		if err != nil {
+			s.err = err
+			return
+		}
+		if len(ms) > 0 {
+			s.buf = ms
+			return
+		}
+		// The block joined to nothing; move on to the next common tid.
+	}
+}
+
+// align advances the cursors until every head carries the same tid —
+// the next tree that can possibly match — and returns it.
+func (s *Stream) align() (uint32, bool) {
+	for i := range s.rels {
+		if !s.live[i] {
+			s.done = true
+			return 0, false
+		}
+	}
+	target := s.heads[0].TID
+	for {
+		raised := false
+		for i := range s.rels {
+			for s.heads[i].TID < target {
+				if !s.pull(i) {
+					s.done = true
+					return 0, false
+				}
+			}
+			if s.heads[i].TID > target {
+				target = s.heads[i].TID
+				raised = true
+			}
+		}
+		if !raised {
+			return target, true
+		}
+	}
+}
+
+// collect gathers each source's entries for tid into its mini
+// relation, leaving the heads on the first entry of a later tree.
+func (s *Stream) collect(tid uint32) bool {
+	for i := range s.rels {
+		s.minis[i].Entries = s.minis[i].Entries[:0]
+		for s.live[i] && s.heads[i].TID == tid {
+			s.minis[i].Entries = append(s.minis[i].Entries, s.heads[i])
+			s.pull(i)
+		}
+		if s.err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// joinTID joins the current single-tid mini relations with the same
+// step machinery as Run, returning the block's distinct matches sorted
+// by root and the intermediate rows produced. The join order is
+// computed on the first block and reused: connectivity is structural
+// (identical every block), and re-running the greedy planner per tree
+// would put O(matched trees) planning work on the hot streaming path
+// for the minor benefit of per-tree size-ordering over tiny blocks.
+func (s *Stream) joinTID() ([]Match, int, error) {
+	if s.order == nil {
+		order, err := planOrder(s.q, s.minis)
+		if err != nil {
+			return nil, 0, err
+		}
+		s.order = order
+	}
+	rows := 0
+	cur := newTable(s.minis[s.order[0]])
+	var err error
+	for _, ri := range s.order[1:] {
+		cur, err = joinStep(s.cc, cur, s.minis[ri], s.preds)
+		if err != nil {
+			return nil, rows, err
+		}
+		rows += len(cur.rows)
+		if len(cur.rows) == 0 {
+			return nil, rows, nil
+		}
+	}
+	ms, _, err := projectRoot(s.cc, s.q, cur, false)
+	return ms, rows, err
+}
+
+// SliceCursor adapts an in-memory entry slice to EntryCursor — the
+// bridge for callers (and tests) holding materialized relations.
+type SliceCursor struct {
+	entries []postings.IntervalEntry
+	i       int
+}
+
+// NewSliceCursor returns a cursor over entries, which must already be
+// in (tid, pre) order.
+func NewSliceCursor(entries []postings.IntervalEntry) *SliceCursor {
+	return &SliceCursor{entries: entries}
+}
+
+// Next returns the next entry of the slice.
+func (c *SliceCursor) Next() (postings.IntervalEntry, bool) {
+	if c.i >= len(c.entries) {
+		return postings.IntervalEntry{}, false
+	}
+	e := c.entries[c.i]
+	c.i++
+	return e, true
+}
+
+// Err always reports nil: a slice cannot fail to decode.
+func (c *SliceCursor) Err() error { return nil }

@@ -219,3 +219,178 @@ func TestQuickRootSplitRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// --- corruption robustness ---------------------------------------------
+//
+// The iterators decode blobs read straight off disk, so a truncated or
+// bit-flipped page must never panic or loop; a cut inside a record must
+// surface through Err (a cut on a record boundary is indistinguishable
+// from a shorter valid list — the count prefix above the coding layer
+// catches those).
+
+// corpusBlob builds one realistic blob per coding plus the byte offset
+// after each complete record (for boundary-aware truncation checks).
+func corpusBlob(t *testing.T, coding Coding) (blob []byte, boundaries []int) {
+	t.Helper()
+	switch coding {
+	case FilterBased:
+		var a FilterAccumulator
+		for _, tid := range []uint32{0, 3, 3, 7, 250, 100000} {
+			a.Add(tid)
+		}
+		blob = a.Bytes()
+		it := NewFilterIterator(blob)
+		for it.Next() {
+			boundaries = append(boundaries, it.off)
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+	case RootSplit:
+		a := NewRootAccumulator(true)
+		a.Add(1, NodeRef{Pre: 2, Post: 9, Level: 1, Order: 2})
+		a.Add(1, NodeRef{Pre: 300, Post: 301, Level: 4, Order: 300})
+		a.Add(9, NodeRef{Pre: 0, Post: 12, Level: 0, Order: 0})
+		a.Add(1000, NodeRef{Pre: 77, Post: 90, Level: 3, Order: 77})
+		blob = a.Bytes()
+		it := NewRootIterator(blob)
+		for it.Next() {
+			boundaries = append(boundaries, it.off)
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+	case SubtreeInterval:
+		var a IntervalAccumulator
+		a.Add(2, []NodeRef{{Pre: 1, Post: 5, Level: 1, Order: 1}, {Pre: 300, Post: 2, Level: 2, Order: 300}})
+		a.Add(2, []NodeRef{{Pre: 1, Post: 5, Level: 1, Order: 1}})
+		a.Add(64, []NodeRef{{Pre: 0, Post: 900, Level: 0, Order: 0}, {Pre: 4, Post: 3, Level: 9, Order: 4}, {Pre: 8, Post: 7, Level: 2, Order: 8}})
+		blob = a.Bytes()
+		it := NewIntervalIterator(blob)
+		for it.Next() {
+			boundaries = append(boundaries, it.off)
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+	}
+	if len(blob) == 0 || len(boundaries) == 0 {
+		t.Fatal("vacuous corpus blob")
+	}
+	return blob, boundaries
+}
+
+// iterate walks a (possibly corrupt) blob under the given coding with
+// a hard step cap, converting panics and runaway loops into failures,
+// and returns the records decoded and the final error.
+func iterate(t *testing.T, coding Coding, blob []byte) (records int, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%v: iterator panicked on corrupt blob %x: %v", coding, blob, r)
+		}
+	}()
+	cap := len(blob) + 2 // every record consumes at least one byte
+	switch coding {
+	case FilterBased:
+		it := NewFilterIterator(blob)
+		for it.Next() {
+			_ = it.TID()
+			if records++; records > cap {
+				t.Fatalf("filter: runaway iteration on %x", blob)
+			}
+		}
+		return records, it.Err()
+	case RootSplit:
+		it := NewRootIterator(blob)
+		for it.Next() {
+			_ = it.Entry()
+			if records++; records > cap {
+				t.Fatalf("root-split: runaway iteration on %x", blob)
+			}
+		}
+		return records, it.Err()
+	default:
+		it := NewIntervalIterator(blob)
+		for it.Next() {
+			_ = it.Entry()
+			if records++; records > cap {
+				t.Fatalf("interval: runaway iteration on %x", blob)
+			}
+		}
+		return records, it.Err()
+	}
+}
+
+// TestIteratorsTruncatedBlobs cuts each coding's blob at every byte
+// offset: no cut may panic or loop, and a cut strictly inside a record
+// must surface Err.
+func TestIteratorsTruncatedBlobs(t *testing.T) {
+	for _, coding := range []Coding{FilterBased, RootSplit, SubtreeInterval} {
+		blob, bounds := corpusBlob(t, coding)
+		onBoundary := map[int]bool{0: true}
+		for _, b := range bounds {
+			onBoundary[b] = true
+		}
+		for cut := 0; cut < len(blob); cut++ {
+			records, err := iterate(t, coding, blob[:cut])
+			if !onBoundary[cut] && err == nil {
+				t.Fatalf("%v: cut at %d (mid-record) decoded %d records with nil Err", coding, cut, records)
+			}
+			if onBoundary[cut] && err != nil {
+				t.Fatalf("%v: cut at record boundary %d errored: %v", coding, cut, err)
+			}
+		}
+	}
+}
+
+// TestIteratorsBitFlips flips every bit of every coding's blob: any
+// outcome is acceptable except a panic, an unbounded loop, or an
+// inconsistent iterator (Err set while Next kept returning true is
+// impossible by construction; the cap in iterate enforces
+// termination).
+func TestIteratorsBitFlips(t *testing.T) {
+	for _, coding := range []Coding{FilterBased, RootSplit, SubtreeInterval} {
+		blob, _ := corpusBlob(t, coding)
+		for i := 0; i < len(blob); i++ {
+			for bit := 0; bit < 8; bit++ {
+				mut := append([]byte(nil), blob...)
+				mut[i] ^= 1 << bit
+				iterate(t, coding, mut)
+			}
+		}
+	}
+}
+
+// TestIteratorsStayStopped asserts a failed iterator stays failed:
+// calling Next after an error keeps returning false with the same Err.
+func TestIteratorsStayStopped(t *testing.T) {
+	for _, coding := range []Coding{FilterBased, RootSplit, SubtreeInterval} {
+		blob, _ := corpusBlob(t, coding)
+		trunc := blob[:len(blob)-1] // strictly inside the last record
+		var next func() bool
+		var errf func() error
+		switch coding {
+		case FilterBased:
+			it := NewFilterIterator(trunc)
+			next, errf = it.Next, it.Err
+		case RootSplit:
+			it := NewRootIterator(trunc)
+			next, errf = it.Next, it.Err
+		default:
+			it := NewIntervalIterator(trunc)
+			next, errf = it.Next, it.Err
+		}
+		for next() {
+		}
+		first := errf()
+		for i := 0; i < 3; i++ {
+			if next() {
+				t.Fatalf("%v: Next resumed after error", coding)
+			}
+		}
+		if errf() != first {
+			t.Fatalf("%v: Err changed after repeated Next", coding)
+		}
+	}
+}

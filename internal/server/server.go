@@ -17,8 +17,12 @@
 // server's default timeout (Config.Timeout) unless the request asks
 // for a shorter one with timeout= (a Go duration, e.g. 500ms); a
 // client disconnect cancels evaluation mid-join. limit/offset push
-// down into the v2 search path, so on a sharded index a small limit
-// stops fetching posting lists early instead of trimming afterwards.
+// down into the v2 search path: a sharded index stops consulting
+// shards — and fetching their posting lists — once the window is
+// full, and inside each shard the streaming join stops decoding and
+// joining postings at the same point. /stream evaluates incrementally
+// end to end: the first NDJSON line is written while the join is
+// still running.
 //
 // All responses are JSON (NDJSON for /stream); errors are
 // {"error": "..."} with a 4xx/5xx status. The handler is safe for
@@ -30,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"iter"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -128,6 +133,10 @@ type StatsJSON struct {
 	// ShardsConsulted is how many index partitions were evaluated;
 	// under a limit this can be less than the shard count.
 	ShardsConsulted int `json:"shards_consulted"`
+	// JoinRows is the join work done: posting entries decoded plus
+	// intermediate join rows produced. Limits push into the join, so a
+	// truncated query reports fewer rows than its unlimited run.
+	JoinRows uint64 `json:"join_rows"`
 }
 
 // statsJSON converts engine stats to the wire form.
@@ -136,6 +145,7 @@ func statsJSON(st si.SearchStats) *StatsJSON {
 		PostingFetches:  st.PostingFetches,
 		PlanCacheHit:    st.PlanCacheHit,
 		ShardsConsulted: st.ShardsConsulted,
+		JoinRows:        st.JoinRows,
 	}
 }
 
@@ -171,12 +181,24 @@ type SearchResponse struct {
 type StreamSummary struct {
 	// Done marks the summary line, distinguishing it from match lines.
 	Done bool `json:"done"`
-	// Count, Truncated: as in QueryResult.
-	Count     int  `json:"count"`
+	// Count is the number of matches evaluation found before it
+	// stopped. Because /stream evaluates incrementally, this is a lower
+	// bound on the query's total whenever Truncated is set (a limit was
+	// reached, shards went unconsulted, or the evaluation failed
+	// mid-stream); use /count for an always-exact total.
+	Count int `json:"count"`
+	// Truncated: as in QueryResult.
 	Truncated bool `json:"truncated,omitempty"`
+	// Error reports an evaluation failure that occurred after match
+	// lines were already on the wire (the status line was long gone by
+	// then); the preceding lines are a valid prefix of the result.
+	Error string `json:"error,omitempty"`
 	// Stats: as in SearchResponse.
 	Stats *StatsJSON `json:"stats,omitempty"`
-	// TookNS is the server-side evaluation time in nanoseconds.
+	// TookNS is the elapsed stream time in nanoseconds — evaluation
+	// *interleaved with writing to the client*, since /stream evaluates
+	// as it writes. A slow reader inflates it; it is not comparable to
+	// /search's evaluation-only took_ns.
 	TookNS int64 `json:"took_ns"`
 }
 
@@ -378,41 +400,85 @@ func (s *Server) evaluate(w http.ResponseWriter, r *http.Request, countOnly bool
 
 // handleStream serves GET /stream: the same query surface as /search,
 // answered as NDJSON — one match object per line, then a summary line
-// with the count, truncation flag and stats. Evaluation itself is not
-// incremental (the engine materializes the requested window before
-// the first byte is written); what streaming buys is the wire format:
-// matches are encoded and flushed line by line instead of as one JSON
-// array, so clients can parse incrementally and the response never
-// holds a second full copy of the window in an encoder buffer.
+// with the count, truncation flag and stats. Evaluation is genuinely
+// incremental (si.Index.SearchStream): each line is produced by
+// advancing the streaming join just far enough for the next match and
+// flushed immediately, so the first byte reaches the client while
+// most of the evaluation — later trees of the current shard, later
+// shards entirely — has not happened yet, and a client that
+// disconnects stops that work. The summary's Count is therefore a
+// lower bound whenever Truncated is set. Failures keep /search's
+// status semantics as long as nothing is on the wire: the first match
+// is pulled *before* the 200 commits, so planning errors, an expired
+// deadline or an I/O failure on the leading shard still answer
+// 4xx/5xx. A failure after lines are flowing cannot change the status
+// anymore; it is reported in the summary line's error field, with the
+// preceding lines a valid prefix of the result.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	res, _, took, ok := s.evaluate(w, r, false)
-	if !ok {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	p, err := s.parseParams(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r, p.timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := s.ix.SearchStream(ctx, p.src, searchOptions(p.limit, p.offset, false)...)
+	if err != nil {
+		s.fail(w, errStatus(err), err.Error())
+		return
+	}
+	next, stop := iter.Pull2(res.All())
+	defer stop()
+	first, firstErr, ok := next()
+	if ok && firstErr != nil {
+		// Evaluation died before producing anything: a status line is
+		// still possible, so answer like /search would.
+		s.fail(w, errStatus(firstErr), firstErr.Error())
+		return
+	}
+	s.queries.Add(1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	flusher, _ := w.(http.Flusher)
-	n := 0
-	for m, err := range res.All() {
-		if err != nil {
-			return // stream already started; nothing left to signal
+	// Every line flushes: prompt delivery of each match as it is found
+	// is this endpoint's contract, and coalescing would hold produced
+	// matches hostage to however long the join takes to find the next
+	// one. One chunked write per line is the accepted price — the
+	// default MaxMatches cap bounds it, and bulk drains belong on
+	// /search, which materializes concurrently and writes once.
+	var streamErr error
+	for m := first; ok; m, streamErr, ok = next() {
+		if streamErr != nil {
+			break
 		}
 		if err := enc.Encode(MatchJSON{TID: m.TID, Root: m.Root}); err != nil {
-			return // client went away
+			return // client went away; stopping the iterator stops evaluation
 		}
-		if n++; flusher != nil && n%256 == 0 {
+		if flusher != nil {
 			flusher.Flush()
 		}
 	}
-	_ = enc.Encode(StreamSummary{
+	stop() // finalize res.Count and res.Stats before the summary
+	summary := StreamSummary{
 		Done:      true,
 		Count:     res.Count,
 		Truncated: res.Stats.Truncated,
 		Stats:     statsJSON(res.Stats),
-		TookNS:    took.Nanoseconds(),
-	})
+		TookNS:    time.Since(start).Nanoseconds(),
+	}
+	if streamErr != nil {
+		summary.Error = streamErr.Error()
+		summary.Truncated = true
+		s.errors.Add(1)
+	}
+	_ = enc.Encode(summary)
 	if flusher != nil {
 		flusher.Flush()
 	}

@@ -176,10 +176,17 @@ func TestLimitOffsetWindow(t *testing.T) {
 }
 
 // TestStreamNDJSON asserts /stream yields one match per line followed
-// by a done summary that agrees with /search.
+// by a done summary: the match window agrees with Index.Search and the
+// summary count is a truncation-flagged lower bound of the exact
+// total (incremental evaluation stops counting when the limit is
+// reached).
 func TestStreamNDJSON(t *testing.T) {
 	ts, ix := newTestServer(t, 2, Config{})
 	q := "NP(DT)(NN)"
+	full, err := ix.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := ix.Search(context.Background(), q, si.WithLimit(5))
 	if err != nil {
 		t.Fatal(err)
@@ -224,8 +231,17 @@ func TestStreamNDJSON(t *testing.T) {
 	if !summary.Done {
 		t.Fatal("stream ended without a done summary line")
 	}
-	if len(matches) != len(res.Matches) || summary.Count != res.Count {
-		t.Fatalf("stream: %d matches count %d, want %d/%d", len(matches), summary.Count, len(res.Matches), res.Count)
+	if len(matches) != len(res.Matches) {
+		t.Fatalf("stream: %d match lines, want %d", len(matches), len(res.Matches))
+	}
+	if summary.Count < len(matches) || summary.Count > full.Count {
+		t.Fatalf("stream summary count %d outside [%d, %d]", summary.Count, len(matches), full.Count)
+	}
+	if !summary.Truncated {
+		t.Fatal("limited stream summary must flag truncation (its count is a lower bound)")
+	}
+	if summary.Error != "" {
+		t.Fatalf("clean stream reported error %q", summary.Error)
 	}
 	for i, m := range res.Matches {
 		if matches[i].TID != m.TID || matches[i].Root != m.Root {
@@ -234,17 +250,152 @@ func TestStreamNDJSON(t *testing.T) {
 	}
 }
 
-// TestRequestTimeout asserts an absurdly small request timeout aborts
-// evaluation with 504 rather than hanging or answering 200.
-func TestRequestTimeout(t *testing.T) {
-	ts, _ := newTestServer(t, 2, Config{})
-	resp, err := http.Get(ts.URL + "/search?q=" + urlQueryEscape("S(//NN)") + "&timeout=1ns")
+// blockingWriter is an http.ResponseWriter that parks the handler
+// after its first payload write until the test releases it — the
+// deterministic way to observe the handler mid-stream without racing
+// socket buffers.
+type blockingWriter struct {
+	header     http.Header
+	buf        bytes.Buffer
+	firstWrite chan struct{} // closed once the first body write lands
+	release    chan struct{} // handler blocks here after that write
+	blocked    bool
+}
+
+func newBlockingWriter() *blockingWriter {
+	return &blockingWriter{
+		header:     make(http.Header),
+		firstWrite: make(chan struct{}),
+		release:    make(chan struct{}),
+	}
+}
+
+func (w *blockingWriter) Header() http.Header { return w.header }
+func (w *blockingWriter) WriteHeader(int)     {}
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	n, _ := w.buf.Write(p)
+	if !w.blocked {
+		w.blocked = true
+		close(w.firstWrite)
+		<-w.release
+	}
+	return n, nil
+}
+
+// TestStreamFirstLineBeforeEvaluationCompletes is the incremental
+// /stream acceptance test: the first NDJSON line must be written while
+// evaluation is still running. The handler is parked on its first
+// write; at that instant the index must have issued strictly fewer
+// posting fetches than a full evaluation needs (later shards not yet
+// consulted), proving the line preceded the work rather than following
+// a materialized result.
+func TestStreamFirstLineBeforeEvaluationCompletes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ix")
+	trees := si.GenerateCorpus(2012, 600)
+	opts := si.DefaultBuildOptions()
+	opts.Shards = 4
+	if _, err := si.Build(dir, trees, opts); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := si.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusGatewayTimeout {
-		t.Fatalf("timed-out search: status %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
+	defer ix.Close()
+	const q = "NP(DT)(NN)" // matches spread across every shard
+
+	base := ix.Stats().PostingFetches
+	if _, err := ix.Search(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	fullFetches := ix.Stats().PostingFetches - base
+
+	srv := New(ix, Config{MaxMatches: -1})
+	w := newBlockingWriter()
+	req := httptest.NewRequest("GET", "/stream?q="+urlQueryEscape(q), nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeHTTP(w, req)
+	}()
+
+	select {
+	case <-w.firstWrite:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no stream output within 10s")
+	}
+	// The handler is parked right after its first line hit the wire;
+	// evaluation cannot advance while it is parked.
+	midFetches := ix.Stats().PostingFetches - base - fullFetches
+	if midFetches >= fullFetches {
+		t.Fatalf("first NDJSON line written only after full evaluation: %d fetches issued, full evaluation needs %d",
+			midFetches, fullFetches)
+	}
+	close(w.release)
+	<-done
+
+	// Sanity: the drained stream is well-formed NDJSON ending in a
+	// clean summary.
+	lines := bytes.Split(bytes.TrimSpace(w.buf.Bytes()), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("stream produced %d lines", len(lines))
+	}
+	var summary StreamSummary
+	if err := json.Unmarshal(lines[len(lines)-1], &summary); err != nil || !summary.Done {
+		t.Fatalf("bad summary line %q: %v", lines[len(lines)-1], err)
+	}
+	if summary.Error != "" {
+		t.Fatalf("stream failed: %s", summary.Error)
+	}
+	if got := len(lines) - 1; got != summary.Count {
+		t.Fatalf("unlimited stream wrote %d match lines, summary count %d", got, summary.Count)
+	}
+}
+
+// TestClientLimitRespectedWhenCapDisabled is the effectiveLimit
+// regression test: with MaxMatches negative ("no cap"), an explicit
+// client limit must bound the result rather than being replaced by
+// "unlimited", while the cap-less default stays unlimited.
+func TestClientLimitRespectedWhenCapDisabled(t *testing.T) {
+	ts, ix := newTestServer(t, 2, Config{MaxMatches: -1})
+	q := "NP(DT)(NN)"
+	full, err := ix.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count < 5 {
+		t.Fatalf("vacuous corpus: only %d matches", full.Count)
+	}
+	var limited SearchResponse
+	getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q)+"&limit=3", &limited)
+	if len(limited.Matches) != 3 || !limited.Truncated {
+		t.Fatalf("cap disabled: limit=3 returned %d matches truncated=%v; the client's limit was ignored",
+			len(limited.Matches), limited.Truncated)
+	}
+	var all SearchResponse
+	getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q), &all)
+	if len(all.Matches) != full.Count || all.Truncated {
+		t.Fatalf("cap disabled, no limit: %d matches truncated=%v, want the full %d",
+			len(all.Matches), all.Truncated, full.Count)
+	}
+}
+
+// TestRequestTimeout asserts an absurdly small request timeout aborts
+// evaluation with 504 rather than hanging or answering 200 — on
+// /stream too: its incremental evaluation must pull the first match
+// before committing the 200, so a pre-stream failure keeps /search's
+// status semantics.
+func TestRequestTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, 2, Config{})
+	for _, ep := range []string{"/search", "/stream"} {
+		resp, err := http.Get(ts.URL + ep + "?q=" + urlQueryEscape("S(//NN)") + "&timeout=1ns")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("timed-out %s: status %d, want %d", ep, resp.StatusCode, http.StatusGatewayTimeout)
+		}
 	}
 }
 

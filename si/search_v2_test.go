@@ -139,6 +139,95 @@ func TestLimitedSearchFetchesLess(t *testing.T) {
 	}
 }
 
+// TestLimitedSearchFewerJoinRows is the in-shard half of the
+// acceptance criterion: on a SINGLE-shard index — where no shard can
+// be skipped — a limited search must still stop early, producing
+// strictly fewer join rows than the unlimited run while issuing no
+// more posting fetches. This is the streaming join at work: posting
+// entries beyond the window are never decoded.
+func TestLimitedSearchFewerJoinRows(t *testing.T) {
+	ix := buildSharded(t, si.GenerateCorpus(2012, 2000), 1)
+	ctx := context.Background()
+	const q = "NP(DT)(NN)" // thousands of matches in the one shard
+
+	full, err := ix.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count < 100 {
+		t.Fatalf("query matches only %d times; the limit would not be small relative to it", full.Count)
+	}
+	res, err := ix.Search(ctx, q, si.WithLimit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 5 || !res.Stats.Truncated {
+		t.Fatalf("limited search returned %d matches truncated=%v", len(res.Matches), res.Stats.Truncated)
+	}
+	if res.Stats.JoinRows >= full.Stats.JoinRows {
+		t.Fatalf("single-shard limited search produced %d join rows, unlimited %d; want strictly fewer",
+			res.Stats.JoinRows, full.Stats.JoinRows)
+	}
+	if res.Stats.PostingFetches > full.Stats.PostingFetches {
+		t.Fatalf("limited search issued %d posting fetches, unlimited %d; limits must not regress fetches",
+			res.Stats.PostingFetches, full.Stats.PostingFetches)
+	}
+}
+
+// TestSearchStream asserts the public streaming path: iterating a
+// pending result yields exactly the limited Search window, stats
+// finalize after the drain, and breaking early keeps later shards
+// unconsulted.
+func TestSearchStream(t *testing.T) {
+	ix := buildSharded(t, si.GenerateCorpus(2012, 800), 4)
+	ctx := context.Background()
+	const q = "NP(DT)(NN)"
+	want, err := ix.Search(ctx, q, si.WithLimit(7), si.WithOffset(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.SearchStream(ctx, q, si.WithLimit(7), si.WithOffset(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != nil {
+		t.Fatal("pending result must not carry materialized matches")
+	}
+	var got []si.Match
+	for m, err := range res.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m)
+	}
+	if len(got) != len(want.Matches) {
+		t.Fatalf("stream yielded %d matches, Search %d", len(got), len(want.Matches))
+	}
+	for i := range got {
+		if got[i] != want.Matches[i] {
+			t.Fatalf("stream match %d = %+v, want %+v", i, got[i], want.Matches[i])
+		}
+	}
+	if res.Count < len(got)+1 || !res.Stats.Truncated {
+		t.Fatalf("finalized count=%d truncated=%v after a limited drain", res.Count, res.Stats.Truncated)
+	}
+
+	// Breaking after the first match keeps later shards unconsulted.
+	res2, err := ix.SearchStream(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range res2.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if res2.Stats.ShardsConsulted >= 4 {
+		t.Fatalf("break after one match consulted %d shards", res2.Stats.ShardsConsulted)
+	}
+}
+
 // TestCountOnlyPath asserts Count and WithCountOnly produce exact
 // totals with no match slice, agreeing with the unlimited search.
 func TestCountOnlyPath(t *testing.T) {

@@ -220,10 +220,13 @@ type SearchOptions = core.SearchOpts
 type SearchOption func(*SearchOptions)
 
 // WithLimit caps the number of matches returned (after any offset);
-// n <= 0 means unlimited. On a sharded index a limited search consults
-// shards lazily in tid order and stops issuing posting fetches once
-// the demand is met, so small limits over large result sets cost a
-// fraction of a full search.
+// n <= 0 means unlimited. The bound pushes down into execution twice
+// over: a sharded index consults shards lazily in tid order and stops
+// issuing posting fetches once the demand is met, and within each
+// shard the streaming join stops decoding posting entries and
+// producing intermediate rows as soon as the window is full
+// (Stats.JoinRows shows the saving). Small limits over large result
+// sets therefore cost a fraction of a full search.
 func WithLimit(n int) SearchOption { return func(o *SearchOptions) { o.Limit = n } }
 
 // WithOffset skips the first n matches in global (tree, root) order
@@ -247,7 +250,10 @@ func searchOptions(opts []SearchOption) SearchOptions {
 // SearchResult is the outcome of one search: the requested window of
 // Matches in (tree, root) order, the match Count (exact unless
 // Stats.Truncated reports early termination), per-query execution
-// Stats, and a streaming iterator All().
+// Stats, and an iterator All(). Search returns it materialized —
+// All() then just walks Matches; SearchStream returns it pending —
+// All() is the lazily-advancing evaluation itself and Count/Stats
+// finalize when it ends.
 type SearchResult = core.Result
 
 // SearchStats are per-query execution statistics: posting fetches
@@ -264,12 +270,38 @@ func (i *Index) Query(ctx context.Context, q *Query, opts ...SearchOption) (*Sea
 // evaluation: cancellation and deadlines are checked inside the join
 // and scan loops, so an expired ctx aborts promptly with ctx.Err().
 // With OpenOptions.PlanCacheSize set, a repeated query string skips
-// parsing and decomposition via the plan cache.
+// parsing and decomposition via the plan cache. A limited search
+// pushes the bound all the way into the join: evaluation stops
+// decoding postings and producing join rows once offset+limit matches
+// exist, inside a shard as well as across shards.
 //
 //	res, err := ix.Search(ctx, "NP(DT)(NN)", si.WithLimit(10))
 //	for m, err := range res.All() { ... }
 func (i *Index) Search(ctx context.Context, querySrc string, opts ...SearchOption) (*SearchResult, error) {
 	return i.ix.Search(ctx, querySrc, searchOptions(opts))
+}
+
+// SearchStream parses the query and returns a *pending* SearchResult:
+// the call itself only plans, and iterating res.All() is the
+// evaluation — each shard's posting blobs are fetched when the
+// iteration first reaches that shard, and each step advances the
+// streaming join just far enough to yield the next match, so the
+// first match is available while most of the work is still undone.
+// Shards are consulted strictly in tid order; a consumer that breaks
+// early (or a WithLimit bound being reached) leaves later shards
+// untouched. res.Count and res.Stats are finalized when the iteration
+// ends (also on early break), res.Matches stays nil, and the iterator
+// is single-use. Because evaluation is deferred, so are its failures:
+// I/O errors, corrupt postings and cancellation surface as the final
+// yielded error of All(), not from this call — consumers must check
+// the yielded error, or a failed search reads as an empty one. This
+// is what sisrv's /stream endpoint uses to put the first NDJSON byte
+// on the wire before evaluation completes; prefer Search when the
+// whole window is wanted anyway — it overlaps shard evaluation
+// instead of streaming them one at a time. WithCountOnly is rejected:
+// a count has no streaming form.
+func (i *Index) SearchStream(ctx context.Context, querySrc string, opts ...SearchOption) (*SearchResult, error) {
+	return i.ix.SearchStream(ctx, querySrc, searchOptions(opts))
 }
 
 // SearchBatch evaluates a batch of queries in one pass: all queries
