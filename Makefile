@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-json bench-baseline lint serve docs-check examples ci
+.PHONY: build test bench bench-json bench-baseline lint serve serve-append-smoke docs-check examples ci
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,12 @@ lint:
 # Start a demo query server over a freshly generated corpus.
 serve:
 	$(GO) run ./cmd/sisrv -gen 10000 -seed 42 -shards 4 -addr :8080
+
+# Live-update smoke (also run by the CI serve job): build → serve →
+# POST /append → the next query sees the new tree, then sibuild
+# -append + POST /reload against the same never-restarted server.
+serve-append-smoke:
+	sh scripts/serve-append-smoke.sh
 
 # Documentation checks: markdown link integrity + doc-comment coverage
 # of every exported identifier (docs_check_test.go), plus vet.

@@ -129,7 +129,21 @@ func TestToolPipeline(t *testing.T) {
 		t.Errorf("siquery -count = %d, want %d", c, c1)
 	}
 
-	// 6. siexp runs the cheap decomposition experiment.
+	// 6. sibuild -append grows an existing index as a new segment and
+	// queries see the union immediately.
+	more := filepath.Join(work, "more.mrg")
+	run(t, sigen, "-n", "100", "-seed", "99", "-o", more)
+	out = run(t, sibuild, "-append", "-corpus", more, "-out", idx3)
+	if !strings.Contains(out, "appended to") || !strings.Contains(out, "2 segments") ||
+		!strings.Contains(out, "400 trees total") {
+		t.Errorf("sibuild -append output: %s", out)
+	}
+	cAfter := matchCount(t, run(t, siquery, "-index", idx3, "NP(DT)(NN)"))
+	if cAfter <= c3 {
+		t.Errorf("append did not grow matches: %d before, %d after", c3, cAfter)
+	}
+
+	// 7. siexp runs the cheap decomposition experiment.
 	out = run(t, siexp, "-exp", "tab3")
 	if !strings.Contains(out, "tab3") || !strings.Contains(out, "who") {
 		t.Errorf("siexp output: %s", out)

@@ -8,9 +8,17 @@
 // a file, which makes end-to-end experiments one command. -shards N
 // partitions the corpus by tid into N index shards built concurrently;
 // -workers W parallelises subtree extraction within each shard.
+//
+// With -append the trees are added to the existing index at -out as a
+// fresh immutable segment instead of rebuilding it: the new trees get
+// the tids following the current corpus, the index's mss and coding
+// carry over (-mss and -coding are ignored), and a server already
+// serving the directory picks the segment up with POST /reload —
+// incremental ingest without rebuild or restart.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +36,7 @@ func main() {
 	codingName := flag.String("coding", "root-split", "posting coding: filter-based | root-split | subtree-interval")
 	shards := flag.Int("shards", 1, "partition the index into N shards built concurrently")
 	workers := flag.Int("workers", 1, "subtree-extraction goroutines per shard")
+	appendMode := flag.Bool("append", false, "append the trees to the existing index at -out as a new segment (keeps its mss/coding)")
 	flag.Parse()
 
 	coding, err := postings.ParseCoding(*codingName)
@@ -50,6 +59,28 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("need -corpus FILE or -gen N"))
+	}
+
+	if *appendMode {
+		ix, err := si.Open(*out)
+		if err != nil {
+			fatal(err)
+		}
+		info, err := ix.AppendWith(context.Background(), trees,
+			si.AppendOptions{Shards: *shards, Workers: *workers})
+		if err != nil {
+			ix.Close()
+			fatal(err)
+		}
+		fmt.Printf("appended to %s: %d trees in new segment (%d keys, %d postings), %d segments at generation %d, %d trees total\n",
+			*out, len(trees), info.Keys, info.Postings, ix.Segments(), ix.Generation(), ix.NumTrees())
+		// The append is already committed; a close error is worth a
+		// warning but must not fail the command, or retrying scripts
+		// would ingest the corpus twice.
+		if err := ix.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sibuild: warning: closing index:", err)
+		}
+		return
 	}
 
 	info, err := si.Build(*out, trees, si.BuildOptions{

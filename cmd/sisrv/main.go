@@ -1,8 +1,9 @@
 // Command sisrv serves a Subtree Index over HTTP: JSON endpoints
-// /search, /stream (NDJSON), /count, /batch, /healthz and /stats over
-// one long-lived index, so open/parse/decompose costs are amortized
-// across requests. Every request evaluates under a context bounded by
-// -timeout (requests may shorten it with ?timeout=).
+// /search, /stream (NDJSON), /count, /batch, /append, /reload,
+// /healthz and /stats over one long-lived index, so open/parse/
+// decompose costs are amortized across requests. Every request
+// evaluates under a context bounded by -timeout (requests may shorten
+// it with ?timeout=).
 //
 // Serve an existing index directory:
 //
@@ -17,6 +18,17 @@
 //	curl 'localhost:8080/search?q=NP(DT)(NN)&limit=3&offset=1'
 //	curl 'localhost:8080/stream?q=NP(DT)(NN)&limit=1000'
 //	curl -d '{"queries":["NP(DT)(NN)","S(//NN)"]}' localhost:8080/batch
+//
+// Ingest while serving — POST bracketed trees and they are searchable
+// as soon as the call returns, with zero downtime (running queries
+// finish on the segment set they started on):
+//
+//	curl --data-binary '(S (NP (NNS agoutis)) (VP (VBZ swim)))' localhost:8080/append
+//
+// Or append offline with `sibuild -append` and tell the server to pick
+// the new segment up:
+//
+//	curl -X POST localhost:8080/reload
 package main
 
 import (
@@ -46,16 +58,17 @@ func main() {
 	plancache := flag.Int("plancache", 4096, "LRU query-plan cache entries (0 = disabled)")
 	limit := flag.Int("limit", server.DefaultMaxMatches, "max matches returned per query (-1 = unlimited)")
 	maxbatch := flag.Int("maxbatch", server.DefaultMaxBatch, "max queries per /batch request")
+	maxappend := flag.Int64("maxappend", server.DefaultMaxAppendBody, "max /append body bytes (-1 = disable /append)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request evaluation timeout; requests may shorten it with ?timeout= but never extend it (0 = none)")
 	flag.Parse()
 
-	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, *cache, *plancache, *limit, *maxbatch, *timeout); err != nil {
+	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, *cache, *plancache, *limit, *maxbatch, *maxappend, *timeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run builds or opens the index and serves it until SIGINT/SIGTERM.
-func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, plancache, limit, maxbatch int, timeout time.Duration) error {
+func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, plancache, limit, maxbatch int, maxappend int64, timeout time.Duration) error {
 	if dir == "" && gen == 0 {
 		return errors.New("sisrv: set -index to serve an existing index, or -gen N to build a demo index")
 	}
@@ -100,7 +113,7 @@ func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, p
 	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(ix, server.Config{MaxMatches: limit, MaxBatch: maxbatch, Timeout: timeout}),
+		Handler:           server.New(ix, server.Config{MaxMatches: limit, MaxBatch: maxbatch, MaxAppendBody: maxappend, Timeout: timeout}),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      writeTimeout,

@@ -31,12 +31,16 @@ const (
 
 // meta.json format versions. Version 1 is a single-directory index;
 // version 2 is a sharded root whose meta aggregates per-shard metas and
-// whose Shards field names the partition count. Indexes written before
-// versioning carry 0 and are read as version 1.
+// whose Shards field names the partition count; version 3 is a
+// segmented root — a manifest listing immutable segment directories
+// (each itself a version-1 or -2 index) in tid order, republished
+// atomically on every Append. Indexes written before versioning carry
+// 0 and are read as version 1.
 const (
 	FormatSingle         = 1
 	FormatSharded        = 2
-	CurrentFormatVersion = FormatSharded
+	FormatSegmented      = 3
+	CurrentFormatVersion = FormatSegmented
 )
 
 // Options configure index construction.
@@ -78,7 +82,16 @@ type Meta struct {
 	// single-directory index). In a sharded root the statistics below
 	// aggregate over all shards; Keys is a sum of per-shard unique key
 	// counts, i.e. an upper bound on corpus-wide unique subtrees.
-	Shards       int             `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Segments lists the live segment directories of a segmented root
+	// (FormatSegmented) in serving (tid) order; empty otherwise. Each
+	// entry is a self-contained version-1 or -2 index directory.
+	Segments []string `json:"segments,omitempty"`
+	// Generation is the segmented manifest's publish counter: it
+	// increments every time the segment list is republished (Append,
+	// legacy promotion), so readers can cheaply detect staleness. 0 on
+	// non-segmented indexes.
+	Generation   int             `json:"generation,omitempty"`
 	MSS          int             `json:"mss"`           // maximum indexed subtree size
 	Coding       postings.Coding `json:"coding"`        // posting-list scheme
 	NumTrees     int             `json:"num_trees"`     // corpus size

@@ -80,6 +80,9 @@ func OpenWith(dir string, opts OpenOptions) (*Index, error) {
 	if meta.Shards > 0 {
 		return nil, fmt.Errorf("core: %s is a sharded index root (%d shards); use OpenSharded or OpenAny", dir, meta.Shards)
 	}
+	if meta.FormatVersion == FormatSegmented {
+		return nil, fmt.Errorf("core: %s is a segmented index root (%d segments); use OpenLive or OpenAny", dir, len(meta.Segments))
+	}
 	tr, err := btree.OpenCached(filepath.Join(dir, indexFileName), opts.CacheSize)
 	if err != nil {
 		return nil, err

@@ -283,7 +283,7 @@ func (s *Sharded) Search(ctx context.Context, src string, opts SearchOpts) (*Res
 	if err != nil {
 		return nil, err
 	}
-	return s.searchPlan(ctx, pl, opts, hit)
+	return s.set.searchPlan(ctx, pl, opts, hit)
 }
 
 // SearchQuery evaluates an already-parsed query across the shards
@@ -296,18 +296,18 @@ func (s *Sharded) SearchQuery(ctx context.Context, q *query.Query, opts SearchOp
 	if err != nil {
 		return nil, err
 	}
-	return s.searchPlan(ctx, pl, opts, hit)
+	return s.set.searchPlan(ctx, pl, opts, hit)
 }
 
-// searchPlan runs one compiled plan across the shards, choosing the
-// evaluation shape from the bounds: bounded searches consult shards
+// searchPlan runs one compiled plan across the leaves, choosing the
+// evaluation shape from the bounds: bounded searches consult leaves
 // lazily in tid order and stop early, unbounded ones keep the
 // concurrent fan-out.
-func (s *Sharded) searchPlan(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
+func (ls leafSet) searchPlan(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
 	if target := opts.target(); target > 0 && !opts.CountOnly {
-		return s.searchLazy(ctx, pl, opts, hit, target)
+		return ls.searchLazy(ctx, pl, opts, hit, target)
 	}
-	return s.searchFanout(ctx, pl, opts, hit)
+	return ls.searchFanout(ctx, pl, opts, hit)
 }
 
 // lazyLookahead is how many shards the lazy merge keeps in flight:
@@ -336,14 +336,14 @@ const lazyLookahead = 2
 // exist, so the found-count stays a valid lower bound — while the
 // window itself only ever uses matches merged before the gap, keeping
 // the prefix property intact.
-func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit bool, target int) (*Result, error) {
+func (ls leafSet) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit bool, target int) (*Result, error) {
 	type shardOut struct {
 		ms      []Match
 		fetched uint64
 		rows    int
 		err     error
 	}
-	outs := make([]chan shardOut, len(s.shards))
+	outs := make([]chan shardOut, len(ls.leaves))
 	launch := func(i int) {
 		outs[i] = make(chan shardOut, 1)
 		go func(i int, sh *Index) {
@@ -354,10 +354,10 @@ func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 				o.rows = st.JoinRows
 			}
 			outs[i] <- o
-		}(i, s.shards[i])
+		}(i, ls.leaves[i])
 	}
 	launched := 0
-	for launched < len(s.shards) && launched < lazyLookahead {
+	for launched < len(ls.leaves) && launched < lazyLookahead {
 		launch(launched)
 		launched++
 	}
@@ -386,13 +386,13 @@ func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 		// count even once the window is satisfied (or a later shard's
 		// error was skipped): the window itself only ever uses the
 		// leading matches, which predate any skipped shard.
-		all = rebase(all, o.ms, s.offsets[i])
+		all = rebase(all, o.ms, ls.offsets[i])
 		consulted++
 		if len(all) >= target {
 			satisfied = true
 			continue // stop launching; drain what is already in flight
 		}
-		if launched < len(s.shards) {
+		if launched < len(ls.leaves) {
 			launch(launched)
 			launched++
 		}
@@ -408,14 +408,14 @@ func (s *Sharded) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 	}}
 	var trimmed bool
 	res.Matches, res.Count, trimmed = window(all, opts)
-	res.Stats.Truncated = trimmed || consulted < len(s.shards)
+	res.Stats.Truncated = trimmed || consulted < len(ls.leaves)
 	return res, nil
 }
 
 // searchFanout is the full-evaluation path (unlimited or count-only):
 // one goroutine per shard, results rebased to global tids and
 // concatenated in shard order.
-func (s *Sharded) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
+func (ls leafSet) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
 	type shardOut struct {
 		ms      []Match
 		n       int
@@ -423,9 +423,9 @@ func (s *Sharded) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, h
 		rows    int
 		err     error
 	}
-	outs := make([]shardOut, len(s.shards))
+	outs := make([]shardOut, len(ls.leaves))
 	var wg sync.WaitGroup
-	for i, sh := range s.shards {
+	for i, sh := range ls.leaves {
 		wg.Add(1)
 		go func(i int, sh *Index) {
 			defer wg.Done()
@@ -439,7 +439,7 @@ func (s *Sharded) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, h
 	}
 	wg.Wait()
 
-	res := &Result{Stats: SearchStats{PlanCacheHit: hit, ShardsConsulted: len(s.shards)}}
+	res := &Result{Stats: SearchStats{PlanCacheHit: hit, ShardsConsulted: len(ls.leaves)}}
 	total := 0
 	for i := range outs {
 		if outs[i].err != nil {
@@ -455,7 +455,7 @@ func (s *Sharded) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, h
 	}
 	all := make([]Match, 0, total)
 	for i := range outs {
-		all = rebase(all, outs[i].ms, s.offsets[i])
+		all = rebase(all, outs[i].ms, ls.offsets[i])
 	}
 	res.Matches, res.Count, res.Stats.Truncated = window(all, opts)
 	return res, nil
@@ -471,6 +471,12 @@ func (s *Sharded) SearchBatch(ctx context.Context, srcs []string, opts SearchOpt
 	if err != nil {
 		return nil, err
 	}
+	return s.set.searchBatchPlans(ctx, plans, hits, opts)
+}
+
+// searchBatchPlans evaluates pre-compiled batch plans on every leaf
+// concurrently with per-leaf fetch dedup and merges per query.
+func (ls leafSet) searchBatchPlans(ctx context.Context, plans []*Plan, hits []bool, opts SearchOpts) ([]*Result, error) {
 	type shardOut struct {
 		ms      [][]Match
 		counts  []int
@@ -478,9 +484,9 @@ func (s *Sharded) SearchBatch(ctx context.Context, srcs []string, opts SearchOpt
 		rows    uint64
 		err     error
 	}
-	outs := make([]shardOut, len(s.shards))
+	outs := make([]shardOut, len(ls.leaves))
 	var wg sync.WaitGroup
-	for i, sh := range s.shards {
+	for i, sh := range ls.leaves {
 		wg.Add(1)
 		go func(i int, sh *Index) {
 			defer wg.Done()
@@ -512,11 +518,11 @@ func (s *Sharded) SearchBatch(ctx context.Context, srcs []string, opts SearchOpt
 		}
 		all := make([]Match, 0, total)
 		for i := range outs {
-			all = rebase(all, outs[i].ms[qi], s.offsets[i])
+			all = rebase(all, outs[i].ms[qi], ls.offsets[i])
 		}
 		merged[qi] = all
 	}
-	return batchResults(merged, counts, hits, opts, fetched, rows, len(s.shards)), nil
+	return batchResults(merged, counts, hits, opts, fetched, rows, len(ls.leaves)), nil
 }
 
 // SearchStream parses src and returns a *pending* Result: evaluation
@@ -532,7 +538,7 @@ func (s *Sharded) SearchStream(ctx context.Context, src string, opts SearchOpts)
 	if err != nil {
 		return nil, err
 	}
-	return newStreamResult(ctx, s.shards, s.offsets, pl, opts, hit)
+	return newStreamResult(ctx, s.set.leaves, s.set.offsets, pl, opts, hit)
 }
 
 // SearchStream on a single-directory index: as Sharded.SearchStream,
@@ -567,6 +573,12 @@ type resultStream struct {
 	truncated bool
 	finished  bool
 	err       error
+
+	// release, when set, is called exactly once when the stream's
+	// iteration ends (including early break): the live-index layer
+	// parks an epoch pin here so the segment set a pending search runs
+	// on cannot be retired mid-iteration.
+	release func()
 }
 
 // newStreamResult builds a pending Result over the given shard set.
@@ -673,5 +685,9 @@ func (rs *resultStream) finish(r *Result) {
 		ShardsConsulted: rs.consulted,
 		Truncated:       rs.truncated || !rs.finished || rs.consulted < len(rs.shards),
 		JoinRows:        rs.rows,
+	}
+	if rs.release != nil {
+		rs.release()
+		rs.release = nil
 	}
 }

@@ -1,0 +1,804 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lingtree"
+	"repro/internal/query"
+	"repro/internal/subtree"
+	"repro/internal/treebank"
+)
+
+// This file implements live index updates: a Live handle serves an
+// ordered list of immutable *segments* — each a self-contained
+// single-directory or sharded index built by the existing build
+// machinery — and can grow by appending new segments while queries are
+// in flight. The segment list lives in a version-3 meta.json manifest
+// at the root, republished atomically (write-temp-then-rename) on
+// every Append, so readers never observe a half-written manifest; the
+// segment-per-generation serving shape follows zoekt's append-only
+// shard model. Queries fan out over the concatenation of every
+// segment's leaves through the same leafSet engine the shard layer
+// uses — segments are the shard merge applied one level up, so a
+// single-segment index pays nothing for the extra layer.
+//
+// Safe handle lifetimes come from refcounted *epochs*: an epoch is one
+// published segment set, and every query pins the epoch it started on,
+// releasing it when it finishes (for a pending SearchStream result,
+// when its All iteration ends). Close and segment retirement wait for
+// those pins to drain before any file is closed, which fixes the old
+// Close-vs-search race (use-after-close of pager files) as a
+// by-product: a query started before Close completes correctly on its
+// pinned segment set, and a query issued after Close fails cleanly
+// with ErrClosed.
+
+// ErrClosed is returned by every operation on a Live index after Close
+// has been called.
+var ErrClosed = errors.New("core: index is closed")
+
+// segDirPrefix prefixes segment directory names under a segmented
+// root.
+const segDirPrefix = "seg-"
+
+// segDirName returns the directory name of the segment published at
+// generation gen.
+func segDirName(gen int) string { return fmt.Sprintf("seg-%06d", gen) }
+
+// segment is one immutable index unit of a Live handle: the leaves of
+// a single-directory (one leaf) or sharded (one leaf per shard) index.
+// refs counts the epochs referencing the segment; when it drops to
+// zero the segment's files are closed via closeFn.
+type segment struct {
+	name   string // directory name under the root; "" = unpromoted legacy root
+	meta   Meta
+	leaves []*Index
+	refs   atomic.Int64
+	close  func(*segment)
+}
+
+// unref drops one epoch's reference, closing the segment's files when
+// the last one goes.
+func (sg *segment) unref() {
+	if sg.refs.Add(-1) == 0 {
+		sg.close(sg)
+	}
+}
+
+// epoch is one published segment set: the unit queries pin. refs holds
+// one reference per in-flight query plus one for being the current
+// epoch; when it drains, the epoch's segment references are dropped —
+// a segment kept alive only by retired epochs closes at that point.
+type epoch struct {
+	segs []*segment
+	set  leafSet
+	gen  int
+	refs atomic.Int64
+}
+
+// pin takes a query reference, failing if the epoch already drained
+// (it was replaced and its last query finished between the caller's
+// load and this call — the caller retries on the newer epoch).
+func (e *epoch) pin() bool {
+	for {
+		n := e.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if e.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference, unreferencing the member segments when
+// the epoch drains.
+func (e *epoch) release() {
+	if e.refs.Add(-1) == 0 {
+		for _, sg := range e.segs {
+			sg.unref()
+		}
+	}
+}
+
+// liveInfo is the immutable metadata snapshot of the current epoch,
+// readable without pinning (and after Close).
+type liveInfo struct {
+	meta     Meta
+	leaves   int
+	segments int
+	gen      int
+}
+
+// Live is an opened index that supports live updates: Append builds
+// new trees into a fresh segment and publishes it without interrupting
+// searches, and Reload picks up segments published by another process.
+// It serves any index layout — single-directory, sharded or segmented
+// — behind the same Handle interface as Index and Sharded, with
+// identical results and per-query costs. All read methods are safe for
+// concurrent use with each other and with Append/Reload; Append,
+// Reload and Close serialize among themselves.
+type Live struct {
+	dir      string
+	leafOpts OpenOptions // per-leaf options (plan cache lives at the root)
+	plans    *planner
+	info     atomic.Pointer[liveInfo]
+	cur      atomic.Pointer[epoch] // nil once closed
+
+	mu     sync.Mutex // serializes Append/Reload/Close and manifest writes
+	closed bool
+
+	segWG sync.WaitGroup // one count per open segment
+
+	// statsMu guards the open-segment registry and the retired-fetch
+	// total. Counters sums over *every* open segment — not just the
+	// current epoch's — so a segment delisted by Reload but still
+	// pinned by a running query keeps contributing until it closes,
+	// and its final count moves to retiredFetches in the same critical
+	// section: the cumulative total never decreases.
+	statsMu        sync.Mutex
+	openSegs       map[*segment]struct{}
+	retiredFetches uint64
+
+	closeMu  sync.Mutex
+	closeErr error
+}
+
+// OpenLive opens the index stored in dir — segmented, sharded or
+// single-directory — as a live-updatable handle. opts apply as in
+// OpenSharded: CacheSize is a per-leaf budget and the plan cache lives
+// once at the root.
+func OpenLive(dir string, opts OpenOptions) (*Live, error) {
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{
+		dir:      dir,
+		leafOpts: OpenOptions{CacheSize: opts.CacheSize},
+		plans:    newPlanner(meta, opts.PlanCache),
+		openSegs: make(map[*segment]struct{}),
+	}
+	var segs []*segment
+	gen := 0
+	if meta.FormatVersion == FormatSegmented {
+		if len(meta.Segments) == 0 {
+			return nil, fmt.Errorf("core: segmented manifest in %s lists no segments", dir)
+		}
+		gen = meta.Generation
+		for _, name := range meta.Segments {
+			sg, err := l.openSegment(name)
+			if err != nil {
+				closeSegments(segs)
+				return nil, fmt.Errorf("core: opening segment %s of %s: %w", name, dir, err)
+			}
+			segs = append(segs, sg)
+		}
+	} else {
+		// A legacy (pre-segmentation) root serves as one unpromoted
+		// segment; the first Append moves it into a generation directory.
+		sg, err := l.openSegmentAt("", dir, meta)
+		if err != nil {
+			return nil, err
+		}
+		segs = []*segment{sg}
+	}
+	l.publishLocked(segs, gen)
+	return l, nil
+}
+
+// openSegment opens the named segment directory under the root.
+func (l *Live) openSegment(name string) (*segment, error) {
+	path := filepath.Join(l.dir, name)
+	meta, err := readMeta(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.openSegmentAt(name, path, meta)
+}
+
+// openSegmentAt opens the leaves of one segment — every shard of a
+// sharded segment, or the directory itself — and registers it with the
+// close tracking.
+func (l *Live) openSegmentAt(name, path string, meta Meta) (*segment, error) {
+	if meta.FormatVersion == FormatSegmented {
+		return nil, fmt.Errorf("core: segment %s is itself segmented; nesting is not supported", path)
+	}
+	var leaves []*Index
+	fail := func(err error) (*segment, error) {
+		for _, leaf := range leaves {
+			leaf.Close()
+		}
+		return nil, err
+	}
+	if meta.Shards > 0 {
+		for i := 0; i < meta.Shards; i++ {
+			leaf, err := OpenWith(filepath.Join(path, shardDirName(i)), l.leafOpts)
+			if err != nil {
+				return fail(fmt.Errorf("core: opening shard %d of %s: %w", i, path, err))
+			}
+			leaves = append(leaves, leaf)
+		}
+	} else {
+		leaf, err := OpenWith(path, l.leafOpts)
+		if err != nil {
+			return nil, err
+		}
+		leaves = append(leaves, leaf)
+	}
+	trees := 0
+	for _, leaf := range leaves {
+		trees += leaf.Meta().NumTrees
+	}
+	if trees != meta.NumTrees {
+		return fail(fmt.Errorf("core: segment %s holds %d trees, meta says %d", path, trees, meta.NumTrees))
+	}
+	l.segWG.Add(1)
+	sg := &segment{name: name, meta: meta, leaves: leaves, close: l.closeSegment}
+	l.statsMu.Lock()
+	l.openSegs[sg] = struct{}{}
+	l.statsMu.Unlock()
+	return sg, nil
+}
+
+// closeSegment closes a drained segment's files, moving its fetch
+// counters from the open-segment registry to the retired total in one
+// critical section so Counters stays cumulative (and monotonic)
+// across retirements.
+func (l *Live) closeSegment(sg *segment) {
+	var fetches uint64
+	for _, leaf := range sg.leaves {
+		fetches += leaf.fetches.Load()
+	}
+	l.statsMu.Lock()
+	delete(l.openSegs, sg)
+	l.retiredFetches += fetches
+	l.statsMu.Unlock()
+	var first error
+	for _, leaf := range sg.leaves {
+		if err := leaf.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		l.closeMu.Lock()
+		if l.closeErr == nil {
+			l.closeErr = first
+		}
+		l.closeMu.Unlock()
+	}
+	l.segWG.Done()
+}
+
+// closeSegments force-closes segments that were opened but never
+// published (open-error unwinding).
+func closeSegments(segs []*segment) {
+	for _, sg := range segs {
+		sg.close(sg)
+	}
+}
+
+// aggregateMeta folds the segment metas into the epoch-wide view: one
+// segment passes through unchanged (so a plain index reports exactly
+// what it always did), several sum their statistics with Shards
+// holding the total leaf count.
+func aggregateMeta(segs []*segment) Meta {
+	if len(segs) == 1 {
+		return segs[0].meta
+	}
+	agg := Meta{
+		FormatVersion: FormatSegmented,
+		MSS:           segs[0].meta.MSS,
+		Coding:        segs[0].meta.Coding,
+	}
+	for _, sg := range segs {
+		agg.Shards += len(sg.leaves)
+		agg.NumTrees += sg.meta.NumTrees
+		agg.Keys += sg.meta.Keys
+		agg.Postings += sg.meta.Postings
+		agg.IndexBytes += sg.meta.IndexBytes
+		agg.DataBytes += sg.meta.DataBytes
+		agg.BuildNanos += sg.meta.BuildNanos
+		agg.ExtractNanos += sg.meta.ExtractNanos
+		agg.LoadNanos += sg.meta.LoadNanos
+	}
+	return agg
+}
+
+// publishLocked installs segs as the current epoch at generation gen
+// and retires the previous epoch. Callers hold l.mu (or are the only
+// goroutine, during OpenLive).
+func (l *Live) publishLocked(segs []*segment, gen int) {
+	set := leafSet{offsets: make([]uint32, 1, len(segs)+1)}
+	for _, sg := range segs {
+		for _, leaf := range sg.leaves {
+			set.leaves = append(set.leaves, leaf)
+			set.offsets = append(set.offsets,
+				set.offsets[len(set.offsets)-1]+uint32(leaf.Meta().NumTrees))
+		}
+		sg.refs.Add(1)
+	}
+	e := &epoch{segs: segs, set: set, gen: gen}
+	e.refs.Store(1)
+	meta := aggregateMeta(segs)
+	meta.Generation = gen
+	l.info.Store(&liveInfo{meta: meta, leaves: len(set.leaves), segments: len(segs), gen: gen})
+	if old := l.cur.Swap(e); old != nil {
+		old.release()
+	}
+}
+
+// pin returns the current epoch with a query reference taken; the
+// caller must release it exactly once.
+func (l *Live) pin() (*epoch, error) {
+	for {
+		e := l.cur.Load()
+		if e == nil {
+			return nil, ErrClosed
+		}
+		if e.pin() {
+			return e, nil
+		}
+		// The epoch drained between load and pin: a publish replaced it.
+		// Retry on the newer one.
+	}
+}
+
+// Meta returns the aggregated metadata of the current segment set; it
+// stays readable (reporting the final pre-Close state) after Close.
+func (l *Live) Meta() Meta { return l.info.Load().meta }
+
+// NumShards reports the number of serving partitions — the total leaf
+// count across live segments. A freshly built index matches its shard
+// count (1 when unsharded); each appended segment adds its own leaves.
+func (l *Live) NumShards() int { return l.info.Load().leaves }
+
+// Segments reports the number of live segments (1 until the first
+// Append).
+func (l *Live) Segments() int { return l.info.Load().segments }
+
+// Generation reports the manifest publish counter: 0 until the index
+// is first segmented, then incrementing with every Append or picked-up
+// Reload.
+func (l *Live) Generation() int { return l.info.Load().gen }
+
+// Close retires the current epoch and blocks until every in-flight
+// query has released its pin, then closes all segment files and
+// returns the first close error. A query started before Close runs to
+// completion on its pinned segment set; operations after Close return
+// ErrClosed. Close is idempotent. A pending SearchStream result whose
+// All iterator is never started holds its pin forever and would block
+// Close — always consume (or break out of) pending iterations.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	old := l.cur.Swap(nil)
+	l.mu.Unlock()
+	if old != nil {
+		old.release()
+	}
+	l.segWG.Wait()
+	l.closeMu.Lock()
+	defer l.closeMu.Unlock()
+	return l.closeErr
+}
+
+// Counters reports cumulative serving counters: the plan cache's
+// activity plus posting fetches summed over every open segment
+// (including ones already delisted but still pinned by running
+// queries) and all retired ones — the total only ever grows.
+func (l *Live) Counters() Counters {
+	hits, misses := l.plans.counters()
+	c := Counters{PlanCacheHits: hits, PlanCacheMisses: misses}
+	l.statsMu.Lock()
+	c.PostingFetches = l.retiredFetches
+	for sg := range l.openSegs {
+		for _, leaf := range sg.leaves {
+			c.PostingFetches += leaf.fetches.Load()
+		}
+	}
+	l.statsMu.Unlock()
+	return c
+}
+
+// Search parses src (through the root's plan cache, when enabled) and
+// evaluates it across the live segments under ctx with the given
+// bounds, pinned to the segment set current when the call started.
+func (l *Live) Search(ctx context.Context, src string, opts SearchOpts) (*Result, error) {
+	pl, hit, err := l.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := l.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return e.set.searchPlan(ctx, pl, opts, hit)
+}
+
+// SearchQuery evaluates an already-parsed query across the live
+// segments under ctx with the given bounds.
+func (l *Live) SearchQuery(ctx context.Context, q *query.Query, opts SearchOpts) (*Result, error) {
+	if q.Size() == 0 {
+		return nil, fmt.Errorf("core: empty query")
+	}
+	pl, hit, err := l.plans.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	e, err := l.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return e.set.searchPlan(ctx, pl, opts, hit)
+}
+
+// SearchStream parses src and returns a pending Result over the
+// current segment set (see Sharded.SearchStream for the streaming
+// contract). The epoch pin is held until the All iteration ends —
+// also on early break — so a concurrent Append or Close cannot retire
+// the segments mid-stream; an iterator that is never started never
+// releases its pin.
+func (l *Live) SearchStream(ctx context.Context, src string, opts SearchOpts) (*Result, error) {
+	pl, hit, err := l.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := l.pin()
+	if err != nil {
+		return nil, err
+	}
+	res, err := newStreamResult(ctx, e.set.leaves, e.set.offsets, pl, opts, hit)
+	if err != nil {
+		e.release()
+		return nil, err
+	}
+	res.stream.release = e.release
+	return res, nil
+}
+
+// SearchBatch evaluates a batch of textual queries across the live
+// segments under ctx (see Sharded.SearchBatch for batch semantics).
+func (l *Live) SearchBatch(ctx context.Context, srcs []string, opts SearchOpts) ([]*Result, error) {
+	plans, hits, err := l.plans.planBatch(srcs)
+	if err != nil {
+		return nil, err
+	}
+	e, err := l.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return e.set.searchBatchPlans(ctx, plans, hits, opts)
+}
+
+// Query evaluates q across all live segments and returns globally
+// tid-sorted matches.
+func (l *Live) Query(q *query.Query) ([]Match, error) {
+	ms, _, err := l.QueryWithStats(q)
+	return ms, err
+}
+
+// QueryText parses src (through the root's plan cache, when enabled)
+// and evaluates it across all live segments.
+func (l *Live) QueryText(src string) ([]Match, error) {
+	pl, _, err := l.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := l.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer e.release()
+	ms, _, err := e.set.evalPlanFanout(pl)
+	return ms, err
+}
+
+// QueryWithStats evaluates q across all live segments, reporting
+// summed evaluation statistics.
+func (l *Live) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
+	if q.Size() == 0 {
+		return nil, nil, fmt.Errorf("core: empty query")
+	}
+	pl, _, err := l.plans.planQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := l.pin()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer e.release()
+	return e.set.evalPlanFanout(pl)
+}
+
+// QueryTextBatch evaluates a batch of textual queries with shared
+// posting fetches, as Sharded.QueryTextBatch.
+func (l *Live) QueryTextBatch(srcs []string) ([][]Match, error) {
+	results, err := l.SearchBatch(context.Background(), srcs, SearchOpts{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Match, len(results))
+	for i, r := range results {
+		out[i] = r.Matches
+	}
+	return out, nil
+}
+
+// LookupKey sums the key's posting count over all live segments.
+func (l *Live) LookupKey(k subtree.Key) (int, error) {
+	e, err := l.pin()
+	if err != nil {
+		return 0, err
+	}
+	defer e.release()
+	return e.set.lookupKey(k)
+}
+
+// Keys iterates the union of all live segments' keys in ascending
+// order with summed posting counts, until fn returns false.
+func (l *Live) Keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error {
+	e, err := l.pin()
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	return e.set.keys(start, fn)
+}
+
+// Tree fetches the tree with global tid, routing to the owning
+// segment leaf.
+func (l *Live) Tree(tid int) (*lingtree.Tree, error) {
+	e, err := l.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return e.set.tree(tid)
+}
+
+// localTrees re-tids trees to a segment-local 0..n-1 range. Node
+// storage is shared (read-only during extraction); only the TID field
+// differs, so a shallow copy suffices — the same trick the sharded
+// build uses.
+func localTrees(trees []*lingtree.Tree) []*lingtree.Tree {
+	local := make([]*lingtree.Tree, len(trees))
+	for i, t := range trees {
+		ct := *t
+		ct.TID = i
+		local[i] = &ct
+	}
+	return local
+}
+
+// Append builds trees into a fresh immutable segment — sharded into
+// the given number of partitions, extracted with workers goroutines
+// per shard (both as in BuildOptions) — publishes it in the manifest,
+// and atomically swaps the serving epoch so subsequent queries see the
+// new trees without reopening anything. In-flight queries finish on
+// the segment set they pinned. The new trees receive the global tids
+// following the current corpus. The first Append to a legacy
+// (single-directory or sharded) root first promotes it: its files move
+// into a generation directory and a version-3 manifest takes their
+// place at the root. Appends serialize; concurrent appends from other
+// processes are not coordinated and must be avoided (the manifest
+// write is last-wins). The index's MSS and coding carry over to the
+// new segment. Returns the new segment's build statistics.
+func (l *Live) Append(ctx context.Context, trees []*lingtree.Tree, shards, workers int) (*Meta, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("core: append of zero trees")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cur := l.cur.Load()
+	gen := cur.gen
+	if gen == 0 {
+		if err := l.promoteLocked(cur.segs[0]); err != nil {
+			return nil, err
+		}
+		// Publish the promoted state immediately: if a later step of this
+		// append fails, the in-memory generation (now 1) agrees with the
+		// on-disk manifest, so a retried Append must not run the
+		// promotion again — re-promoting would delete the already-moved
+		// payload in seg-000001.
+		l.publishLocked(cur.segs, 1)
+		cur = l.cur.Load()
+		gen = 1
+	}
+	gen++
+	name := segDirName(gen)
+	segPath := filepath.Join(l.dir, name)
+	// A crashed or failed previous attempt may have left a partial
+	// directory at this generation; it was never in the manifest, so
+	// dropping it is safe.
+	if err := os.RemoveAll(segPath); err != nil {
+		return nil, err
+	}
+	meta := l.info.Load().meta
+	built, err := BuildSharded(segPath, localTrees(trees), Options{
+		MSS:     meta.MSS,
+		Coding:  meta.Coding,
+		Workers: workers,
+	}, max(shards, 1))
+	if err != nil {
+		os.RemoveAll(segPath)
+		return nil, err
+	}
+	// The build can be long; honor a cancellation that arrived during it
+	// rather than publishing a segment the caller was told failed.
+	// (Cancellation after this point can still publish — exact-once
+	// appends need caller-side dedup, not provided here.)
+	if err := ctx.Err(); err != nil {
+		os.RemoveAll(segPath)
+		return nil, err
+	}
+	sg, err := l.openSegment(name)
+	if err != nil {
+		os.RemoveAll(segPath)
+		return nil, err
+	}
+	newSegs := append(append([]*segment(nil), cur.segs...), sg)
+	if err := l.writeManifestLocked(gen, newSegs); err != nil {
+		sg.close(sg)
+		os.RemoveAll(segPath)
+		return nil, err
+	}
+	l.publishLocked(newSegs, gen)
+	return built, nil
+}
+
+// promoteLocked converts a legacy root into segment seg-000001: the
+// index payload moves (via rename, so already-open file handles keep
+// working) into the generation directory, which gets the legacy meta
+// as its own, and a generation-1 manifest replaces the root meta. A
+// rename failure partway rolls the already-moved files back, leaving
+// the legacy root intact; a process crash mid-promotion is the one
+// window where the directory needs manual repair (move the seg-000001
+// contents back, or rebuild). Callers hold l.mu and, on success, must
+// republish so the in-memory generation reflects the manifest.
+func (l *Live) promoteLocked(sg *segment) error {
+	name := segDirName(1)
+	path := filepath.Join(l.dir, name)
+	// Only a partial directory from a *failed* earlier attempt can be
+	// here — a completed promotion publishes generation >= 1 and this
+	// function is never called again. Its payload, if any, was rolled
+	// back to the root, so the directory is safe to drop.
+	if err := os.RemoveAll(path); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return err
+	}
+	var payload []string
+	if sg.meta.Shards > 0 {
+		for i := 0; i < sg.meta.Shards; i++ {
+			payload = append(payload, shardDirName(i))
+		}
+	} else {
+		payload = []string{indexFileName, treebank.DataFileName, treebank.IndexFileName}
+	}
+	for i, f := range payload {
+		if err := os.Rename(filepath.Join(l.dir, f), filepath.Join(path, f)); err != nil {
+			// Roll the files already moved back so the root stays a valid
+			// legacy index.
+			for _, g := range payload[:i] {
+				os.Rename(filepath.Join(path, g), filepath.Join(l.dir, g))
+			}
+			return fmt.Errorf("core: promoting %s to %s: %w", l.dir, name, err)
+		}
+	}
+	rollback := func(err error) error {
+		for _, g := range payload {
+			os.Rename(filepath.Join(path, g), filepath.Join(l.dir, g))
+		}
+		return err
+	}
+	segMeta := sg.meta
+	if err := writeMeta(path, &segMeta); err != nil {
+		return rollback(err)
+	}
+	sg.name = name
+	if err := l.writeManifestLocked(1, []*segment{sg}); err != nil {
+		sg.name = ""
+		return rollback(err)
+	}
+	return nil
+}
+
+// writeManifestLocked publishes the version-3 manifest for segs at
+// generation gen, atomically (temp file + rename). Callers hold l.mu.
+func (l *Live) writeManifestLocked(gen int, segs []*segment) error {
+	man := aggregateMeta(segs)
+	man.FormatVersion = FormatSegmented
+	man.Shards = 0
+	man.Generation = gen
+	man.Segments = make([]string, len(segs))
+	for i, sg := range segs {
+		man.Segments[i] = sg.name
+	}
+	mb, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(l.dir, metaFileName+".tmp")
+	if err := os.WriteFile(tmp, mb, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(l.dir, metaFileName))
+}
+
+// Reload re-reads the manifest from disk and picks up segments
+// published by another process (e.g. sibuild -append while sisrv
+// serves): newly listed segments are opened, delisted ones are retired
+// — their files close once the last in-flight query pinning them
+// finishes — and the serving epoch swaps with zero downtime. Returns
+// whether anything changed (false when the on-disk generation already
+// matches). The on-disk manifest must be segmented and agree on MSS
+// and coding; a full offline rebuild requires reopening the index
+// instead.
+func (l *Live) Reload() (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false, ErrClosed
+	}
+	disk, err := readMeta(l.dir)
+	if err != nil {
+		return false, err
+	}
+	cur := l.cur.Load()
+	if disk.FormatVersion != FormatSegmented {
+		return false, fmt.Errorf("core: reload needs a segmented manifest, found format %d; reopen the index after offline rebuilds", disk.FormatVersion)
+	}
+	if disk.Generation == cur.gen {
+		return false, nil
+	}
+	if len(disk.Segments) == 0 {
+		return false, fmt.Errorf("core: segmented manifest in %s lists no segments", l.dir)
+	}
+	meta := l.info.Load().meta
+	if disk.MSS != meta.MSS || disk.Coding != meta.Coding {
+		return false, fmt.Errorf("core: manifest changed mss/coding (%d/%v -> %d/%v); reopen the index",
+			meta.MSS, meta.Coding, disk.MSS, disk.Coding)
+	}
+	byName := make(map[string]*segment, len(cur.segs))
+	for _, sg := range cur.segs {
+		byName[sg.name] = sg
+	}
+	var newSegs, fresh []*segment
+	for _, name := range disk.Segments {
+		if sg, ok := byName[name]; ok {
+			newSegs = append(newSegs, sg)
+			continue
+		}
+		sg, err := l.openSegment(name)
+		if err != nil {
+			closeSegments(fresh)
+			return false, fmt.Errorf("core: reloading segment %s: %w", name, err)
+		}
+		newSegs = append(newSegs, sg)
+		fresh = append(fresh, sg)
+	}
+	l.publishLocked(newSegs, disk.Generation)
+	return true, nil
+}

@@ -68,9 +68,13 @@ func BuildSharded(dir string, trees []*lingtree.Tree, opt Options, shards int) (
 		}
 	}
 	if shards == 1 {
-		// A previous build here may have been sharded; drop its shard
-		// directories so the single-directory index fully replaces it.
+		// A previous build here may have been sharded or segmented; drop
+		// those directories so the single-directory index fully replaces
+		// it.
 		if err := removeStaleShards(dir, 0); err != nil {
+			return nil, err
+		}
+		if err := removeStaleSegments(dir); err != nil {
 			return nil, err
 		}
 		return Build(dir, trees, opt)
@@ -83,6 +87,9 @@ func BuildSharded(dir string, trees []*lingtree.Tree, opt Options, shards int) (
 		return nil, err
 	}
 	if err := removeStaleSingle(dir); err != nil {
+		return nil, err
+	}
+	if err := removeStaleSegments(dir); err != nil {
 		return nil, err
 	}
 
@@ -175,225 +182,61 @@ func removeStaleSingle(dir string) error {
 	return nil
 }
 
-// Sharded is an opened sharded index. All read methods are safe for
-// concurrent use: queries fan out across shards with one goroutine per
-// shard, and the per-shard indexes are themselves concurrency-safe.
-type Sharded struct {
-	dir     string
-	meta    Meta
-	shards  []*Index
-	plans   *planner
-	offsets []uint32 // offsets[s] = first global tid of shard s; len = shards+1
-}
-
-// OpenSharded opens the sharded index rooted at dir. opts apply to
-// every shard (CacheSize is a per-shard budget), except the plan
-// cache, which lives once at the root: shards share MSS and coding, so
-// one compiled plan serves the whole fan-out.
-func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
-	meta, err := readMeta(dir)
+// removeStaleSegments deletes segment directories of a previous
+// segmented index, so a full rebuild over a previously appended-to
+// directory leaves no stale generations behind.
+func removeStaleSegments(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if meta.Shards < 1 {
-		return nil, fmt.Errorf("core: %s is not a sharded index root", dir)
-	}
-	s := &Sharded{dir: dir, meta: meta, plans: newPlanner(meta, opts.PlanCache)}
-	shardOpts := opts
-	shardOpts.PlanCache = 0 // shards evaluate root-compiled plans
-	s.offsets = make([]uint32, 0, meta.Shards+1)
-	s.offsets = append(s.offsets, 0)
-	for i := 0; i < meta.Shards; i++ {
-		sh, err := OpenWith(filepath.Join(dir, shardDirName(i)), shardOpts)
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("core: opening shard %d of %s: %w", i, dir, err)
-		}
-		s.shards = append(s.shards, sh)
-		s.offsets = append(s.offsets, s.offsets[i]+uint32(sh.Meta().NumTrees))
-	}
-	if int(s.offsets[meta.Shards]) != meta.NumTrees {
-		s.Close()
-		return nil, fmt.Errorf("core: shards of %s hold %d trees, meta says %d",
-			dir, s.offsets[meta.Shards], meta.NumTrees)
-	}
-	return s, nil
-}
-
-// OpenAny opens dir as a sharded index when its meta declares shards
-// and as a single-directory index otherwise, behind the Handle
-// interface.
-func OpenAny(dir string, opts OpenOptions) (Handle, error) {
-	meta, err := readMeta(dir)
-	if err != nil {
-		return nil, err
-	}
-	if meta.Shards > 0 {
-		return OpenSharded(dir, opts)
-	}
-	return OpenWith(dir, opts)
-}
-
-// Handle is the read interface shared by single and sharded indexes;
-// the public si package works exclusively through it. Search,
-// SearchQuery and SearchBatch are the v2 execution path (context-first,
-// limit-aware); the Query* methods are the legacy unbounded wrappers.
-type Handle interface {
-	Meta() Meta
-	Close() error
-	Search(ctx context.Context, src string, opts SearchOpts) (*Result, error)
-	SearchStream(ctx context.Context, src string, opts SearchOpts) (*Result, error)
-	SearchQuery(ctx context.Context, q *query.Query, opts SearchOpts) (*Result, error)
-	SearchBatch(ctx context.Context, srcs []string, opts SearchOpts) ([]*Result, error)
-	Query(q *query.Query) ([]Match, error)
-	QueryText(src string) ([]Match, error)
-	QueryTextBatch(srcs []string) ([][]Match, error)
-	QueryWithStats(q *query.Query) ([]Match, *QueryStats, error)
-	Counters() Counters
-	LookupKey(k subtree.Key) (int, error)
-	Keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error
-	Tree(tid int) (*lingtree.Tree, error)
-	NumShards() int
-}
-
-var (
-	_ Handle = (*Index)(nil)
-	_ Handle = (*Sharded)(nil)
-)
-
-// Meta returns the aggregated metadata of the sharded index.
-func (s *Sharded) Meta() Meta { return s.meta }
-
-// NumShards returns the partition count.
-func (s *Sharded) NumShards() int { return len(s.shards) }
-
-// Shard exposes one partition (tools and tests).
-func (s *Sharded) Shard(i int) *Index { return s.shards[i] }
-
-// Close releases every shard, returning the first error.
-func (s *Sharded) Close() error {
-	var first error
-	for _, sh := range s.shards {
-		if err := sh.Close(); err != nil && first == nil {
-			first = err
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), segDirPrefix) {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
 		}
 	}
-	return first
+	return nil
 }
 
-// Query evaluates q across all shards and returns globally tid-sorted
-// matches.
-func (s *Sharded) Query(q *query.Query) ([]Match, error) {
-	ms, _, err := s.QueryWithStats(q)
-	return ms, err
+// leafSet is the execution engine shared by every multi-partition
+// handle: an ordered list of single-directory indexes ("leaves") whose
+// contiguous tid ranges concatenate into the global tid space. Sharded
+// serves one leaf per shard directory; Live serves the concatenation
+// of every segment's leaves — the same merge, one level up. All
+// methods are safe for concurrent use.
+type leafSet struct {
+	leaves  []*Index
+	offsets []uint32 // offsets[i] = first global tid of leaf i; len = len(leaves)+1
 }
 
-// QueryText parses src (through the root's plan cache, when enabled)
-// and evaluates it across all shards; a repeated query string skips
-// parse and decomposition.
-func (s *Sharded) QueryText(src string) ([]Match, error) {
-	pl, _, err := s.plans.planText(src)
-	if err != nil {
-		return nil, err
+// numTrees returns the total tree count across the leaves.
+func (ls leafSet) numTrees() int {
+	if len(ls.offsets) == 0 {
+		return 0
 	}
-	ms, _, err := s.evalPlanFanout(pl)
-	return ms, err
+	return int(ls.offsets[len(ls.offsets)-1])
 }
 
-// QueryWithStats compiles q once (through the plan cache) and fans the
-// plan out with one goroutine per shard, rebasing each shard's local
-// tids and concatenating in shard order — contiguous tid partitioning
-// makes that concatenation the sorted merge. Stats are summed over
-// shards.
-func (s *Sharded) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
-	if q.Size() == 0 {
-		return nil, nil, fmt.Errorf("core: empty query")
+// sumFetches totals the leaves' physical posting-fetch counters.
+func (ls leafSet) sumFetches() uint64 {
+	var n uint64
+	for _, sh := range ls.leaves {
+		n += sh.fetches.Load()
 	}
-	pl, _, err := s.plans.planQuery(q)
-	if err != nil {
-		return nil, nil, err
-	}
-	return s.evalPlanFanout(pl)
+	return n
 }
 
-// evalPlanFanout evaluates one compiled plan on every shard
-// concurrently and merges the tid-rebased results and stats.
-func (s *Sharded) evalPlanFanout(pl *Plan) ([]Match, *QueryStats, error) {
-	type result struct {
-		ms  []Match
-		st  *QueryStats
-		err error
-	}
-	results := make([]result, len(s.shards))
+// lookupKey sums the key's posting count over all leaves.
+func (ls leafSet) lookupKey(k subtree.Key) (int, error) {
+	counts := make([]int, len(ls.leaves))
+	errs := make([]error, len(ls.leaves))
 	var wg sync.WaitGroup
-	for i, sh := range s.shards {
-		wg.Add(1)
-		go func(i int, sh *Index) {
-			defer wg.Done()
-			ms, _, st, err := sh.evalPlan(context.Background(), pl, sh.getPosting, evalOpts{})
-			results[i] = result{ms: ms, st: st, err: err}
-		}(i, sh)
-	}
-	wg.Wait()
-
-	total := 0
-	for i := range results {
-		if results[i].err != nil {
-			return nil, nil, fmt.Errorf("core: shard %d: %w", i, results[i].err)
-		}
-		total += len(results[i].ms)
-	}
-	out := make([]Match, 0, total)
-	agg := &QueryStats{}
-	for i := range results {
-		out = rebase(out, results[i].ms, s.offsets[i])
-		if st := results[i].st; st != nil {
-			// Pieces is a property of the query decomposition, identical
-			// in every shard — report it once, not shard-count times.
-			agg.Pieces = st.Pieces
-			agg.Joins += st.Joins
-			agg.PostingsFetched += st.PostingsFetched
-			agg.Candidates += st.Candidates
-			agg.Validated += st.Validated
-		}
-	}
-	return out, agg, nil
-}
-
-// QueryTextBatch evaluates a batch of textual queries: all queries are
-// planned once at the root, then every shard evaluates the whole batch
-// concurrently, fetching each distinct cover key's posting list once
-// per shard. Per-query results are identical to sequential QueryText
-// calls.
-func (s *Sharded) QueryTextBatch(srcs []string) ([][]Match, error) {
-	results, err := s.SearchBatch(context.Background(), srcs, SearchOpts{})
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]Match, len(results))
-	for i, r := range results {
-		out[i] = r.Matches
-	}
-	return out, nil
-}
-
-// Counters sums the shards' posting-fetch counters and reports the
-// root planner's cache activity.
-func (s *Sharded) Counters() Counters {
-	hits, misses := s.plans.counters()
-	c := Counters{PlanCacheHits: hits, PlanCacheMisses: misses}
-	for _, sh := range s.shards {
-		c.PostingFetches += sh.fetches.Load()
-	}
-	return c
-}
-
-// LookupKey sums the key's posting count over all shards.
-func (s *Sharded) LookupKey(k subtree.Key) (int, error) {
-	counts := make([]int, len(s.shards))
-	errs := make([]error, len(s.shards))
-	var wg sync.WaitGroup
-	for i, sh := range s.shards {
+	for i, sh := range ls.leaves {
 		wg.Add(1)
 		go func(i int, sh *Index) {
 			defer wg.Done()
@@ -411,13 +254,13 @@ func (s *Sharded) LookupKey(k subtree.Key) (int, error) {
 	return total, nil
 }
 
-// Keys iterates the union of all shards' keys in ascending order, with
-// per-key posting counts summed across shards (so the counts agree with
-// LookupKey), until fn returns false.
-func (s *Sharded) Keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error {
-	iters := make([]*KeyIter, 0, len(s.shards))
-	live := make([]bool, 0, len(s.shards))
-	for _, sh := range s.shards {
+// keys iterates the union of all leaves' keys in ascending order, with
+// per-key posting counts summed (so the counts agree with lookupKey),
+// until fn returns false.
+func (ls leafSet) keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error {
+	iters := make([]*KeyIter, 0, len(ls.leaves))
+	live := make([]bool, 0, len(ls.leaves))
+	for _, sh := range ls.leaves {
 		it := sh.KeyIter(start)
 		ok := it.Next()
 		if err := it.Err(); err != nil {
@@ -455,34 +298,264 @@ func (s *Sharded) Keys(start subtree.Key, fn func(k subtree.Key, count int) bool
 	}
 }
 
-// Tree fetches the tree with global tid, routing to the owning shard.
-func (s *Sharded) Tree(tid int) (*lingtree.Tree, error) {
-	if tid < 0 || tid >= s.meta.NumTrees {
-		return nil, fmt.Errorf("core: tid %d out of range [0, %d)", tid, s.meta.NumTrees)
+// tree fetches the tree with global tid, routing to the owning leaf.
+func (ls leafSet) tree(tid int) (*lingtree.Tree, error) {
+	if tid < 0 || tid >= ls.numTrees() {
+		return nil, fmt.Errorf("core: tid %d out of range [0, %d)", tid, ls.numTrees())
 	}
-	// offsets is ascending; find the shard whose range holds tid.
-	sh := sort.Search(len(s.shards), func(i int) bool {
-		return s.offsets[i+1] > uint32(tid)
+	// offsets is ascending; find the leaf whose range holds tid.
+	sh := sort.Search(len(ls.leaves), func(i int) bool {
+		return ls.offsets[i+1] > uint32(tid)
 	})
-	t, err := s.shards[sh].Tree(tid - int(s.offsets[sh]))
+	t, err := ls.leaves[sh].Tree(tid - int(ls.offsets[sh]))
 	if err != nil {
 		return nil, err
 	}
-	// The shard stores the tree under its local tid; report the global
+	// The leaf stores the tree under its local tid; report the global
 	// one to the caller.
 	ct := *t
 	ct.TID = tid
 	return &ct, nil
 }
 
+// Sharded is an opened sharded index. All read methods are safe for
+// concurrent use: queries fan out across shards with one goroutine per
+// shard, and the per-shard indexes are themselves concurrency-safe.
+type Sharded struct {
+	dir   string
+	meta  Meta
+	plans *planner
+	set   leafSet
+}
+
+// OpenSharded opens the sharded index rooted at dir. opts apply to
+// every shard (CacheSize is a per-shard budget), except the plan
+// cache, which lives once at the root: shards share MSS and coding, so
+// one compiled plan serves the whole fan-out.
+func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Shards < 1 {
+		return nil, fmt.Errorf("core: %s is not a sharded index root", dir)
+	}
+	s := &Sharded{dir: dir, meta: meta, plans: newPlanner(meta, opts.PlanCache)}
+	shardOpts := opts
+	shardOpts.PlanCache = 0 // shards evaluate root-compiled plans
+	s.set.offsets = make([]uint32, 0, meta.Shards+1)
+	s.set.offsets = append(s.set.offsets, 0)
+	for i := 0; i < meta.Shards; i++ {
+		sh, err := OpenWith(filepath.Join(dir, shardDirName(i)), shardOpts)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("core: opening shard %d of %s: %w", i, dir, err)
+		}
+		s.set.leaves = append(s.set.leaves, sh)
+		s.set.offsets = append(s.set.offsets, s.set.offsets[i]+uint32(sh.Meta().NumTrees))
+	}
+	if int(s.set.offsets[meta.Shards]) != meta.NumTrees {
+		s.Close()
+		return nil, fmt.Errorf("core: shards of %s hold %d trees, meta says %d",
+			dir, s.set.offsets[meta.Shards], meta.NumTrees)
+	}
+	return s, nil
+}
+
+// OpenAny opens dir as a segmented, sharded or single-directory index
+// depending on its meta, behind the Handle interface. Callers that
+// need live updates (Append/Reload) should use OpenLive, which serves
+// any of the three layouts and additionally supports appending.
+func OpenAny(dir string, opts OpenOptions) (Handle, error) {
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	if meta.FormatVersion == FormatSegmented {
+		return OpenLive(dir, opts)
+	}
+	if meta.Shards > 0 {
+		return OpenSharded(dir, opts)
+	}
+	return OpenWith(dir, opts)
+}
+
+// Handle is the read interface shared by single, sharded and live
+// (segmented) indexes; the public si package works through it. Search,
+// SearchQuery and SearchBatch are the v2 execution path (context-first,
+// limit-aware); the Query* methods are the legacy unbounded wrappers.
+type Handle interface {
+	Meta() Meta
+	Close() error
+	Search(ctx context.Context, src string, opts SearchOpts) (*Result, error)
+	SearchStream(ctx context.Context, src string, opts SearchOpts) (*Result, error)
+	SearchQuery(ctx context.Context, q *query.Query, opts SearchOpts) (*Result, error)
+	SearchBatch(ctx context.Context, srcs []string, opts SearchOpts) ([]*Result, error)
+	Query(q *query.Query) ([]Match, error)
+	QueryText(src string) ([]Match, error)
+	QueryTextBatch(srcs []string) ([][]Match, error)
+	QueryWithStats(q *query.Query) ([]Match, *QueryStats, error)
+	Counters() Counters
+	LookupKey(k subtree.Key) (int, error)
+	Keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error
+	Tree(tid int) (*lingtree.Tree, error)
+	NumShards() int
+}
+
+var (
+	_ Handle = (*Index)(nil)
+	_ Handle = (*Sharded)(nil)
+	_ Handle = (*Live)(nil)
+)
+
+// Meta returns the aggregated metadata of the sharded index.
+func (s *Sharded) Meta() Meta { return s.meta }
+
+// NumShards returns the partition count.
+func (s *Sharded) NumShards() int { return len(s.set.leaves) }
+
+// Shard exposes one partition (tools and tests).
+func (s *Sharded) Shard(i int) *Index { return s.set.leaves[i] }
+
+// Close releases every shard, returning the first error.
+func (s *Sharded) Close() error {
+	var first error
+	for _, sh := range s.set.leaves {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Query evaluates q across all shards and returns globally tid-sorted
+// matches.
+func (s *Sharded) Query(q *query.Query) ([]Match, error) {
+	ms, _, err := s.QueryWithStats(q)
+	return ms, err
+}
+
+// QueryText parses src (through the root's plan cache, when enabled)
+// and evaluates it across all shards; a repeated query string skips
+// parse and decomposition.
+func (s *Sharded) QueryText(src string) ([]Match, error) {
+	pl, _, err := s.plans.planText(src)
+	if err != nil {
+		return nil, err
+	}
+	ms, _, err := s.set.evalPlanFanout(pl)
+	return ms, err
+}
+
+// QueryWithStats compiles q once (through the plan cache) and fans the
+// plan out with one goroutine per shard, rebasing each shard's local
+// tids and concatenating in shard order — contiguous tid partitioning
+// makes that concatenation the sorted merge. Stats are summed over
+// shards.
+func (s *Sharded) QueryWithStats(q *query.Query) ([]Match, *QueryStats, error) {
+	if q.Size() == 0 {
+		return nil, nil, fmt.Errorf("core: empty query")
+	}
+	pl, _, err := s.plans.planQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.set.evalPlanFanout(pl)
+}
+
+// evalPlanFanout evaluates one compiled plan on every leaf
+// concurrently and merges the tid-rebased results and stats.
+func (ls leafSet) evalPlanFanout(pl *Plan) ([]Match, *QueryStats, error) {
+	type result struct {
+		ms  []Match
+		st  *QueryStats
+		err error
+	}
+	results := make([]result, len(ls.leaves))
+	var wg sync.WaitGroup
+	for i, sh := range ls.leaves {
+		wg.Add(1)
+		go func(i int, sh *Index) {
+			defer wg.Done()
+			ms, _, st, err := sh.evalPlan(context.Background(), pl, sh.getPosting, evalOpts{})
+			results[i] = result{ms: ms, st: st, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	total := 0
+	for i := range results {
+		if results[i].err != nil {
+			return nil, nil, fmt.Errorf("core: shard %d: %w", i, results[i].err)
+		}
+		total += len(results[i].ms)
+	}
+	out := make([]Match, 0, total)
+	agg := &QueryStats{}
+	for i := range results {
+		out = rebase(out, results[i].ms, ls.offsets[i])
+		if st := results[i].st; st != nil {
+			// Pieces is a property of the query decomposition, identical
+			// in every leaf — report it once, not leaf-count times.
+			agg.Pieces = st.Pieces
+			agg.Joins += st.Joins
+			agg.PostingsFetched += st.PostingsFetched
+			agg.Candidates += st.Candidates
+			agg.Validated += st.Validated
+		}
+	}
+	return out, agg, nil
+}
+
+// QueryTextBatch evaluates a batch of textual queries: all queries are
+// planned once at the root, then every shard evaluates the whole batch
+// concurrently, fetching each distinct cover key's posting list once
+// per shard. Per-query results are identical to sequential QueryText
+// calls.
+func (s *Sharded) QueryTextBatch(srcs []string) ([][]Match, error) {
+	results, err := s.SearchBatch(context.Background(), srcs, SearchOpts{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Match, len(results))
+	for i, r := range results {
+		out[i] = r.Matches
+	}
+	return out, nil
+}
+
+// Counters sums the shards' posting-fetch counters and reports the
+// root planner's cache activity.
+func (s *Sharded) Counters() Counters {
+	hits, misses := s.plans.counters()
+	return Counters{
+		PostingFetches:  s.set.sumFetches(),
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+	}
+}
+
+// LookupKey sums the key's posting count over all shards.
+func (s *Sharded) LookupKey(k subtree.Key) (int, error) { return s.set.lookupKey(k) }
+
+// Keys iterates the union of all shards' keys in ascending order, with
+// per-key posting counts summed across shards (so the counts agree with
+// LookupKey), until fn returns false.
+func (s *Sharded) Keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error {
+	return s.set.keys(start, fn)
+}
+
+// Tree fetches the tree with global tid, routing to the owning shard.
+func (s *Sharded) Tree(tid int) (*lingtree.Tree, error) { return s.set.tree(tid) }
+
 // Stores returns the per-shard tree stores in shard order, with the
 // first global tid of each shard — for tools that scan the raw corpus.
 func (s *Sharded) Stores() ([]*treebank.Store, []uint32) {
-	stores := make([]*treebank.Store, len(s.shards))
-	for i, sh := range s.shards {
+	stores := make([]*treebank.Store, len(s.set.leaves))
+	for i, sh := range s.set.leaves {
 		stores[i] = sh.Store()
 	}
-	return stores, s.offsets[:len(s.shards)]
+	return stores, s.set.offsets[:len(s.set.leaves)]
 }
 
 // writeMeta persists meta as dir/meta.json.

@@ -103,7 +103,7 @@ func TestSearchLazySkipsUnneededShardError(t *testing.T) {
 	}
 	// Sabotage shard 1 — inside the lazy lookahead window, so it is in
 	// flight while shard 0 satisfies a small limit.
-	if err := broken.shards[1].tree.Close(); err != nil {
+	if err := broken.set.leaves[1].tree.Close(); err != nil {
 		t.Fatal(err)
 	}
 

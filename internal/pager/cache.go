@@ -21,6 +21,7 @@ type CacheStats struct {
 // pageCache is a sharded LRU cache of page images. All methods are safe
 // for concurrent use; each shard serialises access with its own mutex.
 type pageCache struct {
+	nshards   uint32 // shards actually in use: min(cacheShards, capacity)
 	shards    [cacheShards]cacheShard
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -39,23 +40,33 @@ type cacheEntry struct {
 	data []byte
 }
 
-// newPageCache builds a cache holding up to totalPages pages spread over
-// the shards (at least one page per shard). A non-positive capacity
-// yields a nil cache, i.e. caching disabled.
+// newPageCache builds a cache holding up to totalPages pages spread
+// over the shards. The configured budget is honored exactly: when
+// totalPages is below the shard count, fewer shards are used (one page
+// each) rather than rounding every shard up to one page — the previous
+// behavior silently held up to cacheShards pages for any budget below
+// it — and when totalPages does not divide evenly, the remainder pages
+// go to the leading shards instead of being dropped. A non-positive
+// capacity yields a nil cache, i.e. caching disabled.
 func newPageCache(totalPages int) *pageCache {
 	if totalPages <= 0 {
 		return nil
 	}
-	per := totalPages / cacheShards
-	if per < 1 {
-		per = 1
+	n := cacheShards
+	if totalPages < n {
+		n = totalPages
 	}
-	c := &pageCache{}
-	for i := range c.shards {
+	c := &pageCache{nshards: uint32(n)}
+	per, rem := totalPages/n, totalPages%n
+	for i := 0; i < n; i++ {
+		cap := per
+		if i < rem {
+			cap++
+		}
 		c.shards[i] = cacheShard{
-			cap: per,
+			cap: cap,
 			lru: list.New(),
-			m:   make(map[uint32]*list.Element, per),
+			m:   make(map[uint32]*list.Element, cap),
 		}
 	}
 	return c
@@ -64,7 +75,7 @@ func newPageCache(totalPages int) *pageCache {
 // get copies page id into buf and promotes it, reporting whether it was
 // cached.
 func (c *pageCache) get(id uint32, buf []byte) bool {
-	s := &c.shards[id%cacheShards]
+	s := &c.shards[id%c.nshards]
 	s.mu.Lock()
 	el, ok := s.m[id]
 	if ok {
@@ -84,7 +95,7 @@ func (c *pageCache) get(id uint32, buf []byte) bool {
 // used entry of the shard when full.
 func (c *pageCache) put(id uint32, data []byte) {
 	cp := append([]byte(nil), data...)
-	s := &c.shards[id%cacheShards]
+	s := &c.shards[id%c.nshards]
 	s.mu.Lock()
 	if el, ok := s.m[id]; ok {
 		el.Value.(*cacheEntry).data = cp

@@ -99,6 +99,81 @@ func TestCacheEviction(t *testing.T) {
 	}
 }
 
+// cachedPages counts the entries currently resident across all shards.
+func cachedPages(c *pageCache) int {
+	n := 0
+	for i := range c.shards {
+		if c.shards[i].lru != nil {
+			n += c.shards[i].lru.Len()
+		}
+	}
+	return n
+}
+
+// TestCacheSmallBudgetHonored locks the budget-accounting fix: a cache
+// configured below cacheShards pages used to round every shard up to
+// one page and silently hold up to cacheShards pages; now small
+// budgets clamp the shard count instead.
+func TestCacheSmallBudgetHonored(t *testing.T) {
+	for _, budget := range []int{1, 2, 3, 7} {
+		c := newPageCache(budget)
+		for id := uint32(1); id <= 64; id++ {
+			c.put(id, []byte{byte(id)})
+		}
+		if live := cachedPages(c); live > budget {
+			t.Errorf("budget %d: cache holds %d pages", budget, live)
+		}
+		if ev := c.stats().Evictions; ev < uint64(64-budget) {
+			t.Errorf("budget %d: only %d evictions over 64 inserts", budget, ev)
+		}
+	}
+}
+
+// TestCacheBudgetRemainderDistributed locks the other half of the same
+// fix: a budget that does not divide by the shard count keeps its
+// remainder (12 pages used to truncate to 8) and never exceeds the
+// configured total.
+func TestCacheBudgetRemainderDistributed(t *testing.T) {
+	const budget = 12
+	c := newPageCache(budget)
+	total := 0
+	for i := 0; i < int(c.nshards); i++ {
+		total += c.shards[i].cap
+	}
+	if total != budget {
+		t.Fatalf("shard capacities sum to %d, want the configured %d", total, budget)
+	}
+	for id := uint32(1); id <= 256; id++ {
+		c.put(id, []byte{byte(id)})
+	}
+	if live := cachedPages(c); live != budget {
+		t.Errorf("cache holds %d pages after saturation, want %d", live, budget)
+	}
+}
+
+// TestCacheSmallBudgetEndToEnd drives the fix through the file read
+// path: with room for 2 pages, cycling through 16 must keep at most 2
+// resident.
+func TestCacheSmallBudgetEndToEnd(t *testing.T) {
+	path := writePages(t, 16)
+	f, err := OpenCached(path, 2*128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for pass := 0; pass < 2; pass++ {
+		for id := uint32(1); id <= 16; id++ {
+			readPage(t, f, id)
+		}
+	}
+	if live := cachedPages(f.cache); live > 2 {
+		t.Errorf("cache holds %d pages, budget is 2", live)
+	}
+	if st := f.CacheStats(); st.Evictions == 0 {
+		t.Error("no evictions despite working set 8x the budget")
+	}
+}
+
 func TestCacheDisabledByDefault(t *testing.T) {
 	path := writePages(t, 4)
 	f, err := OpenCached(path, 0) // CacheSize 0 = the paper's no-cache setup

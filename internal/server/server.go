@@ -10,8 +10,16 @@
 //	GET  /count?q=Q&timeout=D                     exact match count only
 //	POST /batch                {"queries": [...]} evaluated as one batch:
 //	                           shared cover keys are fetched once per shard
+//	POST /append               bracketed trees (one per line) indexed into
+//	                           a fresh segment and served immediately
+//	POST /reload               pick up segments appended by another process
 //	GET  /healthz              liveness + corpus summary
 //	GET  /stats                index info and cumulative serving counters
+//
+// /append and /reload are the live-update surface: both publish a new
+// segment set atomically and swap it in without interrupting running
+// queries (each query is pinned to the segment set it started on), so
+// the very next /search sees the new trees with zero downtime.
 //
 // Every query evaluates under the request's context, bounded by the
 // server's default timeout (Config.Timeout) unless the request asks
@@ -46,9 +54,10 @@ import (
 
 // Defaults for the zero values of Config.
 const (
-	DefaultMaxMatches = 1000
-	DefaultMaxBatch   = 256
-	DefaultMaxBody    = 1 << 20
+	DefaultMaxMatches    = 1000
+	DefaultMaxBatch      = 256
+	DefaultMaxBody       = 1 << 20
+	DefaultMaxAppendBody = 32 << 20
 )
 
 // Config bounds what one request may cost the server.
@@ -63,6 +72,9 @@ type Config struct {
 	// MaxBody caps the /batch request body in bytes. 0 means
 	// DefaultMaxBody.
 	MaxBody int64
+	// MaxAppendBody caps the /append request body in bytes. 0 means
+	// DefaultMaxAppendBody; negative disables /append (403).
+	MaxAppendBody int64
 	// Timeout is the default evaluation deadline per request; a
 	// request's timeout= parameter may shorten it but never extend it.
 	// 0 means no server-imposed deadline.
@@ -79,6 +91,9 @@ func (c *Config) normalize() {
 	}
 	if c.MaxBody == 0 {
 		c.MaxBody = DefaultMaxBody
+	}
+	if c.MaxAppendBody == 0 {
+		c.MaxAppendBody = DefaultMaxAppendBody
 	}
 }
 
@@ -103,6 +118,8 @@ func New(ix *si.Index, cfg Config) *Server {
 	s.mux.HandleFunc("/stream", s.handleStream)
 	s.mux.HandleFunc("/count", s.handleCount)
 	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/append", s.handleAppend)
+	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
@@ -247,7 +264,9 @@ type StatsResponse struct {
 // IndexStats summarizes the served index.
 type IndexStats struct {
 	Trees      int    `json:"trees"`       // corpus size
-	Shards     int    `json:"shards"`      // partitions (1 = unsharded)
+	Shards     int    `json:"shards"`      // serving partitions (leaves across all segments)
+	Segments   int    `json:"segments"`    // live index segments (1 until the first append)
+	Generation int    `json:"generation"`  // manifest publish counter (0 = never appended)
 	MSS        int    `json:"mss"`         // maximum indexed subtree size
 	Coding     string `json:"coding"`      // posting scheme name
 	Keys       int    `json:"keys"`        // unique subtrees indexed
@@ -281,6 +300,29 @@ type searchParams struct {
 	timeout time.Duration
 }
 
+// boundParams is the one validation and clamping path for the
+// limit/offset/timeout triple every query endpoint accepts: /search,
+// /stream and /count (via parseParams) and /batch (from its JSON body)
+// all pass through here, so the server-side match cap and the
+// parameter sanity rules cannot drift between the GET and POST
+// surfaces. The returned limit is clamped to Config.MaxMatches, a
+// negative offset is rejected, and a timeout must be a positive Go
+// duration.
+func (s *Server) boundParams(limit, offset int, timeout string) (int, int, time.Duration, error) {
+	if offset < 0 {
+		return 0, 0, 0, fmt.Errorf("bad offset %d (must be >= 0)", offset)
+	}
+	var d time.Duration
+	if timeout != "" {
+		td, err := time.ParseDuration(timeout)
+		if err != nil || td <= 0 {
+			return 0, 0, 0, fmt.Errorf("bad timeout %q (want a positive Go duration, e.g. 500ms)", timeout)
+		}
+		d = td
+	}
+	return s.effectiveLimit(limit), offset, d, nil
+}
+
 // parseParams validates q, limit, offset and timeout.
 func (s *Server) parseParams(r *http.Request) (searchParams, error) {
 	var p searchParams
@@ -296,22 +338,16 @@ func (s *Server) parseParams(r *http.Request) (searchParams, error) {
 		}
 		p.limit = n
 	}
-	p.limit = s.effectiveLimit(p.limit)
 	if raw := v.Get("offset"); raw != "" {
 		n, err := strconv.Atoi(raw)
-		if err != nil || n < 0 {
+		if err != nil {
 			return p, fmt.Errorf("bad offset %q", raw)
 		}
 		p.offset = n
 	}
-	if raw := v.Get("timeout"); raw != "" {
-		d, err := time.ParseDuration(raw)
-		if err != nil || d <= 0 {
-			return p, fmt.Errorf("bad timeout %q (want a Go duration, e.g. 500ms)", raw)
-		}
-		p.timeout = d
-	}
-	return p, nil
+	var err error
+	p.limit, p.offset, p.timeout, err = s.boundParams(p.limit, p.offset, v.Get("timeout"))
+	return p, err
 }
 
 // requestCtx derives the evaluation context: the request's own context
@@ -505,20 +541,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
 		return
 	}
-	if req.Offset < 0 {
-		s.fail(w, http.StatusBadRequest, "bad offset")
+	// Per-item bounds go through the same validation and MaxMatches
+	// clamp as /search's query parameters.
+	limit, offset, timeout, err := s.boundParams(req.Limit, req.Offset, req.Timeout)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	var timeout time.Duration
-	if req.Timeout != "" {
-		d, err := time.ParseDuration(req.Timeout)
-		if err != nil || d <= 0 {
-			s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad timeout %q (want a Go duration, e.g. 500ms)", req.Timeout))
-			return
-		}
-		timeout = d
-	}
-	limit, offset := s.effectiveLimit(req.Limit), req.Offset
 	if req.CountOnly {
 		limit, offset = 0, 0
 	}
@@ -539,6 +568,86 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// AppendResponse is the /append response body.
+type AppendResponse struct {
+	// Trees is the number of trees indexed by this append.
+	Trees int `json:"trees"`
+	// Segments is the live segment count after the append.
+	Segments int `json:"segments"`
+	// Generation is the index manifest's publish counter after the
+	// append.
+	Generation int `json:"generation"`
+	// TookNS is the server-side build-and-publish time in nanoseconds.
+	TookNS int64 `json:"took_ns"`
+}
+
+// handleAppend serves POST /append: the body is a bracketed corpus
+// (one tree per line, as sibuild reads), indexed into a fresh segment
+// and published atomically — the next /search sees the new trees.
+// Running queries are unaffected; they finish on the segment set they
+// pinned.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.cfg.MaxAppendBody < 0 {
+		s.fail(w, http.StatusForbidden, "append is disabled on this server")
+		return
+	}
+	trees, err := si.ReadTrees(http.MaxBytesReader(w, r.Body, s.cfg.MaxAppendBody))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad append body: "+err.Error())
+		return
+	}
+	if len(trees) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty append: need one bracketed tree per line")
+		return
+	}
+	start := time.Now()
+	if _, err := s.ix.Append(r.Context(), trees); err != nil {
+		s.fail(w, errStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, AppendResponse{
+		Trees:      len(trees),
+		Segments:   s.ix.Segments(),
+		Generation: s.ix.Generation(),
+		TookNS:     time.Since(start).Nanoseconds(),
+	})
+}
+
+// ReloadResponse is the /reload response body.
+type ReloadResponse struct {
+	// Reloaded reports whether the on-disk manifest differed and a new
+	// segment set was swapped in.
+	Reloaded bool `json:"reloaded"`
+	// Segments is the live segment count after the reload.
+	Segments int `json:"segments"`
+	// Generation is the manifest publish counter after the reload.
+	Generation int `json:"generation"`
+}
+
+// handleReload serves POST /reload: re-read the index manifest and
+// pick up segments published by another process (e.g. sibuild -append
+// against the served directory) with zero downtime.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	reloaded, err := s.ix.Reload()
+	if err != nil {
+		s.fail(w, errStatus(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReloadResponse{
+		Reloaded:   reloaded,
+		Segments:   s.ix.Segments(),
+		Generation: s.ix.Generation(),
+	})
+}
+
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, HealthResponse{
@@ -555,6 +664,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Index: IndexStats{
 			Trees:      s.ix.NumTrees(),
 			Shards:     s.ix.Shards(),
+			Segments:   s.ix.Segments(),
+			Generation: s.ix.Generation(),
 			MSS:        s.ix.MSS(),
 			Coding:     s.ix.Coding().String(),
 			Keys:       info.Keys,

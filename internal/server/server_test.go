@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -496,3 +497,206 @@ func TestHealthzAndStats(t *testing.T) {
 
 // urlQueryEscape escapes a query for use as a URL parameter value.
 func urlQueryEscape(q string) string { return url.QueryEscape(q) }
+
+// postBody POSTs raw bytes and decodes the JSON response, failing on
+// an unexpected status.
+func postBody(t *testing.T, url, contentType, body string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding: %v", url, err)
+		}
+	}
+}
+
+// TestAppendEndToEnd is the live-update acceptance path over HTTP:
+// POST /append makes new trees searchable on the very next request,
+// with no reopen and no restart, and /stats reports the grown segment
+// set.
+func TestAppendEndToEnd(t *testing.T) {
+	ts, ix := newTestServer(t, 2, Config{})
+	const q = "NNX(zzyzx)"
+	var cr SearchResponse
+	getJSON(t, ts.URL+"/count?q="+urlQueryEscape(q), &cr)
+	if cr.Count != 0 {
+		t.Fatalf("unique query matched %d before append", cr.Count)
+	}
+	before := ix.NumTrees()
+
+	var ar AppendResponse
+	postBody(t, ts.URL+"/append", "text/plain",
+		"(S (NP (NNX zzyzx)) (VP (VBZ is)))\n(S (NP (DT a)) (VP (VBZ runs)))\n",
+		http.StatusOK, &ar)
+	if ar.Trees != 2 || ar.Segments != 2 || ar.Generation != 2 {
+		t.Fatalf("append response = %+v, want 2 trees, 2 segments, generation 2", ar)
+	}
+
+	getJSON(t, ts.URL+"/count?q="+urlQueryEscape(q), &cr)
+	if cr.Count != 1 {
+		t.Fatalf("unique query matched %d after append, want 1", cr.Count)
+	}
+	var sr SearchResponse
+	getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q), &sr)
+	if len(sr.Matches) != 1 || sr.Matches[0].TID != uint32(before) {
+		t.Fatalf("appended tree matched as %+v, want tid %d", sr.Matches, before)
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Index.Segments != 2 || st.Index.Generation != 2 || st.Index.Trees != before+2 {
+		t.Fatalf("stats after append = %+v", st.Index)
+	}
+
+	// /reload with nothing new is a clean no-op.
+	var rr ReloadResponse
+	postBody(t, ts.URL+"/reload", "application/json", "", http.StatusOK, &rr)
+	if rr.Reloaded || rr.Segments != 2 || rr.Generation != 2 {
+		t.Fatalf("no-op reload = %+v", rr)
+	}
+}
+
+// TestReloadPicksUpExternalAppend drives the offline-ingest flow: a
+// second writer handle appends to the served directory (as sibuild
+// -append would), and POST /reload makes the server pick it up.
+func TestReloadPicksUpExternalAppend(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ix")
+	trees := si.GenerateCorpus(2012, 300)
+	if _, err := si.Build(dir, trees[:200], si.DefaultBuildOptions()); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := si.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	ts := httptest.NewServer(New(ix, Config{}))
+	t.Cleanup(ts.Close)
+
+	writer, err := si.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Append(context.Background(), trees[200:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var rr ReloadResponse
+	postBody(t, ts.URL+"/reload", "application/json", "", http.StatusOK, &rr)
+	if !rr.Reloaded || rr.Segments != 2 {
+		t.Fatalf("reload = %+v, want a pickup of 2 segments", rr)
+	}
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Trees != 300 {
+		t.Fatalf("healthz reports %d trees after reload, want 300", h.Trees)
+	}
+}
+
+// TestAppendErrorPaths covers /append's and /reload's error contract.
+func TestAppendErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t, 1, Config{MaxAppendBody: 64})
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"GET", "/append", "", http.StatusMethodNotAllowed},
+		{"GET", "/reload", "", http.StatusMethodNotAllowed},
+		{"POST", "/append", "", http.StatusBadRequest},                                                   // empty body
+		{"POST", "/append", "(S (NP", http.StatusBadRequest},                                             // malformed tree
+		{"POST", "/append", strings.Repeat("(S (NP (NNX a)) (VP (VBZ b)))\n", 4), http.StatusBadRequest}, // over MaxAppendBody
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+
+	// MaxAppendBody < 0 disables the endpoint entirely.
+	disabled, _ := newTestServer(t, 1, Config{MaxAppendBody: -1})
+	resp, err := http.Post(disabled.URL+"/append", "text/plain",
+		bytes.NewReader([]byte("(S (NP (NNX a)) (VP (VBZ b)))")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("disabled /append: status %d, want 403", resp.StatusCode)
+	}
+}
+
+// TestBatchLimitCapMatchesSearch locks the unified parameter
+// validation: /batch clamps each item's limit to MaxMatches exactly
+// like /search clamps its limit parameter, and both reject a negative
+// offset the same way.
+func TestBatchLimitCapMatchesSearch(t *testing.T) {
+	ts, ix := newTestServer(t, 2, Config{MaxMatches: 3})
+	const q = "NP(DT)(NN)"
+	full, err := ix.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count <= 3 {
+		t.Fatalf("fixture matches only %d times; cap 3 would not bind", full.Count)
+	}
+
+	var sr SearchResponse
+	getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q)+"&limit=1000000", &sr)
+	var br BatchResponse
+	postBody(t, ts.URL+"/batch", "application/json",
+		`{"queries":["`+q+`"],"limit":1000000}`, http.StatusOK, &br)
+	if len(sr.Matches) != 3 {
+		t.Fatalf("/search returned %d matches over a cap of 3", len(sr.Matches))
+	}
+	if len(br.Results[0].Matches) != len(sr.Matches) {
+		t.Fatalf("/batch returned %d matches, /search %d — cap not unified",
+			len(br.Results[0].Matches), len(sr.Matches))
+	}
+
+	// An unset batch limit gets the cap, like /search without limit=.
+	postBody(t, ts.URL+"/batch", "application/json",
+		`{"queries":["`+q+`"]}`, http.StatusOK, &br)
+	if len(br.Results[0].Matches) != 3 {
+		t.Fatalf("/batch without limit returned %d matches, want the cap 3", len(br.Results[0].Matches))
+	}
+
+	for _, target := range []string{
+		"/search?q=" + urlQueryEscape(q) + "&offset=-2",
+	} {
+		resp, err := http.Get(ts.URL + target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", target, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/batch", "application/json",
+		bytes.NewReader([]byte(`{"queries":["`+q+`"],"offset":-2}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/batch with negative offset: status %d, want 400", resp.StatusCode)
+	}
+}

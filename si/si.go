@@ -33,6 +33,13 @@
 // single-directory, OS-buffered setup. An open Index is safe for
 // concurrent use by any number of goroutines.
 //
+// An index ingests while it serves: Append indexes new trees into a
+// fresh immutable segment and publishes it atomically, so the next
+// Search sees them without any reopen; Reload picks up segments
+// appended by another process. Every search runs on the segment set
+// current when it started — Append and Close never disturb a query in
+// flight.
+//
 // See the examples directory for runnable programs.
 package si
 
@@ -147,12 +154,16 @@ func Build(dir string, trees []*Tree, opts BuildOptions) (BuildInfo, error) {
 	}, nil
 }
 
-// Index is an opened Subtree Index — single-directory or sharded; the
-// two open to the same API and return identical results. An Index is
-// safe for concurrent use: any number of goroutines may call Search,
-// Count, Query, Tree, Keys and KeyCount on one Index at once.
+// Index is an opened Subtree Index — single-directory, sharded or
+// segmented; all layouts open to the same API and return identical
+// results. An Index is safe for concurrent use: any number of
+// goroutines may call Search, Count, Query, Tree, Keys and KeyCount on
+// one Index at once, concurrently with Append and Reload. Every query
+// pins the segment set current when it starts, so Append, Reload and
+// Close never invalidate an in-flight search; Close blocks until those
+// searches finish, and calls made after Close fail cleanly.
 type Index struct {
-	ix core.Handle
+	ix *core.Live
 }
 
 // OpenOptions configure how an index is opened.
@@ -172,13 +183,17 @@ type OpenOptions struct {
 	PlanCacheSize int
 }
 
+// ErrClosed is returned (wrapped) by operations on an Index after
+// Close; test with errors.Is.
+var ErrClosed = core.ErrClosed
+
 // Open opens the index stored in dir — sharded or not — with the
 // default options (no user-level page cache).
 func Open(dir string) (*Index, error) { return OpenWith(dir, OpenOptions{}) }
 
 // OpenWith opens the index stored in dir with explicit options.
 func OpenWith(dir string, opts OpenOptions) (*Index, error) {
-	ix, err := core.OpenAny(dir, core.OpenOptions{
+	ix, err := core.OpenLive(dir, core.OpenOptions{
 		CacheSize: opts.CacheSize,
 		PlanCache: opts.PlanCacheSize,
 	})
@@ -188,8 +203,70 @@ func OpenWith(dir string, opts OpenOptions) (*Index, error) {
 	return &Index{ix: ix}, nil
 }
 
-// Close releases the index files.
+// Close retires the index and blocks until every in-flight search has
+// finished on its pinned segment set, then releases the index files.
+// Searches started before Close complete correctly; calls made after
+// Close return an error instead of touching closed files. Close is
+// idempotent.
 func (i *Index) Close() error { return i.ix.Close() }
+
+// AppendOptions configure how Append builds its new segment; the zero
+// value builds a single-partition segment with sequential extraction.
+// The index's MSS and coding always carry over.
+type AppendOptions struct {
+	// Shards partitions the appended segment like BuildOptions.Shards;
+	// 0 or 1 builds one partition. Small incremental batches rarely
+	// need more than one.
+	Shards int
+	// Workers parallelizes subtree extraction like BuildOptions.Workers.
+	Workers int
+}
+
+// Append indexes trees into a fresh immutable segment and publishes it
+// atomically: the call builds the segment with the index's MSS and
+// coding, appends it to the on-disk manifest, and swaps the serving
+// set, so a search issued after Append returns sees matches in the new
+// trees — without reopening the index or restarting a server over it.
+// Searches already running finish on the segment set they started
+// with, unaffected. The new trees are assigned the global tids
+// following the current corpus, in order. Appends serialize with each
+// other, Reload and Close; appending through two different processes
+// at once is not supported. Returns the new segment's build
+// statistics.
+func (i *Index) Append(ctx context.Context, trees []*Tree) (BuildInfo, error) {
+	return i.AppendWith(ctx, trees, AppendOptions{})
+}
+
+// AppendWith is Append with explicit segment build options.
+func (i *Index) AppendWith(ctx context.Context, trees []*Tree, opts AppendOptions) (BuildInfo, error) {
+	m, err := i.ix.Append(ctx, trees, opts.Shards, opts.Workers)
+	if err != nil {
+		return BuildInfo{}, err
+	}
+	return BuildInfo{
+		Keys:       m.Keys,
+		Postings:   m.Postings,
+		IndexBytes: m.IndexBytes,
+		DataBytes:  m.DataBytes,
+		Shards:     max(m.Shards, 1),
+	}, nil
+}
+
+// Reload re-reads the index manifest from disk and picks up segments
+// published by another process (e.g. `sibuild -append` run against a
+// directory a server is serving): new segments open, delisted ones
+// retire once their in-flight searches drain, and the serving set
+// swaps with zero downtime. Returns whether anything changed.
+func (i *Index) Reload() (bool, error) { return i.ix.Reload() }
+
+// Segments returns the number of live index segments: 1 until the
+// first Append, plus one per appended (or reloaded) segment since.
+func (i *Index) Segments() int { return i.ix.Segments() }
+
+// Generation returns the index manifest's publish counter: 0 for an
+// index that has never been appended to, incrementing with every
+// published segment-set change.
+func (i *Index) Generation() int { return i.ix.Generation() }
 
 // MSS returns the index's maximum subtree size.
 func (i *Index) MSS() int { return i.ix.Meta().MSS }
