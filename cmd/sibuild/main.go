@@ -15,6 +15,17 @@
 // carry over (-mss and -coding are ignored), and a server already
 // serving the directory picks the segment up with POST /reload —
 // incremental ingest without rebuild or restart.
+//
+// With -delete the listed trees are tombstoned in the index at -out
+// (no corpus input needed); with -compact the surviving trees of all
+// segments are merged back into one segment and the tombstoned space
+// is reclaimed. Both republish the manifest atomically, and a server
+// serving the directory picks either up with POST /reload:
+//
+//	sibuild -out idxdir -delete 3,7,9
+//	sibuild -out idxdir -compact
+//
+// See docs/SEGMENTS.md for the full segment lifecycle.
 package main
 
 import (
@@ -22,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/postings"
 	"repro/si"
@@ -37,11 +50,21 @@ func main() {
 	shards := flag.Int("shards", 1, "partition the index into N shards built concurrently")
 	workers := flag.Int("workers", 1, "subtree-extraction goroutines per shard")
 	appendMode := flag.Bool("append", false, "append the trees to the existing index at -out as a new segment (keeps its mss/coding)")
+	deleteTids := flag.String("delete", "", "tombstone these comma-separated tids in the existing index at -out (e.g. 3,7,9)")
+	compactMode := flag.Bool("compact", false, "merge the existing index at -out into one segment, dropping tombstoned trees")
 	flag.Parse()
 
 	coding, err := postings.ParseCoding(*codingName)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *deleteTids != "" || *compactMode {
+		if *corpus != "" || *gen > 0 || *appendMode {
+			fatal(fmt.Errorf("-delete/-compact modify the index at -out in place; drop -corpus/-gen/-append"))
+		}
+		mutate(*out, *deleteTids, *compactMode, *shards, *workers)
+		return
 	}
 	var trees []*si.Tree
 	switch {
@@ -94,6 +117,58 @@ func main() {
 	}
 	fmt.Printf("built %s: %d trees, %d shards, %d keys, %d postings, index %d bytes, data %d bytes\n",
 		*out, len(trees), info.Shards, info.Keys, info.Postings, info.IndexBytes, info.DataBytes)
+}
+
+// mutate runs the in-place modes: tombstone the -delete tids, then
+// compact if -compact was set (so `-delete ... -compact` deletes and
+// reclaims in one command).
+func mutate(out, deleteTids string, compact bool, shards, workers int) {
+	ix, err := si.Open(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer ix.Close()
+	ctx := context.Background()
+	if deleteTids != "" {
+		tids, err := parseTids(deleteTids)
+		if err != nil {
+			fatal(err)
+		}
+		deleted, err := ix.Delete(ctx, tids...)
+		if err != nil {
+			fatal(err)
+		}
+		st := ix.Stats()
+		fmt.Printf("deleted %d of %d trees in %s: %d live, %d tombstoned, generation %d\n",
+			deleted, len(tids), out, st.LiveTrees, st.TombstonedTrees, ix.Generation())
+	}
+	if compact {
+		compacted, err := ix.CompactWith(ctx, si.CompactOptions{Shards: shards, Workers: workers})
+		if err != nil {
+			fatal(err)
+		}
+		if !compacted {
+			fmt.Printf("nothing to compact in %s: 1 segment, no tombstones\n", out)
+			return
+		}
+		st := ix.Stats()
+		fmt.Printf("compacted %s: %d trees in 1 segment, %d bytes, generation %d\n",
+			out, st.LiveTrees, st.SegmentBytes, ix.Generation())
+	}
+}
+
+// parseTids parses the -delete argument: comma-separated decimal tids.
+func parseTids(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	tids := make([]int, 0, len(parts))
+	for _, p := range parts {
+		tid, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -delete tid %q: want comma-separated integers like 3,7,9", p)
+		}
+		tids = append(tids, tid)
+	}
+	return tids, nil
 }
 
 func fatal(err error) {

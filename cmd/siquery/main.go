@@ -6,12 +6,16 @@
 //	siquery -index idxdir -show 3 'S(//NN(rodent))'
 //	siquery -index idxdir -limit 10 -offset 20 -timeout 2s 'NP(DT)(NN)'
 //	siquery -index idxdir -count 'S(//NN)'
+//	siquery -index idxdir -info
 //
 // Each positional argument is one query; -show N prints the first N
 // matching trees in bracketed form. -limit/-offset select a window of
 // matches (on a sharded index a limited query stops fetching postings
 // early), -timeout bounds each query's evaluation, and -count asks
 // only for the exact match count through the allocation-free path.
+// -info prints the index's segment state (segments, generation, live
+// and tombstoned tree counts) instead of running queries — the offline
+// equivalent of sisrv's /stats index section.
 package main
 
 import (
@@ -32,9 +36,10 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query evaluation timeout (0 = none)")
 	count := flag.Bool("count", false, "print only exact match counts (count-only path)")
 	cache := flag.Int64("cache", 0, "LRU page cache bytes per index file (0 = uncached, the paper's setup)")
+	info := flag.Bool("info", false, "print the index's segment state instead of running queries")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: siquery -index DIR QUERY...")
+	if flag.NArg() == 0 && !*info {
+		fmt.Fprintln(os.Stderr, "usage: siquery -index DIR QUERY... | siquery -index DIR -info")
 		os.Exit(2)
 	}
 	ix, err := si.OpenWith(*dir, si.OpenOptions{CacheSize: *cache})
@@ -42,6 +47,9 @@ func main() {
 		fatal(err)
 	}
 	defer ix.Close()
+	if *info {
+		printInfo(ix)
+	}
 	for _, src := range flag.Args() {
 		ctx := context.Background()
 		cancel := context.CancelFunc(func() {})
@@ -54,6 +62,18 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// printInfo prints the index's segment state: the corpus split into
+// live and tombstoned trees, the segment fan-out, and the manifest
+// generation.
+func printInfo(ix *si.Index) {
+	st := ix.Stats()
+	bi := ix.Info()
+	fmt.Printf("%d trees (%d live, %d tombstoned), %d segment(s), %d shard(s), generation %d\n",
+		ix.NumTrees(), st.LiveTrees, st.TombstonedTrees, ix.Segments(), ix.Shards(), ix.Generation())
+	fmt.Printf("mss %d, %s coding, %d keys, %d postings, index %d bytes, data %d bytes\n",
+		ix.MSS(), ix.Coding(), bi.Keys, bi.Postings, bi.IndexBytes, bi.DataBytes)
 }
 
 // runQuery evaluates one query under ctx and prints its result.

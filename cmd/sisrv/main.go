@@ -1,9 +1,9 @@
 // Command sisrv serves a Subtree Index over HTTP: JSON endpoints
-// /search, /stream (NDJSON), /count, /batch, /append, /reload,
-// /healthz and /stats over one long-lived index, so open/parse/
-// decompose costs are amortized across requests. Every request
-// evaluates under a context bounded by -timeout (requests may shorten
-// it with ?timeout=).
+// /search, /stream (NDJSON), /count, /batch, /append, /delete,
+// /compact, /reload, /healthz and /stats over one long-lived index, so
+// open/parse/decompose costs are amortized across requests. Every
+// request evaluates under a context bounded by -timeout (requests may
+// shorten it with ?timeout=).
 //
 // Serve an existing index directory:
 //
@@ -29,6 +29,19 @@
 // the new segment up:
 //
 //	curl -X POST localhost:8080/reload
+//
+// Delete trees (they stop matching immediately; disk is reclaimed by
+// the next compaction) and compact on demand:
+//
+//	curl -d '{"tids":[3,7]}' localhost:8080/delete
+//	curl -X POST localhost:8080/compact
+//
+// Or let the server compact itself: -compact-every runs a background
+// compaction whenever the segment count or the tombstoned-tree count
+// reaches its threshold (-compact-min-segments, -compact-min-deleted),
+// folding a stream of small appends and deletes back into one segment
+// without interrupting queries. docs/SEGMENTS.md walks the whole
+// lifecycle.
 package main
 
 import (
@@ -58,17 +71,60 @@ func main() {
 	plancache := flag.Int("plancache", 4096, "LRU query-plan cache entries (0 = disabled)")
 	limit := flag.Int("limit", server.DefaultMaxMatches, "max matches returned per query (-1 = unlimited)")
 	maxbatch := flag.Int("maxbatch", server.DefaultMaxBatch, "max queries per /batch request")
-	maxappend := flag.Int64("maxappend", server.DefaultMaxAppendBody, "max /append body bytes (-1 = disable /append)")
+	maxappend := flag.Int64("maxappend", server.DefaultMaxAppendBody, "max /append body bytes (-1 = disable /append, /delete and /compact)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request evaluation timeout; requests may shorten it with ?timeout= but never extend it (0 = none)")
+	compactEvery := flag.Duration("compact-every", 0, "check compaction thresholds at this interval and compact in the background when one is met (0 = no background compaction)")
+	compactMinSegments := flag.Int("compact-min-segments", 4, "background compaction threshold: compact at this many segments")
+	compactMinDeleted := flag.Int("compact-min-deleted", 64, "background compaction threshold: compact at this many tombstoned trees")
 	flag.Parse()
 
-	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, *cache, *plancache, *limit, *maxbatch, *maxappend, *timeout); err != nil {
+	cc := compactConfig{every: *compactEvery, minSegments: *compactMinSegments, minDeleted: *compactMinDeleted}
+	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, *cache, *plancache, *limit, *maxbatch, *maxappend, *timeout, cc); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// compactConfig drives the background compaction loop.
+type compactConfig struct {
+	every                   time.Duration
+	minSegments, minDeleted int
+}
+
+// compactLoop checks the thresholds every cc.every and compacts when
+// one is met, until ctx is cancelled. It runs concurrently with
+// serving: Compact publishes atomically and running queries finish on
+// the segment set they pinned, so no request observes the swap. A
+// failed compaction is logged and retried at the next tick — the index
+// keeps serving from its current segment set either way.
+func compactLoop(ctx context.Context, ix *si.Index, cc compactConfig) {
+	t := time.NewTicker(cc.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		start := time.Now()
+		compacted, err := ix.CompactWith(ctx, si.CompactOptions{
+			MinSegments:   cc.minSegments,
+			MinTombstones: cc.minDeleted,
+		})
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return // shutdown raced the merge; not a failure
+		case err != nil:
+			log.Printf("background compaction failed (retrying next tick): %v", err)
+		case compacted:
+			st := ix.Stats()
+			log.Printf("compacted to 1 segment: %d live trees, %d KiB, took %s",
+				st.LiveTrees, st.SegmentBytes/1024, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
 // run builds or opens the index and serves it until SIGINT/SIGTERM.
-func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, plancache, limit, maxbatch int, maxappend int64, timeout time.Duration) error {
+func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, plancache, limit, maxbatch int, maxappend int64, timeout time.Duration, cc compactConfig) error {
 	if dir == "" && gen == 0 {
 		return errors.New("sisrv: set -index to serve an existing index, or -gen N to build a demo index")
 	}
@@ -121,6 +177,18 @@ func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, p
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if cc.every > 0 {
+		log.Printf("background compaction: every %s at >=%d segments or >=%d deleted trees",
+			cc.every, cc.minSegments, cc.minDeleted)
+		compactDone := make(chan struct{})
+		go func() {
+			defer close(compactDone)
+			compactLoop(ctx, ix, cc)
+		}()
+		// The loop must drain before the deferred ix.Close: a compaction
+		// in flight during shutdown still holds the index.
+		defer func() { stop(); <-compactDone }()
+	}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", addr)

@@ -44,6 +44,31 @@ func exportedReceiver(recv *ast.FieldList) bool {
 // mdLink matches inline markdown links and images: [text](target).
 var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
 
+// requiredDocs is the documentation set every checkout must carry; a
+// doc silently dropped in a refactor fails the suite rather than
+// leaving dangling prose references.
+var requiredDocs = []string{
+	"README.md",
+	"docs/ARCHITECTURE.md",
+	"docs/QUERY_SYNTAX.md",
+	"docs/SEGMENTS.md",
+}
+
+// TestRequiredDocsExist asserts the core documentation files exist and
+// are non-empty.
+func TestRequiredDocsExist(t *testing.T) {
+	for _, doc := range requiredDocs {
+		fi, err := os.Stat(doc)
+		if err != nil {
+			t.Errorf("required doc %s: %v", doc, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("required doc %s is empty", doc)
+		}
+	}
+}
+
 // TestDocLinks walks every *.md file in the repository and asserts
 // that each relative link target exists on disk.
 func TestDocLinks(t *testing.T) {

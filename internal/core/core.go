@@ -89,19 +89,27 @@ type Meta struct {
 	Segments []string `json:"segments,omitempty"`
 	// Generation is the segmented manifest's publish counter: it
 	// increments every time the segment list is republished (Append,
-	// legacy promotion), so readers can cheaply detect staleness. 0 on
-	// non-segmented indexes.
-	Generation   int             `json:"generation,omitempty"`
-	MSS          int             `json:"mss"`           // maximum indexed subtree size
-	Coding       postings.Coding `json:"coding"`        // posting-list scheme
-	NumTrees     int             `json:"num_trees"`     // corpus size
-	Keys         int             `json:"keys"`          // unique subtrees indexed
-	Postings     int             `json:"postings"`      // total posting records
-	IndexBytes   int64           `json:"index_bytes"`   // B+Tree file size
-	DataBytes    int64           `json:"data_bytes"`    // flattened corpus size
-	BuildNanos   int64           `json:"build_nanos"`   // wall-clock build time
-	ExtractNanos int64           `json:"extract_nanos"` // subtree-enumeration phase
-	LoadNanos    int64           `json:"load_nanos"`    // B+Tree bulk-load phase
+	// Delete, Compact, legacy promotion), so readers can cheaply detect
+	// staleness. 0 on non-segmented indexes.
+	Generation int `json:"generation,omitempty"`
+	// Tombstones records logical deletes of a segmented root: for each
+	// named segment, the sorted segment-local tids of trees that no
+	// longer exist. Tombstoned trees stay on disk (segments are
+	// immutable) but are invisible to every query path; compaction
+	// drops them physically. Manifests written before deletes existed
+	// simply lack the field and read as "no tombstones" — the section
+	// is additive, so older v3 manifests stay valid unchanged.
+	Tombstones   map[string][]int `json:"tombstones,omitempty"`
+	MSS          int              `json:"mss"`           // maximum indexed subtree size
+	Coding       postings.Coding  `json:"coding"`        // posting-list scheme
+	NumTrees     int              `json:"num_trees"`     // corpus size
+	Keys         int              `json:"keys"`          // unique subtrees indexed
+	Postings     int              `json:"postings"`      // total posting records
+	IndexBytes   int64            `json:"index_bytes"`   // B+Tree file size
+	DataBytes    int64            `json:"data_bytes"`    // flattened corpus size
+	BuildNanos   int64            `json:"build_nanos"`   // wall-clock build time
+	ExtractNanos int64            `json:"extract_nanos"` // subtree-enumeration phase
+	LoadNanos    int64            `json:"load_nanos"`    // B+Tree bulk-load phase
 }
 
 // accumulator unifies the three coding accumulators during the build.

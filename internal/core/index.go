@@ -139,15 +139,35 @@ type Counters struct {
 	// had to parse and/or decompose. Both cache counters stay zero when
 	// the plan cache is disabled.
 	PlanCacheMisses uint64 `json:"plan_cache_misses"`
+	// LiveTrees is the number of searchable trees: stored trees minus
+	// tombstoned ones. Unlike the cumulative counters above, the four
+	// fields from here on are point-in-time gauges of the serving state
+	// — they move in both directions as updates and compactions land.
+	LiveTrees int `json:"live_trees"`
+	// TombstonedTrees is the number of logically deleted trees still
+	// stored in segments — the reclaim debt a compaction clears. Always
+	// 0 on non-live handles.
+	TombstonedTrees int `json:"tombstoned_trees"`
+	// Segments is the number of live segments queries fan out over
+	// (1 for single-directory and sharded handles).
+	Segments int `json:"segments"`
+	// SegmentBytes is the on-disk footprint of the live segment set:
+	// index plus data bytes, tombstoned trees included until compaction
+	// reclaims them.
+	SegmentBytes int64 `json:"segment_bytes"`
 }
 
-// Counters returns the handle's cumulative serving counters.
+// Counters returns the handle's cumulative serving counters and
+// point-in-time lifecycle gauges.
 func (ix *Index) Counters() Counters {
 	hits, misses := ix.plans.counters()
 	return Counters{
 		PostingFetches:  ix.fetches.Load(),
 		PlanCacheHits:   hits,
 		PlanCacheMisses: misses,
+		LiveTrees:       ix.meta.NumTrees,
+		Segments:        1,
+		SegmentBytes:    ix.meta.IndexBytes + ix.meta.DataBytes,
 	}
 }
 
@@ -191,7 +211,7 @@ func (ix *Index) QueryTextBatch(srcs []string) ([][]Match, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, _, _, err := ix.evalPlans(context.Background(), plans, ix.getPosting, false)
+	out, _, _, err := ix.evalPlans(context.Background(), plans, ix.getPosting, false, nil)
 	return out, err
 }
 
@@ -202,7 +222,7 @@ func (ix *Index) QueryTextBatch(srcs []string) ([][]Match, error) {
 // cache — are evaluated once and their (read-only) match slice shared
 // across the corresponding outputs. With countOnly the match slices
 // stay nil and only counts are filled.
-func (ix *Index) evalPlans(ctx context.Context, plans []*Plan, get postingGetter, countOnly bool) ([][]Match, []int, uint64, error) {
+func (ix *Index) evalPlans(ctx context.Context, plans []*Plan, get postingGetter, countOnly bool, dels *TombSet) ([][]Match, []int, uint64, error) {
 	get = memoGetter(get)
 	type evaled struct {
 		ms []Match
@@ -217,7 +237,7 @@ func (ix *Index) evalPlans(ctx context.Context, plans []*Plan, get postingGetter
 			out[i], counts[i] = ev.ms, ev.n
 			continue
 		}
-		ms, n, st, err := ix.evalPlan(ctx, pl, get, evalOpts{countOnly: countOnly})
+		ms, n, st, err := ix.evalPlan(ctx, pl, get, evalOpts{countOnly: countOnly, dels: dels})
 		if err != nil {
 			return nil, nil, 0, err
 		}
@@ -275,6 +295,11 @@ type evalOpts struct {
 	// matches — the extra one distinguishes "exactly target matches
 	// exist" from a truncated result, preserving window() semantics.
 	target int
+	// dels, when non-nil, is the leaf's tombstone set: posting entries
+	// of tombstoned tids are dropped at decode time, before permutation
+	// expansion, joining or validation, so a deleted tree costs no join
+	// rows and can never surface as a match.
+	dels *TombSet
 }
 
 // evalPlan evaluates a compiled plan, dispatching on the index coding
@@ -285,13 +310,13 @@ type evalOpts struct {
 // inside the fetch, join and validation loops.
 func (ix *Index) evalPlan(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
 	if ev.target > 0 && !ev.countOnly {
-		return ix.evalPlanBounded(ctx, pl, get, ev.target)
+		return ix.evalPlanBounded(ctx, pl, get, ev.target, ev.dels)
 	}
 	switch ix.meta.Coding {
 	case postings.FilterBased:
-		return ix.evalFilter(ctx, pl, get, ev.countOnly)
+		return ix.evalFilter(ctx, pl, get, ev)
 	case postings.RootSplit, postings.SubtreeInterval:
-		return ix.evalJoin(ctx, pl, get, ev.countOnly)
+		return ix.evalJoin(ctx, pl, get, ev)
 	default:
 		return nil, 0, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
 	}
@@ -300,8 +325,8 @@ func (ix *Index) evalPlan(ctx context.Context, pl *Plan, get postingGetter, ev e
 // evalPlanBounded evaluates pl through the streaming producer, pulling
 // at most target+1 matches so unneeded posting entries are never
 // decoded and unneeded join rows never produced.
-func (ix *Index) evalPlanBounded(ctx context.Context, pl *Plan, get postingGetter, target int) ([]Match, int, *QueryStats, error) {
-	ms, st, err := ix.streamPlan(ctx, pl, get)
+func (ix *Index) evalPlanBounded(ctx context.Context, pl *Plan, get postingGetter, target int, dels *TombSet) ([]Match, int, *QueryStats, error) {
+	ms, st, err := ix.streamPlan(ctx, pl, get, dels)
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -337,8 +362,9 @@ func postingPayload(k subtree.Key, get postingGetter) (payload []byte, count int
 }
 
 // fetchPiece reads the posting list of one plan piece, decoded into
-// join relation form. found=false means the key is absent (no matches).
-func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter) (join.Relation, int, bool, error) {
+// join relation form with tombstoned tids dropped (dels may be nil).
+// found=false means the key is absent (no matches).
+func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter, dels *TombSet) (join.Relation, int, bool, error) {
 	payload, count, found, err := postingPayload(pp.Key, get)
 	if err != nil || !found {
 		return join.Relation{}, 0, false, err
@@ -350,6 +376,9 @@ func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter) (join.Relation, int
 		it := postings.NewRootIterator(payload)
 		for it.Next() {
 			e := it.Entry()
+			if dels.Has(e.TID) {
+				continue
+			}
 			rel.Entries = append(rel.Entries, postings.IntervalEntry{
 				TID:   e.TID,
 				Nodes: []postings.NodeRef{e.NodeRef},
@@ -362,6 +391,9 @@ func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter) (join.Relation, int
 		rel.Slots = pp.Slots
 		it := postings.NewIntervalIterator(payload)
 		for it.Next() {
+			if dels.Has(it.TID()) {
+				continue
+			}
 			rel.Entries = append(rel.Entries, it.Entry())
 		}
 		if err := it.Err(); err != nil {
@@ -391,14 +423,14 @@ func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter) (join.Relation, int
 }
 
 // evalJoin evaluates a plan under root-split or subtree-interval coding.
-func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, countOnly bool) ([]Match, int, *QueryStats, error) {
+func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
 	st := &QueryStats{Pieces: len(pl.Pieces)}
 	var rels []join.Relation
 	for _, pp := range pl.Pieces {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, nil, err
 		}
-		rel, _, found, err := ix.fetchPiece(pp, get)
+		rel, _, found, err := ix.fetchPiece(pp, get, ev.dels)
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -409,7 +441,7 @@ func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, coun
 		rels = append(rels, rel)
 	}
 	st.Joins = len(rels) - 1
-	ms, info, err := join.Run(ctx, pl.Query, rels, join.Options{CountOnly: countOnly})
+	ms, info, err := join.Run(ctx, pl.Query, rels, join.Options{CountOnly: ev.countOnly})
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -418,10 +450,11 @@ func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, coun
 }
 
 // filterCandidates runs the filter coding's candidate phase, shared by
-// the materialized and streaming paths: fetch each piece's tid list,
-// intersect, and report the phase's stats. found=false means a piece
-// key is absent (no matches anywhere); st is valid either way.
-func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGetter) (cands []uint32, st *QueryStats, found bool, err error) {
+// the materialized and streaming paths: fetch each piece's tid list
+// (skipping tombstoned tids), intersect, and report the phase's stats.
+// found=false means a piece key is absent (no matches anywhere); st is
+// valid either way.
+func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGetter, dels *TombSet) (cands []uint32, st *QueryStats, found bool, err error) {
 	st = &QueryStats{Pieces: len(pl.Pieces)}
 	var lists [][]uint32
 	for _, pp := range pl.Pieces {
@@ -442,6 +475,9 @@ func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGett
 		var tids []uint32
 		it := postings.NewFilterIterator(val[n:])
 		for it.Next() {
+			if dels.Has(it.TID()) {
+				continue
+			}
 			tids = append(tids, it.TID())
 		}
 		if err := it.Err(); err != nil {
@@ -462,8 +498,8 @@ func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGett
 // Cancellation is checked per piece and per validated candidate tree —
 // validation dominates this coding's cost, so an expired ctx stops the
 // scan within one tree's worth of work.
-func (ix *Index) evalFilter(ctx context.Context, pl *Plan, get postingGetter, countOnly bool) ([]Match, int, *QueryStats, error) {
-	cands, st, found, err := ix.filterCandidates(ctx, pl, get)
+func (ix *Index) evalFilter(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
+	cands, st, found, err := ix.filterCandidates(ctx, pl, get, ev.dels)
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -485,7 +521,7 @@ func (ix *Index) evalFilter(ctx context.Context, pl *Plan, get postingGetter, co
 		st.Validated++
 		roots := m.Roots(t)
 		count += len(roots)
-		if countOnly {
+		if ev.countOnly {
 			continue
 		}
 		for _, root := range roots {
@@ -544,6 +580,13 @@ func intersect2(a, b []uint32) []uint32 {
 // LookupKey returns the posting count for an index key, or 0 if absent;
 // range statistics and the grammar-mining example use it.
 func (ix *Index) LookupKey(k subtree.Key) (int, error) {
+	return ix.lookupKeyLive(k, nil)
+}
+
+// lookupKeyLive is LookupKey filtered by a tombstone set: with dels
+// non-nil the posting payload is decoded and only records of surviving
+// trees counted — the count a rebuild of the survivors would store.
+func (ix *Index) lookupKeyLive(k subtree.Key, dels *TombSet) (int, error) {
 	val, found, err := ix.tree.Get([]byte(k))
 	if err != nil || !found {
 		return 0, err
@@ -552,7 +595,51 @@ func (ix *Index) LookupKey(k subtree.Key) (int, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("core: corrupt posting count for %q", k)
 	}
-	return int(count), nil
+	if dels == nil {
+		return int(count), nil
+	}
+	return ix.liveCount(val[n:], dels)
+}
+
+// liveCount decodes one key's posting payload and counts the records
+// whose tree survives dels.
+func (ix *Index) liveCount(payload []byte, dels *TombSet) (int, error) {
+	live := 0
+	switch ix.meta.Coding {
+	case postings.FilterBased:
+		it := postings.NewFilterIterator(payload)
+		for it.Next() {
+			if !dels.Has(it.TID()) {
+				live++
+			}
+		}
+		if err := it.Err(); err != nil {
+			return 0, err
+		}
+	case postings.RootSplit:
+		it := postings.NewRootIterator(payload)
+		for it.Next() {
+			if !dels.Has(it.Entry().TID) {
+				live++
+			}
+		}
+		if err := it.Err(); err != nil {
+			return 0, err
+		}
+	case postings.SubtreeInterval:
+		it := postings.NewIntervalIterator(payload)
+		for it.Next() {
+			if !dels.Has(it.TID()) {
+				live++
+			}
+		}
+		if err := it.Err(); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("core: live count with coding %v", ix.meta.Coding)
+	}
+	return live, nil
 }
 
 // Keys iterates all index keys from start (nil = beginning), invoking
@@ -582,9 +669,14 @@ func (ix *Index) Tree(tid int) (*lingtree.Tree, error) { return ix.store.Tree(ti
 func (ix *Index) NumShards() int { return 1 }
 
 // KeyIter is a pull-style cursor over (key, posting count) pairs in
-// ascending key order; the sharded merge drives one per shard.
+// ascending key order; the sharded merge drives one per shard. With a
+// tombstone set attached (the live-index merge), counts are live
+// posting counts and keys whose postings are all tombstoned are
+// skipped — the iteration a rebuild of the survivors would produce.
 type KeyIter struct {
+	ix    *Index
 	it    *btree.Iterator
+	dels  *TombSet
 	key   subtree.Key
 	count int
 	err   error
@@ -593,25 +685,42 @@ type KeyIter struct {
 // KeyIter returns a cursor positioned before the first key >= start
 // ("" = first key overall). Call Next to advance.
 func (ix *Index) KeyIter(start subtree.Key) *KeyIter {
-	return &KeyIter{it: ix.tree.Iterator([]byte(start))}
+	return ix.keyIterLive(start, nil)
+}
+
+// keyIterLive is KeyIter filtered by a tombstone set (nil = none).
+func (ix *Index) keyIterLive(start subtree.Key, dels *TombSet) *KeyIter {
+	return &KeyIter{ix: ix, it: ix.tree.Iterator([]byte(start)), dels: dels}
 }
 
 // Next advances to the next key, returning false at the end or on error.
 func (k *KeyIter) Next() bool {
-	if k.err != nil || !k.it.Next() {
-		if k.err == nil {
-			k.err = k.it.Err()
+	for {
+		if k.err != nil || !k.it.Next() {
+			if k.err == nil {
+				k.err = k.it.Err()
+			}
+			return false
 		}
-		return false
+		count, n := binary.Uvarint(k.it.Value())
+		if n <= 0 {
+			k.err = fmt.Errorf("core: corrupt posting count for %q", k.it.Key())
+			return false
+		}
+		live := int(count)
+		if k.dels != nil {
+			live, k.err = k.ix.liveCount(k.it.Value()[n:], k.dels)
+			if k.err != nil {
+				return false
+			}
+			if live == 0 {
+				continue // every posting tombstoned: the key no longer exists
+			}
+		}
+		k.key = subtree.Key(k.it.Key())
+		k.count = live
+		return true
 	}
-	count, n := binary.Uvarint(k.it.Value())
-	if n <= 0 {
-		k.err = fmt.Errorf("core: corrupt posting count for %q", k.it.Key())
-		return false
-	}
-	k.key = subtree.Key(k.it.Key())
-	k.count = int(count)
-	return true
 }
 
 // Key returns the current key; valid after a true Next.

@@ -247,7 +247,7 @@ func (ix *Index) SearchBatch(ctx context.Context, srcs []string, opts SearchOpts
 		return nil, err
 	}
 	var fetched uint64
-	mss, counts, rows, err := ix.evalPlans(ctx, plans, countingGetter(ix.getPosting, &fetched), opts.CountOnly)
+	mss, counts, rows, err := ix.evalPlans(ctx, plans, countingGetter(ix.getPosting, &fetched), opts.CountOnly, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +349,7 @@ func (ls leafSet) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 		go func(i int, sh *Index) {
 			var o shardOut
 			var st *QueryStats
-			o.ms, _, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{target: target})
+			o.ms, _, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{target: target, dels: ls.del(i)})
 			if st != nil {
 				o.rows = st.JoinRows
 			}
@@ -431,7 +431,7 @@ func (ls leafSet) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, h
 			defer wg.Done()
 			o := &outs[i]
 			var st *QueryStats
-			o.ms, o.n, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{countOnly: opts.CountOnly})
+			o.ms, o.n, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{countOnly: opts.CountOnly, dels: ls.del(i)})
 			if st != nil {
 				o.rows = st.JoinRows
 			}
@@ -491,7 +491,7 @@ func (ls leafSet) searchBatchPlans(ctx context.Context, plans []*Plan, hits []bo
 		go func(i int, sh *Index) {
 			defer wg.Done()
 			o := &outs[i]
-			o.ms, o.counts, o.rows, o.err = sh.evalPlans(ctx, plans, countingGetter(sh.getPosting, &o.fetched), opts.CountOnly)
+			o.ms, o.counts, o.rows, o.err = sh.evalPlans(ctx, plans, countingGetter(sh.getPosting, &o.fetched), opts.CountOnly, ls.del(i))
 		}(i, sh)
 	}
 	wg.Wait()
@@ -538,7 +538,7 @@ func (s *Sharded) SearchStream(ctx context.Context, src string, opts SearchOpts)
 	if err != nil {
 		return nil, err
 	}
-	return newStreamResult(ctx, s.set.leaves, s.set.offsets, pl, opts, hit)
+	return newStreamResult(ctx, s.set, pl, opts, hit)
 }
 
 // SearchStream on a single-directory index: as Sharded.SearchStream,
@@ -548,19 +548,21 @@ func (ix *Index) SearchStream(ctx context.Context, src string, opts SearchOpts) 
 	if err != nil {
 		return nil, err
 	}
-	return newStreamResult(ctx, []*Index{ix}, []uint32{0}, pl, opts, hit)
+	return newStreamResult(ctx, leafSet{
+		leaves:  []*Index{ix},
+		offsets: []uint32{0, uint32(ix.meta.NumTrees)},
+	}, pl, opts, hit)
 }
 
 // resultStream is the engine behind a pending Result: a cursor over
 // the per-shard match streams that enforces offset/limit and gathers
 // stats as it goes. It runs entirely on the consumer's goroutine.
 type resultStream struct {
-	ctx     context.Context
-	shards  []*Index
-	offsets []uint32
-	pl      *Plan
-	target  int // offset+limit; 0 = unbounded
-	offset  int
+	ctx    context.Context
+	ls     leafSet
+	pl     *Plan
+	target int // offset+limit; 0 = unbounded
+	offset int
 
 	si        int          // current shard while cur != nil, else next to open
 	cur       *matchStream // nil between shards
@@ -581,19 +583,19 @@ type resultStream struct {
 	release func()
 }
 
-// newStreamResult builds a pending Result over the given shard set.
-func newStreamResult(ctx context.Context, shards []*Index, offsets []uint32, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
+// newStreamResult builds a pending Result over the given leaf set
+// (whose tombstone sets, if any, filter the per-leaf streams).
+func newStreamResult(ctx context.Context, ls leafSet, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
 	if opts.CountOnly {
 		return nil, fmt.Errorf("core: count-only search has no streaming form; use Search")
 	}
 	rs := &resultStream{
-		ctx:     ctx,
-		shards:  shards,
-		offsets: offsets,
-		pl:      pl,
-		target:  opts.target(),
-		offset:  max(opts.Offset, 0),
-		hit:     hit,
+		ctx:    ctx,
+		ls:     ls,
+		pl:     pl,
+		target: opts.target(),
+		offset: max(opts.Offset, 0),
+		hit:    hit,
 	}
 	return &Result{stream: rs}, nil
 }
@@ -608,12 +610,12 @@ func (rs *resultStream) pull() (Match, bool) {
 			return Match{}, false
 		}
 		if rs.cur == nil {
-			if rs.si >= len(rs.shards) {
+			if rs.si >= len(rs.ls.leaves) {
 				rs.finished = true // every shard exhausted: counts are exact
 				return Match{}, false
 			}
-			sh := rs.shards[rs.si]
-			ms, st, err := sh.streamPlan(rs.ctx, rs.pl, countingGetter(sh.getPosting, &rs.fetched))
+			sh := rs.ls.leaves[rs.si]
+			ms, st, err := sh.streamPlan(rs.ctx, rs.pl, countingGetter(sh.getPosting, &rs.fetched), rs.ls.del(rs.si))
 			if err != nil {
 				rs.err = fmt.Errorf("core: shard %d: %w", rs.si, err)
 				return Match{}, false
@@ -631,7 +633,7 @@ func (rs *resultStream) pull() (Match, bool) {
 			// The window is complete; whether more shards hold matches
 			// is unknown and not worth their posting fetches — exactly
 			// the materialized lazy path's truncation semantics.
-			if rs.target > 0 && rs.produced >= rs.target && rs.si < len(rs.shards) {
+			if rs.target > 0 && rs.produced >= rs.target && rs.si < len(rs.ls.leaves) {
 				rs.truncated = true
 				rs.finished = true
 				return Match{}, false
@@ -649,7 +651,7 @@ func (rs *resultStream) pull() (Match, bool) {
 			rs.finished = true
 			return Match{}, false
 		}
-		return Match{TID: m.TID + rs.offsets[rs.si], Root: m.Root}, true
+		return Match{TID: m.TID + rs.ls.offsets[rs.si], Root: m.Root}, true
 	}
 }
 
@@ -683,7 +685,7 @@ func (rs *resultStream) finish(r *Result) {
 		PostingFetches:  rs.fetched,
 		PlanCacheHit:    rs.hit,
 		ShardsConsulted: rs.consulted,
-		Truncated:       rs.truncated || !rs.finished || rs.consulted < len(rs.shards),
+		Truncated:       rs.truncated || !rs.finished || rs.consulted < len(rs.ls.leaves),
 		JoinRows:        rs.rows,
 	}
 	if rs.release != nil {

@@ -61,6 +61,10 @@ type segment struct {
 	leaves []*Index
 	refs   atomic.Int64
 	close  func(*segment)
+	// removeDir marks a segment replaced by compaction: once the last
+	// epoch referencing it drains and its files close, the directory is
+	// deleted from disk. Never set on a still-listed segment.
+	removeDir atomic.Bool
 }
 
 // unref drops one epoch's reference, closing the segment's files when
@@ -114,6 +118,7 @@ type liveInfo struct {
 	leaves   int
 	segments int
 	gen      int
+	deleted  int // tombstoned trees (stored but invisible to queries)
 }
 
 // Live is an opened index that supports live updates: Append builds
@@ -131,8 +136,15 @@ type Live struct {
 	info     atomic.Pointer[liveInfo]
 	cur      atomic.Pointer[epoch] // nil once closed
 
-	mu     sync.Mutex // serializes Append/Reload/Close and manifest writes
+	mu     sync.Mutex // serializes Append/Update/Compact/Reload/Close and manifest writes
 	closed bool
+
+	// tombs is the canonical tombstone map (segment name -> sorted
+	// segment-local tids) backing the manifest's tombstone section;
+	// guarded by mu. The per-epoch TombSets that queries consult are
+	// derived from it at publish time, so a retired epoch's view never
+	// changes under a running query.
+	tombs map[string][]int
 
 	segWG sync.WaitGroup // one count per open segment
 
@@ -189,7 +201,13 @@ func OpenLive(dir string, opts OpenOptions) (*Live, error) {
 		}
 		segs = []*segment{sg}
 	}
-	l.publishLocked(segs, gen)
+	tombs, err := normalizeTombstones(segs, meta.Tombstones)
+	if err != nil {
+		closeSegments(segs)
+		return nil, err
+	}
+	l.tombs = tombs
+	l.publishLocked(segs, gen, tombs)
 	return l, nil
 }
 
@@ -266,6 +284,14 @@ func (l *Live) closeSegment(sg *segment) {
 			first = err
 		}
 	}
+	// A segment replaced by compaction is reclaimed once its files are
+	// closed; it left the manifest when the compacted segment was
+	// published, so no reader can reach it anymore.
+	if sg.removeDir.Load() && sg.name != "" {
+		if err := os.RemoveAll(filepath.Join(l.dir, sg.name)); err != nil && first == nil {
+			first = err
+		}
+	}
 	if first != nil {
 		l.closeMu.Lock()
 		if l.closeErr == nil {
@@ -312,23 +338,42 @@ func aggregateMeta(segs []*segment) Meta {
 }
 
 // publishLocked installs segs as the current epoch at generation gen
-// and retires the previous epoch. Callers hold l.mu (or are the only
-// goroutine, during OpenLive).
-func (l *Live) publishLocked(segs []*segment, gen int) {
+// and retires the previous epoch. tombs is the normalized tombstone map
+// for segs; its segment-local tids are split into per-leaf TombSets
+// carried by the epoch's leafSet, so queries consult an immutable
+// snapshot that a later Delete can never mutate. Callers hold l.mu (or
+// are the only goroutine, during OpenLive).
+func (l *Live) publishLocked(segs []*segment, gen int, tombs map[string][]int) {
 	set := leafSet{offsets: make([]uint32, 1, len(segs)+1)}
+	var dels []*TombSet
+	deleted := 0
 	for _, sg := range segs {
+		segTombs := tombs[sg.name]
+		deleted += len(segTombs)
+		ti, base := 0, 0
 		for _, leaf := range sg.leaves {
+			n := leaf.Meta().NumTrees
+			var local []uint32
+			for ti < len(segTombs) && segTombs[ti] < base+n {
+				local = append(local, uint32(segTombs[ti]-base))
+				ti++
+			}
+			dels = append(dels, newTombSet(local))
+			base += n
 			set.leaves = append(set.leaves, leaf)
 			set.offsets = append(set.offsets,
-				set.offsets[len(set.offsets)-1]+uint32(leaf.Meta().NumTrees))
+				set.offsets[len(set.offsets)-1]+uint32(n))
 		}
 		sg.refs.Add(1)
+	}
+	if deleted > 0 {
+		set.dels = dels
 	}
 	e := &epoch{segs: segs, set: set, gen: gen}
 	e.refs.Store(1)
 	meta := aggregateMeta(segs)
 	meta.Generation = gen
-	l.info.Store(&liveInfo{meta: meta, leaves: len(set.leaves), segments: len(segs), gen: gen})
+	l.info.Store(&liveInfo{meta: meta, leaves: len(set.leaves), segments: len(segs), gen: gen, deleted: deleted})
 	if old := l.cur.Swap(e); old != nil {
 		old.release()
 	}
@@ -393,13 +438,23 @@ func (l *Live) Close() error {
 	return l.closeErr
 }
 
-// Counters reports cumulative serving counters: the plan cache's
+// Counters reports cumulative serving counters — the plan cache's
 // activity plus posting fetches summed over every open segment
 // (including ones already delisted but still pinned by running
-// queries) and all retired ones — the total only ever grows.
+// queries) and all retired ones, a total that only ever grows — and
+// the point-in-time lifecycle gauges (live/tombstoned trees, segment
+// count and bytes) of the current epoch.
 func (l *Live) Counters() Counters {
 	hits, misses := l.plans.counters()
-	c := Counters{PlanCacheHits: hits, PlanCacheMisses: misses}
+	info := l.info.Load()
+	c := Counters{
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+		LiveTrees:       info.meta.NumTrees - info.deleted,
+		TombstonedTrees: info.deleted,
+		Segments:        info.segments,
+		SegmentBytes:    info.meta.IndexBytes + info.meta.DataBytes,
+	}
 	l.statsMu.Lock()
 	c.PostingFetches = l.retiredFetches
 	for sg := range l.openSegs {
@@ -460,7 +515,7 @@ func (l *Live) SearchStream(ctx context.Context, src string, opts SearchOpts) (*
 	if err != nil {
 		return nil, err
 	}
-	res, err := newStreamResult(ctx, e.set.leaves, e.set.offsets, pl, opts, hit)
+	res, err := newStreamResult(ctx, e.set, pl, opts, hit)
 	if err != nil {
 		e.release()
 		return nil, err
@@ -597,74 +652,14 @@ func localTrees(trees []*lingtree.Tree) []*lingtree.Tree {
 // place at the root. Appends serialize; concurrent appends from other
 // processes are not coordinated and must be avoided (the manifest
 // write is last-wins). The index's MSS and coding carry over to the
-// new segment. Returns the new segment's build statistics.
+// new segment. Returns the new segment's build statistics. Append is
+// Update with no deletes; Delete is Update with no trees.
 func (l *Live) Append(ctx context.Context, trees []*lingtree.Tree, shards, workers int) (*Meta, error) {
 	if len(trees) == 0 {
 		return nil, fmt.Errorf("core: append of zero trees")
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return nil, ErrClosed
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	cur := l.cur.Load()
-	gen := cur.gen
-	if gen == 0 {
-		if err := l.promoteLocked(cur.segs[0]); err != nil {
-			return nil, err
-		}
-		// Publish the promoted state immediately: if a later step of this
-		// append fails, the in-memory generation (now 1) agrees with the
-		// on-disk manifest, so a retried Append must not run the
-		// promotion again — re-promoting would delete the already-moved
-		// payload in seg-000001.
-		l.publishLocked(cur.segs, 1)
-		cur = l.cur.Load()
-		gen = 1
-	}
-	gen++
-	name := segDirName(gen)
-	segPath := filepath.Join(l.dir, name)
-	// A crashed or failed previous attempt may have left a partial
-	// directory at this generation; it was never in the manifest, so
-	// dropping it is safe.
-	if err := os.RemoveAll(segPath); err != nil {
-		return nil, err
-	}
-	meta := l.info.Load().meta
-	built, err := BuildSharded(segPath, localTrees(trees), Options{
-		MSS:     meta.MSS,
-		Coding:  meta.Coding,
-		Workers: workers,
-	}, max(shards, 1))
-	if err != nil {
-		os.RemoveAll(segPath)
-		return nil, err
-	}
-	// The build can be long; honor a cancellation that arrived during it
-	// rather than publishing a segment the caller was told failed.
-	// (Cancellation after this point can still publish — exact-once
-	// appends need caller-side dedup, not provided here.)
-	if err := ctx.Err(); err != nil {
-		os.RemoveAll(segPath)
-		return nil, err
-	}
-	sg, err := l.openSegment(name)
-	if err != nil {
-		os.RemoveAll(segPath)
-		return nil, err
-	}
-	newSegs := append(append([]*segment(nil), cur.segs...), sg)
-	if err := l.writeManifestLocked(gen, newSegs); err != nil {
-		sg.close(sg)
-		os.RemoveAll(segPath)
-		return nil, err
-	}
-	l.publishLocked(newSegs, gen)
-	return built, nil
+	built, _, err := l.Update(ctx, nil, trees, shards, workers)
+	return built, err
 }
 
 // promoteLocked converts a legacy root into segment seg-000001: the
@@ -718,7 +713,7 @@ func (l *Live) promoteLocked(sg *segment) error {
 		return rollback(err)
 	}
 	sg.name = name
-	if err := l.writeManifestLocked(1, []*segment{sg}); err != nil {
+	if err := l.writeManifestLocked(1, []*segment{sg}, nil); err != nil {
 		sg.name = ""
 		return rollback(err)
 	}
@@ -726,8 +721,10 @@ func (l *Live) promoteLocked(sg *segment) error {
 }
 
 // writeManifestLocked publishes the version-3 manifest for segs at
-// generation gen, atomically (temp file + rename). Callers hold l.mu.
-func (l *Live) writeManifestLocked(gen int, segs []*segment) error {
+// generation gen with the given tombstone section (nil omits it, which
+// older readers parse unchanged), atomically (temp file + rename).
+// Callers hold l.mu.
+func (l *Live) writeManifestLocked(gen int, segs []*segment, tombs map[string][]int) error {
 	man := aggregateMeta(segs)
 	man.FormatVersion = FormatSegmented
 	man.Shards = 0
@@ -735,6 +732,11 @@ func (l *Live) writeManifestLocked(gen int, segs []*segment) error {
 	man.Segments = make([]string, len(segs))
 	for i, sg := range segs {
 		man.Segments[i] = sg.name
+	}
+	if len(tombs) > 0 {
+		man.Tombstones = tombs
+	} else {
+		man.Tombstones = nil
 	}
 	mb, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
@@ -747,15 +749,17 @@ func (l *Live) writeManifestLocked(gen int, segs []*segment) error {
 	return os.Rename(tmp, filepath.Join(l.dir, metaFileName))
 }
 
-// Reload re-reads the manifest from disk and picks up segments
-// published by another process (e.g. sibuild -append while sisrv
-// serves): newly listed segments are opened, delisted ones are retired
-// — their files close once the last in-flight query pinning them
-// finishes — and the serving epoch swaps with zero downtime. Returns
-// whether anything changed (false when the on-disk generation already
-// matches). The on-disk manifest must be segmented and agree on MSS
-// and coding; a full offline rebuild requires reopening the index
-// instead.
+// Reload re-reads the manifest from disk and picks up segments and
+// tombstones published by another process (e.g. sibuild -append or
+// sibuild -delete while sisrv serves): newly listed segments are
+// opened, delisted ones are retired — their files close once the last
+// in-flight query pinning them finishes — the tombstone section
+// replaces the in-memory one, and the serving epoch swaps with zero
+// downtime. Returns whether anything changed (false when the on-disk
+// generation already matches; every delete and compaction bumps the
+// generation, so tombstone changes are never missed). The on-disk
+// manifest must be segmented and agree on MSS and coding; a full
+// offline rebuild requires reopening the index instead.
 func (l *Live) Reload() (bool, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -799,6 +803,12 @@ func (l *Live) Reload() (bool, error) {
 		newSegs = append(newSegs, sg)
 		fresh = append(fresh, sg)
 	}
-	l.publishLocked(newSegs, disk.Generation)
+	tombs, err := normalizeTombstones(newSegs, disk.Tombstones)
+	if err != nil {
+		closeSegments(fresh)
+		return false, err
+	}
+	l.tombs = tombs
+	l.publishLocked(newSegs, disk.Generation, tombs)
 	return true, nil
 }

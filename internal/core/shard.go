@@ -212,6 +212,18 @@ func removeStaleSegments(dir string) error {
 type leafSet struct {
 	leaves  []*Index
 	offsets []uint32 // offsets[i] = first global tid of leaf i; len = len(leaves)+1
+	// dels holds each leaf's tombstone set, parallel to leaves; a nil
+	// slice (Sharded, single-directory, live epochs without deletes)
+	// means no tombstones anywhere — the hot path stays one nil check.
+	dels []*TombSet
+}
+
+// del returns leaf i's tombstone set (nil = none).
+func (ls leafSet) del(i int) *TombSet {
+	if ls.dels == nil {
+		return nil
+	}
+	return ls.dels[i]
 }
 
 // numTrees returns the total tree count across the leaves.
@@ -231,7 +243,8 @@ func (ls leafSet) sumFetches() uint64 {
 	return n
 }
 
-// lookupKey sums the key's posting count over all leaves.
+// lookupKey sums the key's live posting count over all leaves
+// (tombstoned postings excluded).
 func (ls leafSet) lookupKey(k subtree.Key) (int, error) {
 	counts := make([]int, len(ls.leaves))
 	errs := make([]error, len(ls.leaves))
@@ -240,7 +253,7 @@ func (ls leafSet) lookupKey(k subtree.Key) (int, error) {
 		wg.Add(1)
 		go func(i int, sh *Index) {
 			defer wg.Done()
-			counts[i], errs[i] = sh.LookupKey(k)
+			counts[i], errs[i] = sh.lookupKeyLive(k, ls.del(i))
 		}(i, sh)
 	}
 	wg.Wait()
@@ -255,13 +268,14 @@ func (ls leafSet) lookupKey(k subtree.Key) (int, error) {
 }
 
 // keys iterates the union of all leaves' keys in ascending order, with
-// per-key posting counts summed (so the counts agree with lookupKey),
-// until fn returns false.
+// per-key live posting counts summed (so the counts agree with
+// lookupKey; keys whose postings are all tombstoned vanish), until fn
+// returns false.
 func (ls leafSet) keys(start subtree.Key, fn func(k subtree.Key, count int) bool) error {
 	iters := make([]*KeyIter, 0, len(ls.leaves))
 	live := make([]bool, 0, len(ls.leaves))
-	for _, sh := range ls.leaves {
-		it := sh.KeyIter(start)
+	for i, sh := range ls.leaves {
+		it := sh.keyIterLive(start, ls.del(i))
 		ok := it.Next()
 		if err := it.Err(); err != nil {
 			return err
@@ -299,6 +313,8 @@ func (ls leafSet) keys(start subtree.Key, fn func(k subtree.Key, count int) bool
 }
 
 // tree fetches the tree with global tid, routing to the owning leaf.
+// A tombstoned tid is reported as deleted: its bytes still exist but
+// the tree no longer does.
 func (ls leafSet) tree(tid int) (*lingtree.Tree, error) {
 	if tid < 0 || tid >= ls.numTrees() {
 		return nil, fmt.Errorf("core: tid %d out of range [0, %d)", tid, ls.numTrees())
@@ -307,6 +323,9 @@ func (ls leafSet) tree(tid int) (*lingtree.Tree, error) {
 	sh := sort.Search(len(ls.leaves), func(i int) bool {
 		return ls.offsets[i+1] > uint32(tid)
 	})
+	if ls.del(sh).Has(uint32(tid) - ls.offsets[sh]) {
+		return nil, fmt.Errorf("core: tree %d is deleted", tid)
+	}
 	t, err := ls.leaves[sh].Tree(tid - int(ls.offsets[sh]))
 	if err != nil {
 		return nil, err
@@ -477,7 +496,7 @@ func (ls leafSet) evalPlanFanout(pl *Plan) ([]Match, *QueryStats, error) {
 		wg.Add(1)
 		go func(i int, sh *Index) {
 			defer wg.Done()
-			ms, _, st, err := sh.evalPlan(context.Background(), pl, sh.getPosting, evalOpts{})
+			ms, _, st, err := sh.evalPlan(context.Background(), pl, sh.getPosting, evalOpts{dels: ls.del(i)})
 			results[i] = result{ms: ms, st: st, err: err}
 		}(i, sh)
 	}
@@ -524,14 +543,18 @@ func (s *Sharded) QueryTextBatch(srcs []string) ([][]Match, error) {
 	return out, nil
 }
 
-// Counters sums the shards' posting-fetch counters and reports the
-// root planner's cache activity.
+// Counters sums the shards' posting-fetch counters, reports the root
+// planner's cache activity, and fills the lifecycle gauges (a sharded
+// handle is one segment with no tombstones).
 func (s *Sharded) Counters() Counters {
 	hits, misses := s.plans.counters()
 	return Counters{
 		PostingFetches:  s.set.sumFetches(),
 		PlanCacheHits:   hits,
 		PlanCacheMisses: misses,
+		LiveTrees:       s.meta.NumTrees,
+		Segments:        1,
+		SegmentBytes:    s.meta.IndexBytes + s.meta.DataBytes,
 	}
 }
 

@@ -37,21 +37,22 @@ type matchStream struct {
 // streamPlan builds the match stream of one compiled plan, returning
 // it with a QueryStats carrying the structural counters (Pieces,
 // Joins, Candidates); the work counters land in finish.
-func (ix *Index) streamPlan(ctx context.Context, pl *Plan, get postingGetter) (*matchStream, *QueryStats, error) {
+func (ix *Index) streamPlan(ctx context.Context, pl *Plan, get postingGetter, dels *TombSet) (*matchStream, *QueryStats, error) {
 	switch ix.meta.Coding {
 	case postings.RootSplit, postings.SubtreeInterval:
-		return ix.streamJoin(ctx, pl, get)
+		return ix.streamJoin(ctx, pl, get, dels)
 	case postings.FilterBased:
-		return ix.streamFilter(ctx, pl, get)
+		return ix.streamFilter(ctx, pl, get, dels)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
 	}
 }
 
 // pieceCursor returns the lazily-decoding entry cursor of one plan
-// piece's posting blob; found=false means the key is absent (the query
-// cannot match anywhere).
-func (ix *Index) pieceCursor(pp PlanPiece, get postingGetter) (join.StreamRelation, bool, error) {
+// piece's posting blob, filtered by the leaf's tombstone set (dels may
+// be nil); found=false means the key is absent (the query cannot match
+// anywhere).
+func (ix *Index) pieceCursor(pp PlanPiece, get postingGetter, dels *TombSet) (join.StreamRelation, bool, error) {
 	payload, _, found, err := postingPayload(pp.Key, get)
 	if err != nil || !found {
 		return join.StreamRelation{}, false, err
@@ -60,10 +61,10 @@ func (ix *Index) pieceCursor(pp PlanPiece, get postingGetter) (join.StreamRelati
 	switch ix.meta.Coding {
 	case postings.RootSplit:
 		rel.Slots = []int{pp.Root}
-		rel.Cursor = &rootCursor{it: postings.NewRootIterator(payload)}
+		rel.Cursor = &rootCursor{it: postings.NewRootIterator(payload), dels: dels}
 	case postings.SubtreeInterval:
 		rel.Slots = pp.Slots
-		rel.Cursor = &intervalCursor{it: postings.NewIntervalIterator(payload), perms: pp.Perms, pi: len(pp.Perms)}
+		rel.Cursor = &intervalCursor{it: postings.NewIntervalIterator(payload), perms: pp.Perms, pi: len(pp.Perms), dels: dels}
 	default:
 		return join.StreamRelation{}, false, fmt.Errorf("core: stream with coding %v", ix.meta.Coding)
 	}
@@ -71,14 +72,14 @@ func (ix *Index) pieceCursor(pp PlanPiece, get postingGetter) (join.StreamRelati
 }
 
 // streamJoin builds the streaming evaluation for the join codings.
-func (ix *Index) streamJoin(ctx context.Context, pl *Plan, get postingGetter) (*matchStream, *QueryStats, error) {
+func (ix *Index) streamJoin(ctx context.Context, pl *Plan, get postingGetter, dels *TombSet) (*matchStream, *QueryStats, error) {
 	st := &QueryStats{Pieces: len(pl.Pieces), Joins: len(pl.Pieces) - 1}
 	rels := make([]join.StreamRelation, 0, len(pl.Pieces))
 	for _, pp := range pl.Pieces {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		rel, found, err := ix.pieceCursor(pp, get)
+		rel, found, err := ix.pieceCursor(pp, get, dels)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -105,8 +106,8 @@ func (ix *Index) streamJoin(ctx context.Context, pl *Plan, get postingGetter) (*
 // streamFilter builds the streaming evaluation for the filter coding:
 // tid lists intersect eagerly (shared with evalFilter), candidate
 // trees validate lazily.
-func (ix *Index) streamFilter(ctx context.Context, pl *Plan, get postingGetter) (*matchStream, *QueryStats, error) {
-	cands, st, found, err := ix.filterCandidates(ctx, pl, get)
+func (ix *Index) streamFilter(ctx context.Context, pl *Plan, get postingGetter, dels *TombSet) (*matchStream, *QueryStats, error) {
+	cands, st, found, err := ix.filterCandidates(ctx, pl, get, dels)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -170,18 +171,23 @@ func emptyStream() *matchStream {
 
 // rootCursor adapts a root-split posting iterator to the join's entry
 // cursor: each posting becomes a one-column entry binding the piece
-// root.
+// root. Postings of tombstoned trees are skipped before the join sees
+// them (dels may be nil).
 type rootCursor struct {
-	it *postings.RootIterator
+	it   *postings.RootIterator
+	dels *TombSet
 }
 
-// Next decodes the next root-split posting.
+// Next decodes the next surviving root-split posting.
 func (c *rootCursor) Next() (postings.IntervalEntry, bool) {
-	if !c.it.Next() {
-		return postings.IntervalEntry{}, false
+	for c.it.Next() {
+		e := c.it.Entry()
+		if c.dels.Has(e.TID) {
+			continue
+		}
+		return postings.IntervalEntry{TID: e.TID, Nodes: []postings.NodeRef{e.NodeRef}}, true
 	}
-	e := c.it.Entry()
-	return postings.IntervalEntry{TID: e.TID, Nodes: []postings.NodeRef{e.NodeRef}}, true
+	return postings.IntervalEntry{}, false
 }
 
 // Err reports the iterator's decode error, if any.
@@ -191,24 +197,37 @@ func (c *rootCursor) Err() error { return c.it.Err() }
 // each instance by the pattern's slot automorphisms (see
 // Index.fetchPiece) lazily: the perm variants of one instance are
 // emitted consecutively, which preserves the tid grouping the join
-// stream needs.
+// stream needs. Postings of tombstoned trees are skipped before the
+// permutation expansion, so a deleted tree costs no variant entries
+// (dels may be nil).
 type intervalCursor struct {
 	it    *postings.IntervalIterator
 	perms [][]int
+	dels  *TombSet
 	cur   postings.IntervalEntry
 	pi    int // next perm of cur to emit; >= len(perms) pulls a fresh instance
+}
+
+// advance pulls the next surviving instance off the iterator.
+func (c *intervalCursor) advance() bool {
+	for c.it.Next() {
+		if !c.dels.Has(c.it.TID()) {
+			return true
+		}
+	}
+	return false
 }
 
 // Next decodes (or permutes) the next interval posting.
 func (c *intervalCursor) Next() (postings.IntervalEntry, bool) {
 	if len(c.perms) <= 1 {
-		if !c.it.Next() {
+		if !c.advance() {
 			return postings.IntervalEntry{}, false
 		}
 		return c.it.Entry(), true
 	}
 	if c.pi >= len(c.perms) {
-		if !c.it.Next() {
+		if !c.advance() {
 			return postings.IntervalEntry{}, false
 		}
 		c.cur = c.it.Entry()

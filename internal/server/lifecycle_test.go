@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// TestDeleteCompactEndToEnd drives the whole lifecycle over the wire:
+// delete a tree and it stops matching on the next request, the stats
+// gauges move, /compact merges back to one segment and renumbers, and
+// the post-compaction results are the renumbered survivors.
+func TestDeleteCompactEndToEnd(t *testing.T) {
+	ts, ix := newTestServer(t, 2, Config{})
+	const q = "S(//NN)"
+	var before SearchResponse
+	getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q), &before)
+	if before.Count == 0 {
+		t.Fatalf("vacuous fixture query %q", q)
+	}
+	victim := before.Matches[0].TID
+
+	var dr DeleteResponse
+	postBody(t, ts.URL+"/delete", "application/json",
+		`{"tids":[`+strconv.Itoa(int(victim))+`]}`, http.StatusOK, &dr)
+	if dr.Deleted != 1 || dr.TombstonedTrees != 1 || dr.LiveTrees != 599 {
+		t.Fatalf("delete response = %+v, want 1 deleted, 1 tombstoned, 599 live", dr)
+	}
+	var after SearchResponse
+	getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q), &after)
+	for _, m := range after.Matches {
+		if m.TID == victim {
+			t.Fatalf("deleted tree %d still matches", victim)
+		}
+	}
+	if after.Count != before.Count-1 {
+		t.Fatalf("count after delete = %d, want %d", after.Count, before.Count-1)
+	}
+	var st StatsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Index.LiveTrees != 599 || st.Index.TombstonedTrees != 1 || st.Index.Trees != 600 {
+		t.Fatalf("stats index section after delete = %+v", st.Index)
+	}
+	if st.Serving.LiveTrees != 599 || st.Serving.TombstonedTrees != 1 {
+		t.Fatalf("stats serving gauges after delete: %d live / %d tombstoned",
+			st.Serving.LiveTrees, st.Serving.TombstonedTrees)
+	}
+
+	// Re-deleting is a wire-visible no-op.
+	postBody(t, ts.URL+"/delete", "application/json",
+		`{"tids":[`+strconv.Itoa(int(victim))+`]}`, http.StatusOK, &dr)
+	if dr.Deleted != 0 || dr.TombstonedTrees != 1 {
+		t.Fatalf("repeated delete response = %+v, want 0 deleted", dr)
+	}
+
+	var cr CompactResponse
+	postBody(t, ts.URL+"/compact", "application/json", "", http.StatusOK, &cr)
+	if !cr.Compacted || cr.Segments != 1 || cr.LiveTrees != 599 {
+		t.Fatalf("compact response = %+v, want compacted to 1 segment of 599 trees", cr)
+	}
+	if ix.NumTrees() != 599 {
+		t.Fatalf("index serves %d trees after compaction, want 599", ix.NumTrees())
+	}
+	var compacted SearchResponse
+	getJSON(t, ts.URL+"/search?q="+urlQueryEscape(q), &compacted)
+	if compacted.Count != before.Count-1 {
+		t.Fatalf("count after compaction = %d, want %d", compacted.Count, before.Count-1)
+	}
+	for i, m := range compacted.Matches {
+		want := after.Matches[i].TID
+		if want > victim {
+			want--
+		}
+		if m.TID != want {
+			t.Fatalf("match %d has tid %d after compaction, want renumbered %d", i, m.TID, want)
+		}
+	}
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Index.TombstonedTrees != 0 || st.Index.Segments != 1 || st.Index.Trees != 599 {
+		t.Fatalf("stats index section after compaction = %+v", st.Index)
+	}
+
+	// A second compaction has nothing to do and says so.
+	postBody(t, ts.URL+"/compact", "application/json", "", http.StatusOK, &cr)
+	if cr.Compacted {
+		t.Fatalf("second compact response = %+v, want compacted=false", cr)
+	}
+}
+
+// TestDeleteCompactErrorPaths covers the mutation endpoints' error
+// contract: wrong method, malformed and empty bodies, out-of-range
+// tids (rejected before anything publishes), and the MaxAppendBody<0
+// kill switch shared with /append.
+func TestDeleteCompactErrorPaths(t *testing.T) {
+	ts, ix := newTestServer(t, 1, Config{})
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"GET", "/delete", "", http.StatusMethodNotAllowed},
+		{"GET", "/compact", "", http.StatusMethodNotAllowed},
+		{"POST", "/delete", "", http.StatusBadRequest},               // empty body
+		{"POST", "/delete", `{"tids":[]}`, http.StatusBadRequest},    // no tids
+		{"POST", "/delete", `{"tids":"3"}`, http.StatusBadRequest},   // wrong type
+		{"POST", "/delete", `{"tids":[-1]}`, http.StatusBadRequest},  // negative
+		{"POST", "/delete", `{"tids":[600]}`, http.StatusBadRequest}, // beyond corpus
+		{"POST", "/delete", `{"tids":[3,600]}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s %q: status %d, want %d", c.method, c.path, c.body, resp.StatusCode, c.wantStatus)
+		}
+	}
+	// The mixed-validity delete above must not have half-applied.
+	if st := ix.Stats(); st.TombstonedTrees != 0 {
+		t.Fatalf("failed deletes tombstoned %d trees", st.TombstonedTrees)
+	}
+
+	// MaxAppendBody < 0 disables the whole mutation surface.
+	disabled, _ := newTestServer(t, 1, Config{MaxAppendBody: -1})
+	for _, path := range []string{"/delete", "/compact"} {
+		resp, err := http.Post(disabled.URL+path, "application/json",
+			bytes.NewReader([]byte(`{"tids":[1]}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Errorf("disabled %s: status %d, want 403", path, resp.StatusCode)
+		}
+	}
+}

@@ -12,14 +12,21 @@
 //	                           shared cover keys are fetched once per shard
 //	POST /append               bracketed trees (one per line) indexed into
 //	                           a fresh segment and served immediately
-//	POST /reload               pick up segments appended by another process
+//	POST /delete               {"tids": [...]} tombstoned; the trees stop
+//	                           matching on the very next query
+//	POST /compact              merge surviving trees into one segment and
+//	                           reclaim tombstoned space
+//	POST /reload               pick up segments and tombstones published
+//	                           by another process
 //	GET  /healthz              liveness + corpus summary
 //	GET  /stats                index info and cumulative serving counters
 //
-// /append and /reload are the live-update surface: both publish a new
-// segment set atomically and swap it in without interrupting running
-// queries (each query is pinned to the segment set it started on), so
-// the very next /search sees the new trees with zero downtime.
+// /append, /delete, /compact and /reload are the live-update surface:
+// each publishes a new segment set (or tombstone set) atomically and
+// swaps it in without interrupting running queries (each query is
+// pinned to the segment set it started on), so the very next /search
+// sees the change with zero downtime. docs/SEGMENTS.md walks the whole
+// lifecycle against a running server.
 //
 // Every query evaluates under the request's context, bounded by the
 // server's default timeout (Config.Timeout) unless the request asks
@@ -73,7 +80,8 @@ type Config struct {
 	// DefaultMaxBody.
 	MaxBody int64
 	// MaxAppendBody caps the /append request body in bytes. 0 means
-	// DefaultMaxAppendBody; negative disables /append (403).
+	// DefaultMaxAppendBody; negative disables the whole mutation
+	// surface — /append, /delete and /compact answer 403.
 	MaxAppendBody int64
 	// Timeout is the default evaluation deadline per request; a
 	// request's timeout= parameter may shorten it but never extend it.
@@ -119,6 +127,8 @@ func New(ix *si.Index, cfg Config) *Server {
 	s.mux.HandleFunc("/count", s.handleCount)
 	s.mux.HandleFunc("/batch", s.handleBatch)
 	s.mux.HandleFunc("/append", s.handleAppend)
+	s.mux.HandleFunc("/delete", s.handleDelete)
+	s.mux.HandleFunc("/compact", s.handleCompact)
 	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -261,18 +271,24 @@ type StatsResponse struct {
 	Serving ServingStats `json:"serving"`
 }
 
-// IndexStats summarizes the served index.
+// IndexStats summarizes the served index. Trees counts every stored
+// tree including tombstoned ones (it is the tid space); LiveTrees and
+// TombstonedTrees split it into searchable trees and reclaim debt, so
+// live_trees + tombstoned_trees == trees until a compaction drops the
+// debt to zero.
 type IndexStats struct {
-	Trees      int    `json:"trees"`       // corpus size
-	Shards     int    `json:"shards"`      // serving partitions (leaves across all segments)
-	Segments   int    `json:"segments"`    // live index segments (1 until the first append)
-	Generation int    `json:"generation"`  // manifest publish counter (0 = never appended)
-	MSS        int    `json:"mss"`         // maximum indexed subtree size
-	Coding     string `json:"coding"`      // posting scheme name
-	Keys       int    `json:"keys"`        // unique subtrees indexed
-	Postings   int    `json:"postings"`    // total posting records
-	IndexBytes int64  `json:"index_bytes"` // B+Tree bytes on disk
-	DataBytes  int64  `json:"data_bytes"`  // flattened corpus bytes
+	Trees           int    `json:"trees"`            // stored trees (tid space, tombstoned included)
+	LiveTrees       int    `json:"live_trees"`       // searchable trees (stored minus tombstoned)
+	TombstonedTrees int    `json:"tombstoned_trees"` // logically deleted trees awaiting compaction
+	Shards          int    `json:"shards"`           // serving partitions (leaves across all segments)
+	Segments        int    `json:"segments"`         // live index segments (1 until the first append)
+	Generation      int    `json:"generation"`       // manifest publish counter (0 = never appended)
+	MSS             int    `json:"mss"`              // maximum indexed subtree size
+	Coding          string `json:"coding"`           // posting scheme name
+	Keys            int    `json:"keys"`             // unique subtrees indexed
+	Postings        int    `json:"postings"`         // total posting records
+	IndexBytes      int64  `json:"index_bytes"`      // B+Tree bytes on disk
+	DataBytes       int64  `json:"data_bytes"`       // flattened corpus bytes
 }
 
 // ServingStats holds the server's and the index's cumulative counters.
@@ -617,6 +633,128 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// DeleteRequest is the /delete request body.
+type DeleteRequest struct {
+	// TIDs are the tree identifiers to tombstone. Any out-of-range tid
+	// rejects the whole request; already-deleted tids are accepted and
+	// counted as no-ops.
+	TIDs []int `json:"tids"`
+}
+
+// DeleteResponse is the /delete response body.
+type DeleteResponse struct {
+	// Deleted is the number of tids newly tombstoned by this request
+	// (already-deleted tids are not re-counted).
+	Deleted int `json:"deleted"`
+	// LiveTrees is the searchable tree count after the delete.
+	LiveTrees int `json:"live_trees"`
+	// TombstonedTrees is the total tombstoned tree count after the
+	// delete — the space a /compact would reclaim.
+	TombstonedTrees int `json:"tombstoned_trees"`
+	// Generation is the manifest publish counter after the delete; it
+	// does not advance when every tid was already deleted.
+	Generation int `json:"generation"`
+	// TookNS is the server-side publish time in nanoseconds.
+	TookNS int64 `json:"took_ns"`
+}
+
+// handleDelete serves POST /delete: the listed trees are tombstoned in
+// the manifest and the serving set swaps atomically, so they stop
+// matching on the very next query while searches already running
+// finish on the snapshot they pinned. Segments are immutable, so the
+// trees keep occupying disk until /compact reclaims them. Out-of-range
+// tids fail the whole request with 400 before anything is published.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.cfg.MaxAppendBody < 0 {
+		s.fail(w, http.StatusForbidden, "index mutation is disabled on this server")
+		return
+	}
+	var req DeleteRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad delete body: "+err.Error())
+		return
+	}
+	if len(req.TIDs) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty delete: need tids")
+		return
+	}
+	n := s.ix.NumTrees()
+	for _, tid := range req.TIDs {
+		if tid < 0 || tid >= n {
+			s.fail(w, http.StatusBadRequest,
+				fmt.Sprintf("tid %d out of range [0, %d)", tid, n))
+			return
+		}
+	}
+	start := time.Now()
+	deleted, err := s.ix.Delete(r.Context(), req.TIDs...)
+	if err != nil {
+		s.fail(w, errStatus(err), err.Error())
+		return
+	}
+	st := s.ix.Stats()
+	s.writeJSON(w, http.StatusOK, DeleteResponse{
+		Deleted:         deleted,
+		LiveTrees:       st.LiveTrees,
+		TombstonedTrees: st.TombstonedTrees,
+		Generation:      s.ix.Generation(),
+		TookNS:          time.Since(start).Nanoseconds(),
+	})
+}
+
+// CompactResponse is the /compact response body.
+type CompactResponse struct {
+	// Compacted reports whether a compaction ran; false means the index
+	// was already a single segment with no tombstones.
+	Compacted bool `json:"compacted"`
+	// Segments is the live segment count afterwards (1 when Compacted).
+	Segments int `json:"segments"`
+	// Generation is the manifest publish counter afterwards.
+	Generation int `json:"generation"`
+	// LiveTrees is the searchable tree count afterwards; after a
+	// compaction it equals the stored tree count, renumbered 0..n-1.
+	LiveTrees int `json:"live_trees"`
+	// TookNS is the server-side merge-and-publish time in nanoseconds.
+	TookNS int64 `json:"took_ns"`
+}
+
+// handleCompact serves POST /compact: the surviving trees of all
+// segments are merged into one fresh segment published atomically,
+// clearing every tombstone; replaced segment directories are removed
+// once their last in-flight query drains. Surviving trees are
+// renumbered to contiguous tids, so clients holding tids across a
+// compaction must re-resolve them. A no-op (single segment, no
+// tombstones) answers 200 with compacted=false.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.cfg.MaxAppendBody < 0 {
+		s.fail(w, http.StatusForbidden, "index mutation is disabled on this server")
+		return
+	}
+	start := time.Now()
+	compacted, err := s.ix.Compact(r.Context())
+	if err != nil {
+		s.fail(w, errStatus(err), err.Error())
+		return
+	}
+	st := s.ix.Stats()
+	s.writeJSON(w, http.StatusOK, CompactResponse{
+		Compacted:  compacted,
+		Segments:   s.ix.Segments(),
+		Generation: s.ix.Generation(),
+		LiveTrees:  st.LiveTrees,
+		TookNS:     time.Since(start).Nanoseconds(),
+	})
+}
+
 // ReloadResponse is the /reload response body.
 type ReloadResponse struct {
 	// Reloaded reports whether the on-disk manifest differed and a new
@@ -660,25 +798,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleStats serves GET /stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	info := s.ix.Info()
+	st := s.ix.Stats()
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		Index: IndexStats{
-			Trees:      s.ix.NumTrees(),
-			Shards:     s.ix.Shards(),
-			Segments:   s.ix.Segments(),
-			Generation: s.ix.Generation(),
-			MSS:        s.ix.MSS(),
-			Coding:     s.ix.Coding().String(),
-			Keys:       info.Keys,
-			Postings:   info.Postings,
-			IndexBytes: info.IndexBytes,
-			DataBytes:  info.DataBytes,
+			Trees:           s.ix.NumTrees(),
+			LiveTrees:       st.LiveTrees,
+			TombstonedTrees: st.TombstonedTrees,
+			Shards:          s.ix.Shards(),
+			Segments:        s.ix.Segments(),
+			Generation:      s.ix.Generation(),
+			MSS:             s.ix.MSS(),
+			Coding:          s.ix.Coding().String(),
+			Keys:            info.Keys,
+			Postings:        info.Postings,
+			IndexBytes:      info.IndexBytes,
+			DataBytes:       info.DataBytes,
 		},
 		Serving: ServingStats{
 			UptimeSeconds: int64(time.Since(s.started).Seconds()),
 			Requests:      s.requests.Load(),
 			Queries:       s.queries.Load(),
 			Errors:        s.errors.Load(),
-			Stats:         s.ix.Stats(),
+			Stats:         st,
 		},
 	})
 }

@@ -1,10 +1,12 @@
 #!/bin/sh
-# serve-append-smoke: end-to-end live-update check, run by CI's serve
-# job and `make serve-append-smoke`. Build an index, serve it, append
-# through POST /append and verify the very next query sees the new
-# tree, then append offline with `sibuild -append` and verify POST
-# /reload picks the segment up — all against one server process that
-# never restarts.
+# serve-append-smoke: end-to-end segment-lifecycle check, run by CI's
+# serve job and `make serve-append-smoke`. Build an index, serve it,
+# append through POST /append and verify the very next query sees the
+# new tree, append offline with `sibuild -append` and verify POST
+# /reload picks the segment up, then walk the rest of the lifecycle:
+# POST /delete tombstones the appended tree (next query misses it),
+# POST /compact merges the survivors back into one segment — all
+# against one server process that never restarts.
 set -eu
 
 BINS="$(mktemp -d)"
@@ -58,4 +60,26 @@ curl -fsS "http://$ADDR/healthz" | grep -q '"trees":451' || {
 curl -fsS "http://$ADDR/stats" | grep -q '"segments":3' || {
 	echo "/stats does not report 3 segments after reload" >&2; exit 1; }
 
-echo "serve-append-smoke: OK (append + reload served with zero downtime)"
+# Live delete: the appended probe tree (tid 400) stops matching on the
+# very next request, and the stats gauges record the tombstone.
+curl -fsS -d '{"tids":[400]}' "http://$ADDR/delete" | grep -q '"deleted":1' || {
+	echo "/delete did not tombstone the probe tree" >&2; exit 1; }
+curl -fsS "http://$ADDR/count?q=$Q" | grep -q '"count":0' || {
+	echo "deleted tree still visible to /count" >&2; exit 1; }
+curl -fsS "http://$ADDR/stats" | grep -q '"tombstoned_trees":1' || {
+	echo "/stats does not report the tombstoned tree" >&2; exit 1; }
+
+# Compaction: survivors merge into one fresh segment, the tombstoned
+# tree is dropped for good, and the corpus renumbers to 450 live trees.
+curl -fsS -X POST "http://$ADDR/compact" | grep -q '"compacted":true' || {
+	echo "/compact did not run" >&2; exit 1; }
+curl -fsS "http://$ADDR/stats" | grep -q '"segments":1' || {
+	echo "/stats does not report 1 segment after compaction" >&2; exit 1; }
+curl -fsS "http://$ADDR/stats" | grep -q '"tombstoned_trees":0' || {
+	echo "/stats still reports tombstones after compaction" >&2; exit 1; }
+curl -fsS "http://$ADDR/healthz" | grep -q '"trees":450' || {
+	echo "compacted corpus size wrong (want 450 trees)" >&2; exit 1; }
+curl -fsS "http://$ADDR/count?q=$Q" | grep -q '"count":0' || {
+	echo "deleted tree resurfaced after compaction" >&2; exit 1; }
+
+echo "serve-append-smoke: OK (append + reload + delete + compact served with zero downtime)"

@@ -1,0 +1,165 @@
+package si_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/si"
+)
+
+// TestDeleteCompactPublicAPI walks the whole segment lifecycle through
+// the public surface: append, delete (with idempotence and the stats
+// gauges moving), compact (renumbering survivors like a fresh build),
+// and the threshold-gated no-op.
+func TestDeleteCompactPublicAPI(t *testing.T) {
+	trees := si.GenerateCorpus(7, 600)
+	dir := filepath.Join(t.TempDir(), "idx")
+	if _, err := si.Build(dir, trees[:400], si.DefaultBuildOptions()); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := si.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ctx := context.Background()
+	if _, err := ix.Append(ctx, trees[400:]); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = "S(//NN)"
+	before, err := ix.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Count == 0 {
+		t.Fatalf("vacuous fixture query %q", q)
+	}
+	victim := before.Matches[0].TID
+
+	deleted, err := ix.Delete(ctx, int(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 1 {
+		t.Fatalf("Delete = %d newly tombstoned, want 1", deleted)
+	}
+	after, err := ix.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range after.Matches {
+		if m.TID == victim {
+			t.Fatalf("deleted tree %d still matches", victim)
+		}
+	}
+	if _, err := ix.Tree(int(victim)); err == nil {
+		t.Fatalf("Tree(%d) succeeded on a deleted tree", victim)
+	}
+	st := ix.Stats()
+	if st.LiveTrees != 599 || st.TombstonedTrees != 1 {
+		t.Fatalf("stats gauges: %d live / %d tombstoned, want 599 / 1", st.LiveTrees, st.TombstonedTrees)
+	}
+	if st.Segments != ix.Segments() || st.Segments != 2 {
+		t.Fatalf("stats report %d segments, handle %d, want 2", st.Segments, ix.Segments())
+	}
+	// Idempotence through the public surface.
+	if deleted, err := ix.Delete(ctx, int(victim)); err != nil || deleted != 0 {
+		t.Fatalf("repeated Delete = (%d, %v), want (0, nil)", deleted, err)
+	}
+	if _, err := ix.Delete(ctx, 600); err == nil {
+		t.Fatal("Delete(600) succeeded on an out-of-range tid")
+	}
+
+	// Compaction merges to one segment, clears the gauge, and serves the
+	// survivors under fresh-build numbering: the corpus is prefix-stable,
+	// so every surviving tree with tid > victim slides down by one.
+	compacted, err := ix.Compact(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compacted {
+		t.Fatal("Compact reported nothing to do on 2 segments with a tombstone")
+	}
+	st = ix.Stats()
+	if st.LiveTrees != 599 || st.TombstonedTrees != 0 || st.Segments != 1 {
+		t.Fatalf("stats after compaction: %d live / %d tombstoned / %d segments, want 599 / 0 / 1",
+			st.LiveTrees, st.TombstonedTrees, st.Segments)
+	}
+	if ix.NumTrees() != 599 {
+		t.Fatalf("NumTrees = %d after compaction, want 599", ix.NumTrees())
+	}
+	got, err := ix.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []si.Match
+	for _, m := range before.Matches {
+		switch {
+		case m.TID == victim:
+		case m.TID > victim:
+			want = append(want, si.Match{TID: m.TID - 1, Root: m.Root})
+		default:
+			want = append(want, m)
+		}
+	}
+	if !reflect.DeepEqual(got.Matches, want) {
+		t.Fatalf("compacted index returned %d matches, want %d renumbered survivors", len(got.Matches), len(want))
+	}
+
+	// Nothing left to do: the default thresholds decline a second run,
+	// and raised thresholds decline even with a fresh tombstone.
+	if compacted, err := ix.Compact(ctx); err != nil || compacted {
+		t.Fatalf("second Compact = (%v, %v), want (false, nil)", compacted, err)
+	}
+	if _, err := ix.Delete(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if compacted, err := ix.CompactWith(ctx, si.CompactOptions{MinSegments: 4, MinTombstones: 50}); err != nil || compacted {
+		t.Fatalf("thresholded CompactWith = (%v, %v), want (false, nil)", compacted, err)
+	}
+}
+
+// TestUpdatePublicAPI covers the one-publish delete+append combination:
+// both effects land together, and the returned build info describes the
+// appended segment.
+func TestUpdatePublicAPI(t *testing.T) {
+	trees := si.GenerateCorpus(11, 300)
+	dir := filepath.Join(t.TempDir(), "idx")
+	if _, err := si.Build(dir, trees[:250], si.DefaultBuildOptions()); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := si.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ctx := context.Background()
+	info, deleted, err := ix.Update(ctx, []int{3, 14, 15}, trees[250:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 3 || info.Keys == 0 {
+		t.Fatalf("Update = (%d deleted, %d keys in new segment), want 3 deletes and a non-empty build", deleted, info.Keys)
+	}
+	st := ix.Stats()
+	if ix.NumTrees() != 300 || st.LiveTrees != 297 || st.TombstonedTrees != 3 {
+		t.Fatalf("after update: %d trees, %d live, %d tombstoned; want 300, 297, 3",
+			ix.NumTrees(), st.LiveTrees, st.TombstonedTrees)
+	}
+	if _, err := ix.Tree(14); err == nil {
+		t.Fatal("Tree(14) succeeded after the update deleted it")
+	}
+	if tr, err := ix.Tree(299); err != nil || tr.TID != 299 {
+		t.Fatalf("Tree(299) after the update: %v, %v", tr, err)
+	}
+	// Pure-delete and no-op shapes of the same call.
+	if info, deleted, err := ix.Update(ctx, []int{20}, nil); err != nil || deleted != 1 || info.Keys != 0 {
+		t.Fatalf("pure-delete Update = (%+v, %d, %v)", info, deleted, err)
+	}
+	if _, deleted, err := ix.Update(ctx, []int{20}, nil); err != nil || deleted != 0 {
+		t.Fatalf("no-op Update = (%d, %v), want (0, nil)", deleted, err)
+	}
+}

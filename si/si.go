@@ -35,10 +35,14 @@
 //
 // An index ingests while it serves: Append indexes new trees into a
 // fresh immutable segment and publishes it atomically, so the next
-// Search sees them without any reopen; Reload picks up segments
-// appended by another process. Every search runs on the segment set
-// current when it started — Append and Close never disturb a query in
-// flight.
+// Search sees them without any reopen; Delete tombstones trees so they
+// stop matching just as immediately (Update does both in one atomic
+// publish); Compact merges the surviving trees back into a single
+// segment and reclaims the space; Reload picks up segments and
+// tombstones published by another process. Every search runs on the
+// segment set current when it started — Append, Delete, Compact and
+// Close never disturb a query in flight. See docs/SEGMENTS.md for the
+// full lifecycle.
 //
 // See the examples directory for runnable programs.
 package si
@@ -252,10 +256,99 @@ func (i *Index) AppendWith(ctx context.Context, trees []*Tree, opts AppendOption
 	}, nil
 }
 
+// Delete tombstones the trees with the given tids: the manifest is
+// republished with the victims recorded as deleted and the serving set
+// swaps atomically, so the trees stop matching — in Search, Count,
+// SearchBatch, SearchStream, Keys, KeyCount and Tree alike — on the
+// very next call, while searches already running finish on the
+// snapshot they pinned. Nothing is rewritten: segments are immutable,
+// and the tombstoned trees keep occupying disk (and their tids) until
+// Compact reclaims them. Deleting an already-deleted tid is an
+// idempotent no-op. Returns how many tids were newly tombstoned. An
+// out-of-range tid fails the whole call before anything is published.
+func (i *Index) Delete(ctx context.Context, tids ...int) (int, error) {
+	return i.ix.Delete(ctx, tids)
+}
+
+// Update applies deletes and appends new trees in one atomic manifest
+// publish — a correction that replaces trees is therefore never
+// half-visible: every search sees either the old corpus or the new
+// one. deleteTids address the current corpus (the appended trees are
+// not deletable in the same call); trees may be nil for a pure delete
+// and deleteTids nil for a pure append. Returns the appended segment's
+// build statistics (zero when no trees were appended) and the number
+// of newly tombstoned tids.
+func (i *Index) Update(ctx context.Context, deleteTids []int, trees []*Tree) (BuildInfo, int, error) {
+	m, newly, err := i.ix.Update(ctx, deleteTids, trees, 0, 0)
+	if err != nil {
+		return BuildInfo{}, 0, err
+	}
+	info := BuildInfo{}
+	if m != nil {
+		info = BuildInfo{
+			Keys:       m.Keys,
+			Postings:   m.Postings,
+			IndexBytes: m.IndexBytes,
+			DataBytes:  m.DataBytes,
+			Shards:     max(m.Shards, 1),
+		}
+	}
+	return info, newly, nil
+}
+
+// CompactOptions shape a compaction run; the zero value compacts
+// whenever there is more than one segment or any tombstoned tree, into
+// a single-partition segment.
+type CompactOptions struct {
+	// Shards partitions the compacted segment like BuildOptions.Shards;
+	// 0 or 1 builds one partition.
+	Shards int
+	// Workers parallelizes subtree extraction like BuildOptions.Workers.
+	Workers int
+	// MinSegments and MinTombstones gate the run: compaction proceeds
+	// when the index has at least MinSegments segments or at least
+	// MinTombstones tombstoned trees, and is a no-op otherwise. Zero
+	// values default to 2 and 1. Background triggers (sisrv's
+	// -compact-every) raise them so small appends are not immediately
+	// rewritten.
+	MinSegments   int
+	MinTombstones int
+}
+
+// Compact merges the surviving (non-tombstoned) trees of all segments
+// into one fresh segment and publishes it atomically, replacing the
+// whole segment list and clearing every tombstone: query fan-out
+// returns to a single segment and the disk held by deleted trees and
+// replaced segments is reclaimed — each old segment's directory is
+// removed once its last in-flight search drains. Searches running
+// during the compaction finish on the segment set they pinned.
+// Surviving trees are renumbered to contiguous tids 0..n-1 in their
+// current order (the tids a fresh Build of the survivors would
+// assign), so tids held across a Compact must be re-resolved. Returns
+// whether a compaction ran: false with a nil error when the
+// CompactOptions thresholds report nothing to do. Compacting away the
+// entire corpus is refused.
+func (i *Index) Compact(ctx context.Context) (bool, error) {
+	return i.CompactWith(ctx, CompactOptions{})
+}
+
+// CompactWith is Compact with explicit thresholds and segment build
+// options.
+func (i *Index) CompactWith(ctx context.Context, opts CompactOptions) (bool, error) {
+	changed, _, err := i.ix.Compact(ctx, core.CompactOptions{
+		Shards:        opts.Shards,
+		Workers:       opts.Workers,
+		MinSegments:   opts.MinSegments,
+		MinTombstones: opts.MinTombstones,
+	})
+	return changed, err
+}
+
 // Reload re-reads the index manifest from disk and picks up segments
-// published by another process (e.g. `sibuild -append` run against a
-// directory a server is serving): new segments open, delisted ones
-// retire once their in-flight searches drain, and the serving set
+// and tombstones published by another process (e.g. `sibuild -append`
+// or `sibuild -delete` run against a directory a server is serving):
+// new segments open, delisted ones retire once their in-flight
+// searches drain, the tombstone set is replaced, and the serving set
 // swaps with zero downtime. Returns whether anything changed.
 func (i *Index) Reload() (bool, error) { return i.ix.Reload() }
 
@@ -406,10 +499,13 @@ func (i *Index) Count(ctx context.Context, querySrc string) (int, error) {
 	return res.Count, nil
 }
 
-// Stats are cumulative serving counters of an open index: physical
-// posting-list fetches and plan-cache activity. The batching
-// benchmarks assert on PostingFetches, and sisrv's /stats endpoint
-// reports the whole struct.
+// Stats report an open index's serving state: cumulative counters
+// (physical posting-list fetches, join rows, plan-cache activity) plus
+// point-in-time gauges of the current segment set — LiveTrees,
+// TombstonedTrees, Segments, SegmentBytes — which move with Append,
+// Delete and Compact rather than accumulating. The batching benchmarks
+// assert on PostingFetches, and sisrv's /stats endpoint reports the
+// whole struct.
 type Stats = core.Counters
 
 // Stats returns the index's cumulative serving counters since Open.
