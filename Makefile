@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-json bench-baseline lint serve serve-append-smoke docs-check examples ci
+.PHONY: build test bench bench-json bench-baseline fuzz-short lint serve serve-append-smoke docs-check examples ci
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,13 @@ bench:
 # (plain, batched, count-only and limited search — ns/op, allocs,
 # posting-fetch and join-row counts) and convert the output to
 # BENCH_search.json (the full per-run artifact, not committed). The
-# committed BENCH_baseline.json holds only the deterministic guarded
-# counters (limited-search fetches/op and joinrows/op); benchjson
-# diffs the new run against it and fails on a >25% increase — or on a
-# baseline matching nothing — so the perf trajectory is a gate, not
-# just an artifact. bench-json never touches the committed baseline:
+# committed BENCH_baseline.json holds only the guarded metrics of the
+# limited-search, sharded-query and batch benchmarks — the fetch and
+# join-row work counters plus allocs/op and B/op; benchjson diffs the
+# new run against it and fails on a >25% increase — or on a baseline
+# matching nothing — so both the early-termination counters and the
+# zero-copy allocation profile are gates, not just artifacts.
+# bench-json never touches the committed baseline:
 # rebasing it is the deliberate `make bench-baseline`, whose diff is
 # then reviewed and committed. That keeps within-tolerance drift from
 # compounding silently — every baseline move is a visible commit.
@@ -40,6 +42,17 @@ bench-baseline:
 	$(GO) run ./cmd/benchjson -o BENCH_search.json -write-baseline BENCH_baseline.json < bench.out
 	@rm -f bench.out
 	@echo rewrote BENCH_baseline.json — review its diff and commit it
+
+# Short fuzz pass over the byte-level decoders that face raw (possibly
+# hostile) file contents: posting-list iterators and the pager's
+# header/page reader. The committed testdata/fuzz corpora always replay
+# in plain `go test`; this target additionally explores for a few
+# seconds per target, which is enough to catch gross regressions (a
+# panic or over-read lands within seconds on these tiny inputs).
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -fuzz=FuzzPostingDecode -fuzztime=$(FUZZTIME) ./internal/postings/
+	$(GO) test -fuzz=FuzzPageHeader -fuzztime=$(FUZZTIME) ./internal/pager/
 
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -67,4 +80,4 @@ docs-check:
 examples:
 	$(GO) build ./examples/...
 
-ci: lint build test bench docs-check examples
+ci: lint build test bench fuzz-short docs-check examples

@@ -13,11 +13,13 @@
 //
 // With -baseline FILE the freshly parsed run is also diffed against a
 // previously emitted document: for every benchmark present in both
-// whose name matches -guard (default LimitedSearch), the deterministic
-// counter metrics (fetches/op, joinrows/op) must not exceed the
-// baseline by more than -tolerance (default 0.25, i.e. +25%), or the
-// command exits non-zero. Wall-clock metrics are never compared — only
-// counters stable enough to gate CI on. The gate fails CLOSED: a
+// whose name matches -guard (a comma-separated list of substrings;
+// default covers the limited-search, sharded-query and batch
+// benchmarks), the deterministic per-op metrics (fetches/op,
+// joinrows/op, allocs/op and B/op) must not exceed the baseline by
+// more than -tolerance (default 0.25, i.e. +25%), or the command exits
+// non-zero. Wall-clock (ns/op) is never compared — it is the one
+// metric too noisy across runners to gate on. The gate fails CLOSED: a
 // baseline that loads but matches zero guarded counters (benchmarks
 // renamed, -guard typo) is an error, not a silent pass; only a missing
 // baseline file skips with a note. -write-baseline FILE emits, after a
@@ -36,9 +38,31 @@ import (
 	"strings"
 )
 
-// guardedMetrics are the per-op counters stable enough to fail CI on;
-// ns/op and B/op stay informational (noisy across runners).
-var guardedMetrics = []string{"fetches/op", "joinrows/op"}
+// guardedMetrics are the per-op metrics stable enough to fail CI on:
+// the work counters (fetches/op, joinrows/op) are exactly reproducible
+// for a fixed corpus seed, and the allocation profile (allocs/op,
+// B/op) is steady enough under -benchtime=1x that the tolerance
+// absorbs pool warm-up jitter — gating it keeps the zero-copy read
+// path from silently regrowing per-query garbage. Only ns/op stays
+// informational (noisy across runners).
+var guardedMetrics = []string{"fetches/op", "joinrows/op", "allocs/op", "B/op"}
+
+// defaultGuard names the gated benchmark families: limited search (the
+// early-termination counters), plus the sharded-query and batch paths
+// whose allocation profile the zero-copy read path flattened.
+const defaultGuard = "LimitedSearch,ShardedQuery,SearchBatch"
+
+// matchesGuard reports whether a benchmark name matches any of the
+// comma-separated guard substrings (empty items are ignored, so a
+// trailing comma is harmless).
+func matchesGuard(name, guard string) bool {
+	for _, g := range strings.Split(guard, ",") {
+		if g != "" && strings.Contains(name, g) {
+			return true
+		}
+	}
+	return false
+}
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
@@ -68,7 +92,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "baseline JSON to diff guarded counters against (missing file = skip, empty = no gate)")
 	writeBaseline := flag.String("write-baseline", "", "write the stripped guarded-counter baseline here after a passing gate")
-	guard := flag.String("guard", "LimitedSearch", "substring of benchmark names whose counters are regression-gated")
+	guard := flag.String("guard", defaultGuard, "comma-separated substrings of benchmark names whose metrics are regression-gated")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative increase of guarded counters over the baseline")
 	flag.Parse()
 	doc, err := parse(bufio.NewScanner(os.Stdin))
@@ -112,14 +136,15 @@ func main() {
 }
 
 // stripBaseline reduces a run to its regression-gated substance: the
-// guarded benchmarks with only their guarded counters. Those counters
-// are deterministic for the fixed corpus seed, so the stripped file is
-// byte-stable across machines and runs — committing it does not churn
-// on wall-clock noise, and any diff in it is a real counter change.
+// guarded benchmarks with only their guarded metrics. The work
+// counters are deterministic for the fixed corpus seed and the
+// allocation metrics are stable to within the gate's tolerance, so the
+// stripped file does not churn on wall-clock noise — any significant
+// diff in it is a real counter or allocation change.
 func stripBaseline(doc *Doc, guard string) *Doc {
 	out := &Doc{}
 	for _, b := range doc.Benchmarks {
-		if !strings.Contains(b.Name, guard) {
+		if !matchesGuard(b.Name, guard) {
 			continue
 		}
 		metrics := map[string]float64{}
@@ -163,7 +188,7 @@ func diffBaseline(path string, doc *Doc, guard string, tolerance float64) error 
 	var regressions []string
 	compared := 0
 	for _, b := range doc.Benchmarks {
-		if !strings.Contains(b.Name, guard) {
+		if !matchesGuard(b.Name, guard) {
 			continue
 		}
 		old, ok := prev[b.Name]

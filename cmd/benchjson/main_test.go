@@ -122,6 +122,56 @@ func TestDiffBaselineFailsClosed(t *testing.T) {
 	}
 }
 
+// TestDiffBaselineAllocs asserts the allocation gate: allocs/op and
+// B/op regressions beyond tolerance fail, so the zero-copy read path
+// cannot silently regrow per-query garbage.
+func TestDiffBaselineAllocs(t *testing.T) {
+	mk := func(allocs, bytes float64) *Doc {
+		return &Doc{Benchmarks: []Benchmark{{
+			Name: "BenchmarkShardedQuery/shards=4", Iterations: 1,
+			Metrics: map[string]float64{"allocs/op": allocs, "B/op": bytes, "ns/op": 1},
+		}}}
+	}
+	base := writeDoc(t, mk(800, 7_000_000))
+	if err := diffBaseline(base, mk(900, 7_500_000), defaultGuard, 0.25); err != nil {
+		t.Fatalf("within-tolerance alloc drift failed the gate: %v", err)
+	}
+	err := diffBaseline(base, mk(40_000, 7_000_000), defaultGuard, 0.25)
+	if err == nil {
+		t.Fatal("a 50x allocs/op regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("regression report does not name allocs/op: %v", err)
+	}
+	if err := diffBaseline(base, mk(800, 12_000_000), defaultGuard, 0.25); err == nil {
+		t.Fatal("a +71%% B/op regression passed the gate")
+	}
+}
+
+// TestMatchesGuard asserts the comma-separated guard list: every named
+// family matches, unrelated benchmarks do not, and a single-substring
+// guard still behaves as before.
+func TestMatchesGuard(t *testing.T) {
+	for _, name := range []string{
+		"BenchmarkLimitedSearch/limit5/shards=4",
+		"BenchmarkShardedQuery/shards=2",
+		"BenchmarkSearchBatch/shards=1",
+	} {
+		if !matchesGuard(name, defaultGuard) {
+			t.Fatalf("default guard misses %s", name)
+		}
+	}
+	if matchesGuard("BenchmarkCountOnly/count", defaultGuard) {
+		t.Fatal("default guard matches an ungated benchmark")
+	}
+	if !matchesGuard("BenchmarkLimitedSearch/limit5", "LimitedSearch") {
+		t.Fatal("single-substring guard broke")
+	}
+	if matchesGuard("BenchmarkAnything", "") {
+		t.Fatal("empty guard matches everything")
+	}
+}
+
 // TestStripBaseline asserts the committed baseline form: guarded
 // benchmarks only, guarded counters only — no wall-clock noise that
 // would churn the committed file across machines.

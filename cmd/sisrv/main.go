@@ -67,7 +67,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for -gen")
 	mss := flag.Int("mss", 3, "maximum subtree size for -gen (1..6)")
 	shards := flag.Int("shards", 1, "shard count for -gen")
-	cache := flag.Int64("cache", 0, "LRU page cache bytes per index file (0 = uncached, the paper's setup)")
+	cache := flag.Int64("cache", 0, "LRU page cache bytes per index file (0 = uncached, the paper's setup; unused while mmap serves the file)")
+	mmap := flag.Bool("mmap", true, "memory-map index files for zero-copy page reads (falls back to pread when mapping is unavailable)")
 	plancache := flag.Int("plancache", 4096, "LRU query-plan cache entries (0 = disabled)")
 	limit := flag.Int("limit", server.DefaultMaxMatches, "max matches returned per query (-1 = unlimited)")
 	maxbatch := flag.Int("maxbatch", server.DefaultMaxBatch, "max queries per /batch request")
@@ -79,7 +80,11 @@ func main() {
 	flag.Parse()
 
 	cc := compactConfig{every: *compactEvery, minSegments: *compactMinSegments, minDeleted: *compactMinDeleted}
-	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, *cache, *plancache, *limit, *maxbatch, *maxappend, *timeout, cc); err != nil {
+	open := si.OpenOptions{CacheSize: *cache, PlanCacheSize: *plancache}
+	if !*mmap {
+		open.Mmap = si.MmapOff
+	}
+	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, open, *limit, *maxbatch, *maxappend, *timeout, cc); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -124,7 +129,7 @@ func compactLoop(ctx context.Context, ix *si.Index, cc compactConfig) {
 }
 
 // run builds or opens the index and serves it until SIGINT/SIGTERM.
-func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, plancache, limit, maxbatch int, maxappend int64, timeout time.Duration, cc compactConfig) error {
+func run(dir, addr string, gen int, seed uint64, mss, shards int, open si.OpenOptions, limit, maxbatch int, maxappend int64, timeout time.Duration, cc compactConfig) error {
 	if dir == "" && gen == 0 {
 		return errors.New("sisrv: set -index to serve an existing index, or -gen N to build a demo index")
 	}
@@ -145,7 +150,7 @@ func run(dir, addr string, gen int, seed uint64, mss, shards int, cache int64, p
 		log.Printf("built: %d keys, %d postings, %d KiB index", info.Keys, info.Postings, info.IndexBytes/1024)
 	}
 
-	ix, err := si.OpenWith(dir, si.OpenOptions{CacheSize: cache, PlanCacheSize: plancache})
+	ix, err := si.OpenWith(dir, open)
 	if err != nil {
 		return err
 	}

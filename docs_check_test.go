@@ -54,8 +54,18 @@ var requiredDocs = []string{
 	"docs/SEGMENTS.md",
 }
 
-// TestRequiredDocsExist asserts the core documentation files exist and
-// are non-empty.
+// requiredSections are headings prose elsewhere links to or leans on;
+// renaming one must update the anchor and this list together, not
+// silently break the cross-references.
+var requiredSections = map[string][]string{
+	"docs/ARCHITECTURE.md": {
+		"## Read path & memory model",
+		"## Segments, generations and live updates",
+	},
+}
+
+// TestRequiredDocsExist asserts the core documentation files exist,
+// are non-empty, and carry the load-bearing section headings.
 func TestRequiredDocsExist(t *testing.T) {
 	for _, doc := range requiredDocs {
 		fi, err := os.Stat(doc)
@@ -65,6 +75,18 @@ func TestRequiredDocsExist(t *testing.T) {
 		}
 		if fi.Size() == 0 {
 			t.Errorf("required doc %s is empty", doc)
+		}
+	}
+	for doc, sections := range requiredSections {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("required doc %s: %v", doc, err)
+			continue
+		}
+		for _, heading := range sections {
+			if !strings.Contains(string(raw), heading+"\n") {
+				t.Errorf("required doc %s lost its %q section", doc, heading)
+			}
 		}
 	}
 }

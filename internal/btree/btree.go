@@ -5,10 +5,20 @@
 // a bulk loader from a sorted key stream and then opened read-only; by
 // default no user-level page cache is layered over the pager (the paper
 // relies on OS page buffering, and so do we), while OpenCached opts a
-// tree into the pager's sharded LRU page cache for serving workloads.
+// tree into the pager's sharded LRU page cache and OpenWith can select
+// the zero-copy mmap backend for serving workloads.
+//
+// Reads go through the pager's borrow contract (pager.ReadPage):
+// descents hold one page view at a time and release it before moving
+// down, so a lookup allocates nothing on the mmap and cached backends.
+// On those backends — where page views stay valid until Close — Get
+// returns inline values as subslices of the page itself; on the pooled
+// pread path it copies, because the scratch page is reused after
+// release. Either way the returned value is read-only and valid until
+// the Tree is closed.
 //
 // An opened Tree is safe for concurrent use: Get and Iterator keep all
-// mutable state (page buffers, cursors) per call or per Iterator, and
+// mutable state (page borrows, cursors) per call or per Iterator, and
 // the shared pager's read path is itself thread-safe, so any number of
 // goroutines may search and scan one Tree at once.
 package btree
@@ -72,28 +82,41 @@ type Stats struct {
 	SizeBytes int64  // index file size in bytes
 }
 
+// Options configure how a tree is opened; the zero value reproduces
+// Open (pread, no cache).
+type Options struct {
+	// CacheBytes is the pager page-cache budget; 0 or less disables it.
+	CacheBytes int64
+	// Mmap requests the pager's memory-mapped backend, falling back to
+	// pread when mapping is unavailable (see pager.OpenOptions.Mmap).
+	Mmap bool
+}
+
 // Tree is a read-only view of a built B+Tree.
 type Tree struct {
 	pf     *pager.File
 	root   uint32
 	height uint32
 	keys   uint64
+	stable bool // page views outlive release: Get may return subslices
 }
 
 // Open opens the B+Tree stored in the page file at path with no
 // user-level page cache.
 func Open(path string) (*Tree, error) {
-	pf, err := pager.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	return fromPager(pf)
+	return OpenWith(path, Options{})
 }
 
 // OpenCached opens the B+Tree with a pager page cache of roughly
 // cacheBytes; 0 or less is equivalent to Open.
 func OpenCached(path string, cacheBytes int64) (*Tree, error) {
-	pf, err := pager.OpenCached(path, cacheBytes)
+	return OpenWith(path, Options{CacheBytes: cacheBytes})
+}
+
+// OpenWith opens the B+Tree stored in the page file at path with
+// explicit backend options.
+func OpenWith(path string, opts Options) (*Tree, error) {
+	pf, err := pager.OpenWith(path, pager.OpenOptions{CacheBytes: opts.CacheBytes, Mmap: opts.Mmap})
 	if err != nil {
 		return nil, err
 	}
@@ -101,54 +124,68 @@ func OpenCached(path string, cacheBytes int64) (*Tree, error) {
 }
 
 func fromPager(pf *pager.File) (*Tree, error) {
-	buf := make([]byte, pf.PageSize())
-	if err := pf.Read(1, buf); err != nil {
+	page, release, err := pf.ReadPage(1)
+	if err != nil {
 		pf.Close()
 		return nil, fmt.Errorf("btree: reading meta page: %w", err)
 	}
-	if buf[0] != pageMeta {
+	if page[0] != pageMeta {
+		release()
 		pf.Close()
 		return nil, fmt.Errorf("btree: page 1 is not a meta page")
 	}
 	t := &Tree{
 		pf:     pf,
-		root:   binary.LittleEndian.Uint32(buf[1:]),
-		keys:   binary.LittleEndian.Uint64(buf[5:]),
-		height: binary.LittleEndian.Uint32(buf[13:]),
+		root:   binary.LittleEndian.Uint32(page[1:]),
+		keys:   binary.LittleEndian.Uint64(page[5:]),
+		height: binary.LittleEndian.Uint32(page[13:]),
+		stable: pf.Stable(),
 	}
+	release()
 	return t, nil
 }
 
-// Close releases the underlying file.
+// Close releases the underlying file (and its mapping, when mapped).
 func (t *Tree) Close() error { return t.pf.Close() }
 
 // CacheStats reports the pager's page-cache counters (zero when the
 // tree was opened without a cache).
 func (t *Tree) CacheStats() pager.CacheStats { return t.pf.CacheStats() }
 
+// Mapped reports whether reads are served from a memory mapping.
+func (t *Tree) Mapped() bool { return t.pf.Mapped() }
+
 // Stats returns size statistics for the tree.
 func (t *Tree) Stats() Stats {
 	return Stats{Keys: t.keys, Height: t.height, Pages: t.pf.NumPages(), SizeBytes: t.pf.SizeBytes()}
 }
 
-// Get returns the value stored under key, or found=false.
+// Get returns the value stored under key, or found=false. The returned
+// slice is read-only and valid until the Tree is closed: on the mmap
+// and cached backends an inline value is a zero-copy subslice of the
+// page, elsewhere (and for overflow values) it is freshly assembled.
 func (t *Tree) Get(key []byte) (value []byte, found bool, err error) {
 	if t.keys == 0 {
 		return nil, false, nil
 	}
-	buf := make([]byte, t.pf.PageSize())
 	id := t.root
 	for {
-		if err := t.pf.Read(id, buf); err != nil {
+		page, release, err := t.pf.ReadPage(id)
+		if err != nil {
 			return nil, false, err
 		}
-		switch buf[0] {
+		switch page[0] {
 		case pageInternal:
-			id = routeInternal(buf, key)
+			id = routeInternal(page, key)
+			release()
 		case pageLeaf:
-			return t.searchLeaf(buf, key)
+			v, found, err := t.searchLeaf(page, key)
+			release()
+			return v, found, err
 		default:
-			return nil, false, fmt.Errorf("btree: unexpected page type %q at %d", buf[0], id)
+			b := page[0]
+			release()
+			return nil, false, fmt.Errorf("btree: unexpected page type %q at %d", b, id)
 		}
 	}
 }
@@ -174,6 +211,10 @@ func routeInternal(page []byte, key []byte) uint32 {
 	return child
 }
 
+// searchLeaf scans a leaf page for key. Inline values are returned as
+// page subslices when the backend is stable (the caller still holds
+// the page borrow here; stability makes the subslice outlive release),
+// and copied otherwise.
 func (t *Tree) searchLeaf(page []byte, key []byte) ([]byte, bool, error) {
 	n := int(binary.LittleEndian.Uint16(page[1:]))
 	off := leafHeader
@@ -189,6 +230,9 @@ func (t *Tree) searchLeaf(page []byte, key []byte) ([]byte, bool, error) {
 		cmp := bytes.Compare(k, key)
 		if flag == 0 {
 			if cmp == 0 {
+				if t.stable {
+					return page[off : off+int(vlen) : off+int(vlen)], true, nil
+				}
 				return append([]byte(nil), page[off:off+int(vlen)]...), true, nil
 			}
 			off += int(vlen)
@@ -209,58 +253,58 @@ func (t *Tree) searchLeaf(page []byte, key []byte) ([]byte, bool, error) {
 
 func (t *Tree) readOverflow(first uint32, total int) ([]byte, error) {
 	out := make([]byte, 0, total)
-	buf := make([]byte, t.pf.PageSize())
 	chunk := t.pf.PageSize() - overflowHeader
 	id := first
 	for len(out) < total {
 		if id == 0 {
 			return nil, fmt.Errorf("btree: overflow chain truncated (%d of %d bytes)", len(out), total)
 		}
-		if err := t.pf.Read(id, buf); err != nil {
+		page, release, err := t.pf.ReadPage(id)
+		if err != nil {
 			return nil, err
 		}
 		n := total - len(out)
 		if n > chunk {
 			n = chunk
 		}
-		out = append(out, buf[overflowHeader:overflowHeader+n]...)
-		id = binary.LittleEndian.Uint32(buf[0:])
+		out = append(out, page[overflowHeader:overflowHeader+n]...)
+		id = binary.LittleEndian.Uint32(page[0:])
+		release()
 	}
 	return out, nil
 }
 
 // firstLeaf descends to the leftmost leaf.
 func (t *Tree) firstLeaf() (uint32, error) {
-	buf := make([]byte, t.pf.PageSize())
-	id := t.root
-	for {
-		if err := t.pf.Read(id, buf); err != nil {
-			return 0, err
-		}
-		if buf[0] == pageLeaf {
-			return id, nil
-		}
-		if buf[0] != pageInternal {
-			return 0, fmt.Errorf("btree: unexpected page type %q", buf[0])
-		}
-		id = binary.LittleEndian.Uint32(buf[3:])
-	}
+	return t.descend(nil, func(page []byte, _ []byte) uint32 {
+		return binary.LittleEndian.Uint32(page[3:])
+	})
 }
 
 // leafFor descends to the leaf that would contain key.
 func (t *Tree) leafFor(key []byte) (uint32, error) {
-	buf := make([]byte, t.pf.PageSize())
+	return t.descend(key, routeInternal)
+}
+
+// descend walks internal pages from the root, choosing each child with
+// route, until it reaches a leaf.
+func (t *Tree) descend(key []byte, route func(page, key []byte) uint32) (uint32, error) {
 	id := t.root
 	for {
-		if err := t.pf.Read(id, buf); err != nil {
+		page, release, err := t.pf.ReadPage(id)
+		if err != nil {
 			return 0, err
 		}
-		if buf[0] == pageLeaf {
+		if page[0] == pageLeaf {
+			release()
 			return id, nil
 		}
-		if buf[0] != pageInternal {
-			return 0, fmt.Errorf("btree: unexpected page type %q", buf[0])
+		if page[0] != pageInternal {
+			b := page[0]
+			release()
+			return 0, fmt.Errorf("btree: unexpected page type %q", b)
 		}
-		id = routeInternal(buf, key)
+		id = route(page, key)
+		release()
 	}
 }

@@ -7,13 +7,19 @@ import (
 
 // Iterator walks key/value pairs in ascending key order, starting at the
 // first key >= the start bound. It reads leaf pages through the chain
-// pointers left by the bulk loader.
+// pointers left by the bulk loader, borrowing one page view at a time
+// under the pager's borrow contract: the current leaf stays borrowed
+// across Next calls and is released when the iterator advances to the
+// next leaf or finishes. Keys and inline values are copied into
+// per-iterator buffers reused across Next calls, so they stay valid
+// until the next Next regardless of backend.
 type Iterator struct {
 	t       *Tree
 	page    []byte
-	n       int // entries in current page
-	i       int // next entry index
-	off     int // byte offset of next entry
+	release func() // releases the borrow on page; nil when none held
+	n       int    // entries in current page
+	i       int    // next entry index
+	off     int    // byte offset of next entry
 	err     error
 	done    bool
 	prevOff int // offset of the most recently decoded entry
@@ -25,7 +31,7 @@ type Iterator struct {
 // Iterator returns an iterator positioned at the first key >= start
 // (nil starts at the beginning).
 func (t *Tree) Iterator(start []byte) *Iterator {
-	it := &Iterator{t: t, page: make([]byte, t.pf.PageSize())}
+	it := &Iterator{t: t}
 	if t.keys == 0 {
 		it.done = true
 		return it
@@ -61,14 +67,26 @@ func (t *Tree) Iterator(start []byte) *Iterator {
 // rewindOne makes the entry just decoded be returned again by Next.
 func (it *Iterator) rewindOne() { it.i--; it.off = it.prevOff }
 
+// loadLeaf swaps the current page borrow for leaf id.
 func (it *Iterator) loadLeaf(id uint32) error {
-	if err := it.t.pf.Read(id, it.page); err != nil {
+	it.dropPage()
+	page, release, err := it.t.pf.ReadPage(id)
+	if err != nil {
 		return err
 	}
-	it.n = int(binary.LittleEndian.Uint16(it.page[1:]))
+	it.page, it.release = page, release
+	it.n = int(binary.LittleEndian.Uint16(page[1:]))
 	it.i = 0
 	it.off = leafHeader
 	return nil
+}
+
+// dropPage releases the current page borrow, if any.
+func (it *Iterator) dropPage() {
+	if it.release != nil {
+		it.release()
+		it.page, it.release = nil, nil
+	}
 }
 
 // Next advances to the next pair; it returns false at the end or on
@@ -81,6 +99,7 @@ func (it *Iterator) Next() bool {
 		next := binary.LittleEndian.Uint32(it.page[3:])
 		if next == 0 {
 			it.done = true
+			it.dropPage()
 			return false
 		}
 		if err := it.loadLeaf(next); err != nil {
@@ -109,6 +128,7 @@ func (it *Iterator) Next() bool {
 		if err != nil {
 			it.err = err
 			it.done = true
+			it.dropPage()
 			return false
 		}
 		it.val = v

@@ -34,17 +34,38 @@ type Index struct {
 // pairs.
 type Match = join.Match
 
+// MmapMode selects the index file's read backend.
+type MmapMode int
+
+// Mmap modes. The zero value requests mapping (with silent pread
+// fallback when the platform or file cannot be mapped), so every open
+// path gets the zero-copy read path without opting in.
+const (
+	// MmapAuto memory-maps index files when possible and falls back to
+	// positioned reads otherwise — the default.
+	MmapAuto MmapMode = iota
+	// MmapOff forces positioned reads (pread); use it when mappings are
+	// undesirable, e.g. index files on network filesystems where a
+	// truncation would fault the process instead of erroring.
+	MmapOff
+)
+
 // OpenOptions configure how an index is opened.
 type OpenOptions struct {
 	// CacheSize is the byte budget of an in-process LRU page cache over
 	// the index file (per shard when sharded). The zero value disables
-	// the cache, preserving the paper's §6.1 no-user-cache setup.
+	// the cache, preserving the paper's §6.1 no-user-cache setup. A
+	// cache is only used when the mmap backend is off or unavailable —
+	// a mapping already serves every page without copies.
 	CacheSize int64
 	// PlanCache bounds the in-process LRU cache of compiled query plans
 	// (parsed query + cover decomposition), keyed by query text. The
 	// zero value disables plan caching; serving deployments typically
 	// set a few thousand entries.
 	PlanCache int
+	// Mmap selects the read backend for index files; the zero value
+	// (MmapAuto) maps them when possible.
+	Mmap MmapMode
 }
 
 // readMeta loads and validates the meta.json of an index directory.
@@ -83,7 +104,8 @@ func OpenWith(dir string, opts OpenOptions) (*Index, error) {
 	if meta.FormatVersion == FormatSegmented {
 		return nil, fmt.Errorf("core: %s is a segmented index root (%d segments); use OpenLive or OpenAny", dir, len(meta.Segments))
 	}
-	tr, err := btree.OpenCached(filepath.Join(dir, indexFileName), opts.CacheSize)
+	tr, err := btree.OpenWith(filepath.Join(dir, indexFileName),
+		btree.Options{CacheBytes: opts.CacheSize, Mmap: opts.Mmap != MmapOff})
 	if err != nil {
 		return nil, err
 	}
@@ -155,12 +177,20 @@ type Counters struct {
 	// index plus data bytes, tombstoned trees included until compaction
 	// reclaims them.
 	SegmentBytes int64 `json:"segment_bytes"`
+	// MmapLeaves is the number of index leaves currently served from a
+	// memory mapping (a gauge: compactions and reloads reopen leaves).
+	// Zero with the mmap backend off or unavailable on the platform.
+	MmapLeaves int `json:"mmap_leaves"`
 }
 
 // Counters returns the handle's cumulative serving counters and
 // point-in-time lifecycle gauges.
 func (ix *Index) Counters() Counters {
 	hits, misses := ix.plans.counters()
+	mapped := 0
+	if ix.tree.Mapped() {
+		mapped = 1
+	}
 	return Counters{
 		PostingFetches:  ix.fetches.Load(),
 		PlanCacheHits:   hits,
@@ -168,8 +198,13 @@ func (ix *Index) Counters() Counters {
 		LiveTrees:       ix.meta.NumTrees,
 		Segments:        1,
 		SegmentBytes:    ix.meta.IndexBytes + ix.meta.DataBytes,
+		MmapLeaves:      mapped,
 	}
 }
+
+// Mapped reports whether the index leaf is served from a memory
+// mapping.
+func (ix *Index) Mapped() bool { return ix.tree.Mapped() }
 
 // Query evaluates q and returns its matches sorted by (tid, root pre).
 func (ix *Index) Query(q *query.Query) ([]Match, error) {
@@ -363,8 +398,10 @@ func postingPayload(k subtree.Key, get postingGetter) (payload []byte, count int
 
 // fetchPiece reads the posting list of one plan piece, decoded into
 // join relation form with tombstoned tids dropped (dels may be nil).
-// found=false means the key is absent (no matches).
-func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter, dels *TombSet) (join.Relation, int, bool, error) {
+// Node slices are carved from arena, so decoding allocates per chunk
+// rather than per entry; the relation stays valid for the arena's
+// lifetime. found=false means the key is absent (no matches).
+func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter, dels *TombSet, arena *postings.RefArena) (join.Relation, int, bool, error) {
 	payload, count, found, err := postingPayload(pp.Key, get)
 	if err != nil || !found {
 		return join.Relation{}, 0, false, err
@@ -373,28 +410,29 @@ func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter, dels *TombSet) (joi
 	switch ix.meta.Coding {
 	case postings.RootSplit:
 		rel.Slots = []int{pp.Root}
+		rel.Entries = make([]postings.IntervalEntry, 0, count)
 		it := postings.NewRootIterator(payload)
 		for it.Next() {
 			e := it.Entry()
 			if dels.Has(e.TID) {
 				continue
 			}
-			rel.Entries = append(rel.Entries, postings.IntervalEntry{
-				TID:   e.TID,
-				Nodes: []postings.NodeRef{e.NodeRef},
-			})
+			nodes := arena.Take(1)
+			nodes[0] = e.NodeRef
+			rel.Entries = append(rel.Entries, postings.IntervalEntry{TID: e.TID, Nodes: nodes})
 		}
 		if err := it.Err(); err != nil {
 			return join.Relation{}, 0, false, err
 		}
 	case postings.SubtreeInterval:
 		rel.Slots = pp.Slots
+		rel.Entries = make([]postings.IntervalEntry, 0, count)
 		it := postings.NewIntervalIterator(payload)
 		for it.Next() {
 			if dels.Has(it.TID()) {
 				continue
 			}
-			rel.Entries = append(rel.Entries, it.Entry())
+			rel.Entries = append(rel.Entries, it.EntryArena(arena))
 		}
 		if err := it.Err(); err != nil {
 			return join.Relation{}, 0, false, err
@@ -407,7 +445,7 @@ func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter, dels *TombSet) (joi
 			expanded := make([]postings.IntervalEntry, 0, len(rel.Entries)*len(pp.Perms))
 			for _, e := range rel.Entries {
 				for _, pm := range pp.Perms {
-					nodes := make([]postings.NodeRef, len(e.Nodes))
+					nodes := arena.Take(len(e.Nodes))
 					for i, src := range pm {
 						nodes[i] = e.Nodes[src]
 					}
@@ -425,12 +463,13 @@ func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter, dels *TombSet) (joi
 // evalJoin evaluates a plan under root-split or subtree-interval coding.
 func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
 	st := &QueryStats{Pieces: len(pl.Pieces)}
-	var rels []join.Relation
+	rels := make([]join.Relation, 0, len(pl.Pieces))
+	var arena postings.RefArena // per-evaluation: rels die with the matches
 	for _, pp := range pl.Pieces {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, nil, err
 		}
-		rel, _, found, err := ix.fetchPiece(pp, get, ev.dels)
+		rel, _, found, err := ix.fetchPiece(pp, get, ev.dels, &arena)
 		if err != nil {
 			return nil, 0, nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -543,6 +544,114 @@ func TestCompactionDuringPinnedStream(t *testing.T) {
 	}
 	if _, err := l.Tree(396); err != nil {
 		t.Fatalf("Tree(396) on the compacted index: %v", err)
+	}
+}
+
+// TestCompactionDuringPinnedMmapStream is the mmap-backend shape of
+// the retirement-safety proof above: a stream pinned mid-All() reads
+// its matches as subslices of the retired segments' memory mappings,
+// so those mappings (and the directories backing them) must survive
+// Compact and a subsequent Reload until the last reader drains — an
+// early munmap would fault, not just misread. The post-swap epoch must
+// come up mapped as well.
+func TestCompactionDuringPinnedMmapStream(t *testing.T) {
+	trees := shardCorpus(400)
+	dir := filepath.Join(t.TempDir(), "ix")
+	if _, err := BuildSharded(dir, trees[:250], Options{MSS: 3, Coding: postings.RootSplit}, 1); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLive(dir, OpenOptions{Mmap: MmapAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mapped := l.Counters().MmapLeaves > 0
+	if runtime.GOOS == "linux" && !mapped {
+		t.Fatal("MmapAuto opened zero mapped leaves on linux")
+	}
+	if !mapped {
+		t.Skip("mmap unavailable on this platform; the pread shape is TestCompactionDuringPinnedStream")
+	}
+	ctx := context.Background()
+	if _, err := l.Append(ctx, trees[250:], 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	const q = "S(NP)(VP)"
+	if _, err := l.Delete(ctx, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := l.QueryText(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := l.SearchStream(ctx, q, SearchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, stop := iter.Pull2(stream.All())
+	first, ferr, ok := next()
+	if !ok || ferr != nil {
+		t.Fatalf("first streamed match: ok=%v err=%v", ok, ferr)
+	}
+	oldDirs := []string{filepath.Join(dir, segDirName(1)), filepath.Join(dir, segDirName(2))}
+
+	compacted, _, err := l.Compact(ctx, CompactOptions{})
+	if err != nil || !compacted {
+		t.Fatalf("Compact under a pinned mmap stream = (%v, %v), want (true, nil)", compacted, err)
+	}
+	// Pile a Reload on top of the compaction swap: the pinned epoch now
+	// trails the published one by two swaps and must still be intact.
+	if _, err := l.Reload(); err != nil {
+		t.Fatalf("Reload under a pinned mmap stream: %v", err)
+	}
+	for _, d := range oldDirs {
+		if _, err := os.Stat(d); err != nil {
+			t.Fatalf("retired segment %s removed while a stream still reads its mapping: %v", d, err)
+		}
+	}
+
+	// Draining decodes every remaining match through the retired
+	// mappings — this is where a premature munmap would fault.
+	got := []Match{first}
+	for {
+		m, serr, ok := next()
+		if !ok {
+			break
+		}
+		if serr != nil {
+			t.Fatalf("streaming across compaction+reload: %v", serr)
+		}
+		got = append(got, m)
+	}
+	stop()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pinned mmap stream returned %d matches, want the %d pre-compaction matches", len(got), len(want))
+	}
+
+	// Last reader drained: the retired directories (and mappings) go.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gone := true
+		for _, d := range oldDirs {
+			if _, err := os.Stat(d); !os.IsNotExist(err) {
+				gone = false
+			}
+		}
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retired segment directories still on disk after the last mmap reader drained")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The compacted epoch serves the survivors, still memory-mapped.
+	if got, want := l.Meta().NumTrees, 397; got != want {
+		t.Fatalf("NumTrees = %d after compaction, want %d", got, want)
+	}
+	if l.Counters().MmapLeaves == 0 {
+		t.Fatal("post-compaction epoch lost its mappings")
 	}
 }
 

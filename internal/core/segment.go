@@ -173,7 +173,7 @@ func OpenLive(dir string, opts OpenOptions) (*Live, error) {
 	}
 	l := &Live{
 		dir:      dir,
-		leafOpts: OpenOptions{CacheSize: opts.CacheSize},
+		leafOpts: OpenOptions{CacheSize: opts.CacheSize, Mmap: opts.Mmap},
 		plans:    newPlanner(meta, opts.PlanCache),
 		openSegs: make(map[*segment]struct{}),
 	}
@@ -454,6 +454,9 @@ func (l *Live) Counters() Counters {
 		TombstonedTrees: info.deleted,
 		Segments:        info.segments,
 		SegmentBytes:    info.meta.IndexBytes + info.meta.DataBytes,
+	}
+	if e := l.cur.Load(); e != nil {
+		c.MmapLeaves = e.set.mappedLeaves()
 	}
 	l.statsMu.Lock()
 	c.PostingFetches = l.retiredFetches

@@ -243,6 +243,17 @@ func (ls leafSet) sumFetches() uint64 {
 	return n
 }
 
+// mappedLeaves counts the leaves served from a memory mapping.
+func (ls leafSet) mappedLeaves() int {
+	n := 0
+	for _, sh := range ls.leaves {
+		if sh.Mapped() {
+			n++
+		}
+	}
+	return n
+}
+
 // lookupKey sums the key's live posting count over all leaves
 // (tombstoned postings excluded).
 func (ls leafSet) lookupKey(k subtree.Key) (int, error) {
@@ -555,6 +566,7 @@ func (s *Sharded) Counters() Counters {
 		LiveTrees:       s.meta.NumTrees,
 		Segments:        1,
 		SegmentBytes:    s.meta.IndexBytes + s.meta.DataBytes,
+		MmapLeaves:      s.set.mappedLeaves(),
 	}
 }
 

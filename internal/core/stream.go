@@ -172,10 +172,13 @@ func emptyStream() *matchStream {
 // rootCursor adapts a root-split posting iterator to the join's entry
 // cursor: each posting becomes a one-column entry binding the piece
 // root. Postings of tombstoned trees are skipped before the join sees
-// them (dels may be nil).
+// them (dels may be nil). Node slices come from a per-cursor arena, so
+// emitted entries stay valid for the cursor's (hence the stream's)
+// lifetime without a per-entry allocation.
 type rootCursor struct {
-	it   *postings.RootIterator
-	dels *TombSet
+	it    *postings.RootIterator
+	dels  *TombSet
+	arena postings.RefArena
 }
 
 // Next decodes the next surviving root-split posting.
@@ -185,7 +188,9 @@ func (c *rootCursor) Next() (postings.IntervalEntry, bool) {
 		if c.dels.Has(e.TID) {
 			continue
 		}
-		return postings.IntervalEntry{TID: e.TID, Nodes: []postings.NodeRef{e.NodeRef}}, true
+		nodes := c.arena.Take(1)
+		nodes[0] = e.NodeRef
+		return postings.IntervalEntry{TID: e.TID, Nodes: nodes}, true
 	}
 	return postings.IntervalEntry{}, false
 }
@@ -206,6 +211,7 @@ type intervalCursor struct {
 	dels  *TombSet
 	cur   postings.IntervalEntry
 	pi    int // next perm of cur to emit; >= len(perms) pulls a fresh instance
+	arena postings.RefArena
 }
 
 // advance pulls the next surviving instance off the iterator.
@@ -224,18 +230,18 @@ func (c *intervalCursor) Next() (postings.IntervalEntry, bool) {
 		if !c.advance() {
 			return postings.IntervalEntry{}, false
 		}
-		return c.it.Entry(), true
+		return c.it.EntryArena(&c.arena), true
 	}
 	if c.pi >= len(c.perms) {
 		if !c.advance() {
 			return postings.IntervalEntry{}, false
 		}
-		c.cur = c.it.Entry()
+		c.cur = c.it.EntryArena(&c.arena)
 		c.pi = 0
 	}
 	pm := c.perms[c.pi]
 	c.pi++
-	nodes := make([]postings.NodeRef, len(c.cur.Nodes))
+	nodes := c.arena.Take(len(c.cur.Nodes))
 	for i, src := range pm {
 		nodes[i] = c.cur.Nodes[src]
 	}

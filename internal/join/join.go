@@ -138,12 +138,13 @@ func Run(ctx context.Context, q *query.Query, rels []Relation, opt Options) ([]M
 	}
 
 	cc := &canceller{ctx: ctx}
+	var arena postings.RefArena // per-run: rows die with the matches
 	cur := newTable(rels[order[0]])
 	for _, ri := range order[1:] {
 		if err := ctx.Err(); err != nil {
 			return nil, info, err
 		}
-		cur, err = joinStep(cc, cur, rels[ri], preds)
+		cur, err = joinStep(cc, cur, rels[ri], preds, &arena)
 		if err != nil {
 			return nil, info, err
 		}
@@ -308,9 +309,11 @@ func newTable(r Relation) *table {
 
 // joinStep merge-joins cur with relation r, applying every predicate
 // that becomes checkable (both nodes bound) and keeping shared-slot
-// equality implicit predicates. It aborts with the context's error
-// when cc observes cancellation mid-merge.
-func joinStep(cc *canceller, cur *table, r Relation, preds []pred) (*table, error) {
+// equality implicit predicates. Result-row bindings are carved from
+// arena, so a step allocates per chunk rather than per surviving row.
+// It aborts with the context's error when cc observes cancellation
+// mid-merge.
+func joinStep(cc *canceller, cur *table, r Relation, preds []pred, arena *postings.RefArena) (*table, error) {
 	// Columns of the result: existing + new slots of r.
 	out := &table{col: map[int]int{}}
 	for k, v := range cur.col {
@@ -356,7 +359,7 @@ func joinStep(cc *canceller, cur *table, r Relation, preds []pred) (*table, erro
 					residual = append(residual, p)
 				}
 			}
-			rows, err := stackJoin(cc, cur, r, out, newSlots, driver, uInCur, residual)
+			rows, err := stackJoin(cc, cur, r, out, newSlots, driver, uInCur, residual, arena)
 			if err != nil {
 				return nil, err
 			}
@@ -365,11 +368,20 @@ func joinStep(cc *canceller, cur *table, r Relation, preds []pred) (*table, erro
 		}
 	}
 
-	// Sort both sides by tid and merge per-tid blocks, applying shared
-	// slot equalities and active predicates with a block nested loop.
-	sort.Slice(cur.rows, func(i, j int) bool { return cur.rows[i].tid < cur.rows[j].tid })
-	entries := append([]postings.IntervalEntry(nil), r.Entries...)
-	sort.Slice(entries, func(i, j int) bool { return entries[i].TID < entries[j].TID })
+	// Merge per-tid blocks, applying shared slot equalities and active
+	// predicates with a block nested loop. Both sides are tid-sorted by
+	// construction (posting lists are tid-ordered and join outputs keep
+	// that order), so the checks below are O(n) reassurance that only
+	// falls back to sorting — copying r.Entries first, which belong to
+	// the caller — on inputs this package did not produce.
+	if !sort.SliceIsSorted(cur.rows, func(i, j int) bool { return cur.rows[i].tid < cur.rows[j].tid }) {
+		sort.Slice(cur.rows, func(i, j int) bool { return cur.rows[i].tid < cur.rows[j].tid })
+	}
+	entries := r.Entries
+	if !sort.SliceIsSorted(entries, func(i, j int) bool { return entries[i].TID < entries[j].TID }) {
+		entries = append([]postings.IntervalEntry(nil), r.Entries...)
+		sort.Slice(entries, func(i, j int) bool { return entries[i].TID < entries[j].TID })
+	}
 
 	var rows []row
 	i, j := 0, 0
@@ -396,7 +408,7 @@ func joinStep(cc *canceller, cur *table, r Relation, preds []pred) (*table, erro
 					if !sharedEqual(cur.rows[a], entries[b], sharedSlots) {
 						continue
 					}
-					nr := combine(cur.rows[a], entries[b], newSlots)
+					nr := combine(cur.rows[a], entries[b], newSlots, arena)
 					if satisfies(nr, out.col, active) {
 						rows = append(rows, nr)
 					}
@@ -418,11 +430,14 @@ func sharedEqual(a row, e postings.IntervalEntry, shared [][2]int) bool {
 	return true
 }
 
-func combine(a row, e postings.IntervalEntry, newSlots []int) row {
-	bind := make([]postings.NodeRef, len(a.bind), len(a.bind)+len(newSlots))
-	copy(bind, a.bind)
+// combine extends row a with e's new-slot bindings, carving the wider
+// binding slice from arena.
+func combine(a row, e postings.IntervalEntry, newSlots []int, arena *postings.RefArena) row {
+	bind := arena.Take(len(a.bind) + len(newSlots))
+	n := copy(bind, a.bind)
 	for _, i := range newSlots {
-		bind = append(bind, e.Nodes[i])
+		bind[n] = e.Nodes[i]
+		n++
 	}
 	return row{tid: a.tid, bind: bind}
 }

@@ -51,7 +51,7 @@ type stackItem struct {
 // block join's per-tree nested loops. Residual predicates are applied
 // to each emitted row. cc aborts the pass when its context expires.
 func stackJoin(cc *canceller, cur *table, r Relation, out *table, newSlots []int,
-	driver pred, uInCur bool, residual []pred) ([]row, error) {
+	driver pred, uInCur bool, residual []pred, arena *postings.RefArena) ([]row, error) {
 
 	uCol := -1
 	if uInCur {
@@ -66,8 +66,14 @@ func stackJoin(cc *canceller, cur *table, r Relation, out *table, newSlots []int
 		vCol = cur.col[driver.v]
 	}
 
-	anc := make([]stackItem, 0)
-	desc := make([]stackItem, 0)
+	var ancN, descN int
+	if uInCur {
+		ancN, descN = len(cur.rows), len(r.Entries)
+	} else {
+		ancN, descN = len(r.Entries), len(cur.rows)
+	}
+	anc := make([]stackItem, 0, ancN)
+	desc := make([]stackItem, 0, descN)
 	if uInCur {
 		for i, rw := range cur.rows {
 			anc = append(anc, stackItem{tid: rw.tid, ref: rw.bind[uCol], side: i})
@@ -105,9 +111,9 @@ func stackJoin(cc *canceller, cur *table, r Relation, out *table, newSlots []int
 		}
 		var nr row
 		if uInCur {
-			nr = combine(cur.rows[a.side], r.Entries[d.side], newSlots)
+			nr = combine(cur.rows[a.side], r.Entries[d.side], newSlots, arena)
 		} else {
-			nr = combine(cur.rows[d.side], r.Entries[a.side], newSlots)
+			nr = combine(cur.rows[d.side], r.Entries[a.side], newSlots, arena)
 		}
 		if satisfies(nr, out.col, residual) {
 			rows = append(rows, nr)
@@ -117,19 +123,21 @@ func stackJoin(cc *canceller, cur *table, r Relation, out *table, newSlots []int
 	// Group ancestor items sharing the same (tid, pre): distinct
 	// intermediate rows routinely bind the same ancestor node, and the
 	// nesting-chain argument only holds for distinct intervals. Each
-	// stack level is therefore a group of items on one tree node.
+	// stack level is therefore a group of items on one tree node — a
+	// contiguous run anc[lo:hi] of the sorted slice, so grouping costs
+	// no per-group allocation.
 	type group struct {
-		head  stackItem
-		items []stackItem
+		head   stackItem
+		lo, hi int // anc[lo:hi] are the group's items
 	}
 	var groups []group
-	for _, a := range anc {
+	for i, a := range anc {
 		n := len(groups)
 		if n > 0 && groups[n-1].head.tid == a.tid && groups[n-1].head.ref.Pre == a.ref.Pre {
-			groups[n-1].items = append(groups[n-1].items, a)
+			groups[n-1].hi = i + 1
 			continue
 		}
-		groups = append(groups, group{head: a, items: []stackItem{a}})
+		groups = append(groups, group{head: a, lo: i, hi: i + 1})
 	}
 
 	var stack []group
@@ -150,7 +158,7 @@ func stackJoin(cc *canceller, cur *table, r Relation, out *table, newSlots []int
 			stack = stack[:len(stack)-1]
 		}
 		for _, g := range stack {
-			for _, a := range g.items {
+			for _, a := range anc[g.lo:g.hi] {
 				if err := cc.check(); err != nil {
 					return nil, err
 				}

@@ -61,6 +61,8 @@ type Stream struct {
 	buf  []Match // matches of the current tid, drained in order
 	bufI int
 
+	arena postings.RefArena // row bindings of per-tid joins, amortized
+
 	read int // entries pulled from cursors
 	rows int // read + rows produced by join steps
 	done bool
@@ -256,7 +258,7 @@ func (s *Stream) joinTID() ([]Match, int, error) {
 	cur := newTable(s.minis[s.order[0]])
 	var err error
 	for _, ri := range s.order[1:] {
-		cur, err = joinStep(s.cc, cur, s.minis[ri], s.preds)
+		cur, err = joinStep(s.cc, cur, s.minis[ri], s.preds, &s.arena)
 		if err != nil {
 			return nil, rows, err
 		}

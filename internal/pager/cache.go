@@ -72,14 +72,20 @@ func newPageCache(totalPages int) *pageCache {
 	return c
 }
 
-// get copies page id into buf and promotes it, reporting whether it was
-// cached.
-func (c *pageCache) get(id uint32, buf []byte) bool {
+// getRef returns the cached page image itself (no copy) and promotes
+// it. Entries are immutable once inserted, so handing out the slice is
+// safe under the borrow contract: even if the entry is evicted while a
+// reader still holds the slice, the garbage collector keeps the bytes
+// alive. The old get-into-caller-buffer API forced a copy here that
+// every caller immediately re-copied; returning the reference removes
+// both.
+func (c *pageCache) getRef(id uint32) ([]byte, bool) {
 	s := &c.shards[id%c.nshards]
 	s.mu.Lock()
 	el, ok := s.m[id]
+	var data []byte
 	if ok {
-		copy(buf, el.Value.(*cacheEntry).data)
+		data = el.Value.(*cacheEntry).data
 		s.lru.MoveToFront(el)
 	}
 	s.mu.Unlock()
@@ -88,13 +94,19 @@ func (c *pageCache) get(id uint32, buf []byte) bool {
 	} else {
 		c.misses.Add(1)
 	}
-	return ok
+	return data, ok
 }
 
-// put stores a copy of data as page id, evicting the least recently
-// used entry of the shard when full.
+// put stores a copy of data as page id; use putOwned when the caller
+// can transfer ownership instead.
 func (c *pageCache) put(id uint32, data []byte) {
-	cp := append([]byte(nil), data...)
+	c.putOwned(id, append([]byte(nil), data...))
+}
+
+// putOwned stores data — whose ownership transfers to the cache, so it
+// must never be written again — as page id, evicting the least
+// recently used entry of the shard when full.
+func (c *pageCache) putOwned(id uint32, cp []byte) {
 	s := &c.shards[id%c.nshards]
 	s.mu.Lock()
 	if el, ok := s.m[id]; ok {

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package pager
+
+import "errors"
+
+// errNoMmap makes OpenWith fall back to the pread backend on platforms
+// without memory mapping; it is never surfaced to callers.
+var errNoMmap = errors.New("pager: mmap unsupported on this platform")
+
+// mmapFile is the non-unix stub: always fails, so opens requesting
+// Mmap silently serve reads through ReadAt instead.
+func mmapFile(fd uintptr, size int) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+// munmapFile is the non-unix stub; it is unreachable because mmapFile
+// never succeeds.
+func munmapFile(data []byte) error { return nil }

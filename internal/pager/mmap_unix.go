@@ -1,0 +1,17 @@
+//go:build unix
+
+package pager
+
+import "syscall"
+
+// mmapFile maps size bytes of the open file read-only and shared.
+// Platforms without mmap build the stub in mmap_stub.go instead, which
+// makes every caller fall back to the pread path.
+func mmapFile(fd uintptr, size int) ([]byte, error) {
+	return syscall.Mmap(int(fd), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -76,6 +76,40 @@ type NodeRef struct {
 	Order uint32 // pre-order rank in the data tree (== Pre here; kept for paper parity)
 }
 
+// RefArena amortizes NodeRef slice allocations across many decoded
+// posting entries: Take carves fixed-size slices out of chunked
+// backing arrays, so decoding a whole posting list costs one
+// allocation per chunk instead of one per entry. Slices returned by
+// Take stay valid for the arena's lifetime (retired chunks are kept
+// alive by the entries referencing them); the arena itself is
+// per-cursor or per-query and must not be shared across goroutines.
+type RefArena struct {
+	buf []NodeRef
+}
+
+// refArenaChunk is the minimum backing-array size Take allocates.
+const refArenaChunk = 1024
+
+// Take returns a fresh slice of n NodeRefs for the caller to fill,
+// carved from the current chunk (a new chunk is allocated when the
+// current one is exhausted). The full-slice expression keeps later
+// Takes from aliasing earlier ones.
+func (a *RefArena) Take(n int) []NodeRef {
+	if n <= 0 {
+		return nil
+	}
+	if len(a.buf)+n > cap(a.buf) {
+		sz := refArenaChunk
+		if n > sz {
+			sz = n
+		}
+		a.buf = make([]NodeRef, 0, sz)
+	}
+	start := len(a.buf)
+	a.buf = a.buf[:start+n]
+	return a.buf[start : start+n : start+n]
+}
+
 // RootEntry is one root-split posting.
 type RootEntry struct {
 	TID     uint32 // tree identifier
@@ -379,6 +413,15 @@ func (it *IntervalIterator) Nodes() []NodeRef { return it.nodes }
 // Entry returns a copy of the current posting.
 func (it *IntervalIterator) Entry() IntervalEntry {
 	return IntervalEntry{TID: it.tid, Nodes: append([]NodeRef(nil), it.nodes...)}
+}
+
+// EntryArena is Entry with the node copy carved from a instead of
+// freshly allocated — the bulk-decode path uses it so a whole posting
+// list costs one allocation per arena chunk.
+func (it *IntervalIterator) EntryArena(a *RefArena) IntervalEntry {
+	nodes := a.Take(len(it.nodes))
+	copy(nodes, it.nodes)
+	return IntervalEntry{TID: it.tid, Nodes: nodes}
 }
 
 // Err reports a decoding error, if any.

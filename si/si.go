@@ -185,7 +185,24 @@ type OpenOptions struct {
 	// entirely. The default 0 disables plan caching; serving
 	// deployments typically set a few thousand entries.
 	PlanCacheSize int
+	// Mmap selects the read backend for index files. The default
+	// (MmapAuto) memory-maps them so page reads are zero-copy subslices
+	// of the mapping; MmapOff forces positioned reads. When mapping is
+	// unavailable the open silently falls back to pread — results are
+	// identical either way.
+	Mmap MmapMode
 }
+
+// MmapMode selects the index file read backend; see OpenOptions.Mmap.
+type MmapMode = core.MmapMode
+
+// Mmap modes for OpenOptions.Mmap.
+const (
+	// MmapAuto (the default) memory-maps index files when possible.
+	MmapAuto = core.MmapAuto
+	// MmapOff forces positioned reads.
+	MmapOff = core.MmapOff
+)
 
 // ErrClosed is returned (wrapped) by operations on an Index after
 // Close; test with errors.Is.
@@ -200,6 +217,7 @@ func OpenWith(dir string, opts OpenOptions) (*Index, error) {
 	ix, err := core.OpenLive(dir, core.OpenOptions{
 		CacheSize: opts.CacheSize,
 		PlanCache: opts.PlanCacheSize,
+		Mmap:      opts.Mmap,
 	})
 	if err != nil {
 		return nil, err
