@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-json bench-baseline fuzz-short lint serve serve-append-smoke docs-check examples ci
+.PHONY: build test bench bench-json bench-baseline fuzz-short lint serve serve-append-smoke serve-cluster-smoke docs-check examples ci
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,13 @@ serve:
 # -append + POST /reload against the same never-restarted server.
 serve-append-smoke:
 	sh scripts/serve-append-smoke.sh
+
+# Distributed-serving smoke (also run by the CI serve job): leader +
+# follower sisrv with pull replication, sirouter over the pair, a
+# replica killed mid-stream (client stream completes via failover),
+# admission-control saturation shedding 429s, SIGTERM drain.
+serve-cluster-smoke:
+	sh scripts/serve-cluster-smoke.sh
 
 # Documentation checks: markdown link integrity + doc-comment coverage
 # of every exported identifier (docs_check_test.go), plus vet.

@@ -1,0 +1,128 @@
+// Command sirouter serves a Subtree Index cluster: it scatter-gathers
+// /search, /count, /batch and /stream over a static set of sisrv node
+// groups (each group one contiguous tid-range of the corpus, each
+// group a set of identical replicas), merging results with the exact
+// window and truncation semantics of a single sharded sisrv over the
+// same corpus. /stats merges every node's stats into a cluster view;
+// /healthz and /readyz report the replica set.
+//
+// Topology is declarative: groups are comma-separated in tid order,
+// replicas pipe-separated within a group —
+//
+//	sirouter -addr :9000 -nodes 'http://a:9101|http://b:9101,http://c:9102'
+//
+// declares two tid-range partitions, the first served by replicas a
+// and b. Query the router exactly like a node:
+//
+//	curl 'localhost:9000/search?q=NP(DT)(NN)&limit=3&offset=1'
+//	curl 'localhost:9000/stream?q=NP(DT)(NN)&limit=1000'
+//	curl -d '{"queries":["NP(DT)(NN)","S(//NN)"]}' localhost:9000/batch
+//
+// A health loop polls every node's /readyz on -health-every and routes
+// around not-ready replicas. Unary subrequests are hedged: when a
+// replica has not answered within its recent p95 latency (or
+// -hedge-after before enough history exists), a duplicate goes to the
+// next replica and the first answer wins, the loser cancelled.
+// /stream subrequests fail over with offset resume: if a replica dies
+// mid-stream, the next replica continues from the exact match the dead
+// one stopped at and the client stream completes.
+//
+// Node match caps must cover the router's windows (run nodes with
+// -limit -1, or at least the router's -limit), or per-node windows
+// arrive clipped and the router flags the result truncated.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":9000", "listen address")
+	nodes := flag.String("nodes", "", "node topology: comma-separated tid-range groups of pipe-separated replica URLs, e.g. 'http://a:9101|http://b:9101,http://c:9102'")
+	limit := flag.Int("limit", server.DefaultMaxMatches, "max matches returned per routed query (-1 = unlimited; node -limit must be at least this)")
+	maxbatch := flag.Int("maxbatch", server.DefaultMaxBatch, "max queries per /batch request")
+	timeout := flag.Duration("timeout", 30*time.Second, "default end-to-end deadline per routed request; requests may shorten it with ?timeout= (0 = none)")
+	healthEvery := flag.Duration("health-every", cluster.DefaultHealthEvery, "how often each node's /readyz is polled")
+	hedgeAfter := flag.Duration("hedge-after", cluster.DefaultHedgeAfter, "hedge a unary subrequest to the next replica after this long, until the node's p95 latency takes over (negative = never hedge)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown: how long to wait for in-flight requests")
+	flag.Parse()
+
+	if err := run(*addr, *nodes, *limit, *maxbatch, *timeout, *healthEvery, *hedgeAfter, *drain); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run builds the router over the node topology and serves it until
+// SIGINT/SIGTERM, then drains gracefully.
+func run(addr, nodes string, limit, maxbatch int, timeout, healthEvery, hedgeAfter, drain time.Duration) error {
+	if nodes == "" {
+		return errors.New("sirouter: set -nodes (e.g. -nodes 'http://a:9101,http://b:9102')")
+	}
+	groups, err := cluster.ParseNodes(nodes)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.New(cluster.Config{
+		Groups:      groups,
+		MaxMatches:  limit,
+		MaxBatch:    maxbatch,
+		Timeout:     timeout,
+		HealthEvery: healthEvery,
+		HedgeAfter:  hedgeAfter,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	log.Printf("routing %d group(s) over %d node(s)", len(groups), total)
+
+	writeTimeout := time.Duration(0)
+	if timeout > 0 {
+		writeTimeout = timeout + 30*time.Second
+		if writeTimeout < 60*time.Second {
+			writeTimeout = 60 * time.Second
+		}
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down: draining for up to %s", drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("sirouter: shutdown: %w", err)
+		}
+		return nil
+	}
+}

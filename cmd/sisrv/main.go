@@ -1,9 +1,9 @@
 // Command sisrv serves a Subtree Index over HTTP: JSON endpoints
 // /search, /stream (NDJSON), /count, /batch, /append, /delete,
-// /compact, /reload, /healthz and /stats over one long-lived index, so
-// open/parse/decompose costs are amortized across requests. Every
-// request evaluates under a context bounded by -timeout (requests may
-// shorten it with ?timeout=).
+// /compact, /reload, /healthz, /readyz and /stats over one long-lived
+// index, so open/parse/decompose costs are amortized across requests.
+// Every request evaluates under a context bounded by -timeout
+// (requests may shorten it with ?timeout=).
 //
 // Serve an existing index directory:
 //
@@ -42,6 +42,16 @@
 // folding a stream of small appends and deletes back into one segment
 // without interrupting queries. docs/SEGMENTS.md walks the whole
 // lifecycle.
+//
+// For cluster serving (see cmd/sirouter and docs/ARCHITECTURE.md):
+// -maxinflight bounds concurrent query evaluations, shedding the
+// excess with 429 + Retry-After instead of queueing; -follow makes the
+// node a read-only replica that pulls the leader's published segments
+// over /manifest + /segment every -sync-every and reloads; and on
+// SIGTERM the server flips /readyz to 503, then drains in-flight
+// requests for up to -drain before exiting, so load balancers and
+// routers take the node out of rotation without cutting active
+// streams.
 package main
 
 import (
@@ -56,37 +66,60 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/si"
 )
 
 func main() {
-	dir := flag.String("index", "", "index directory to serve (required unless -gen is set)")
-	addr := flag.String("addr", ":8080", "listen address")
-	gen := flag.Int("gen", 0, "build a temporary index over this many synthetic trees instead of -index")
-	seed := flag.Uint64("seed", 42, "seed for -gen")
-	mss := flag.Int("mss", 3, "maximum subtree size for -gen (1..6)")
-	shards := flag.Int("shards", 1, "shard count for -gen")
+	var sc serveConfig
+	flag.StringVar(&sc.dir, "index", "", "index directory to serve (required unless -gen is set)")
+	flag.StringVar(&sc.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&sc.gen, "gen", 0, "build a temporary index over this many synthetic trees instead of -index")
+	flag.Uint64Var(&sc.seed, "seed", 42, "seed for -gen")
+	flag.IntVar(&sc.mss, "mss", 3, "maximum subtree size for -gen (1..6)")
+	flag.IntVar(&sc.shards, "shards", 1, "shard count for -gen")
 	cache := flag.Int64("cache", 0, "LRU page cache bytes per index file (0 = uncached, the paper's setup; unused while mmap serves the file)")
 	mmap := flag.Bool("mmap", true, "memory-map index files for zero-copy page reads (falls back to pread when mapping is unavailable)")
 	plancache := flag.Int("plancache", 4096, "LRU query-plan cache entries (0 = disabled)")
-	limit := flag.Int("limit", server.DefaultMaxMatches, "max matches returned per query (-1 = unlimited)")
-	maxbatch := flag.Int("maxbatch", server.DefaultMaxBatch, "max queries per /batch request")
-	maxappend := flag.Int64("maxappend", server.DefaultMaxAppendBody, "max /append body bytes (-1 = disable /append, /delete and /compact)")
-	timeout := flag.Duration("timeout", 30*time.Second, "default per-request evaluation timeout; requests may shorten it with ?timeout= but never extend it (0 = none)")
-	compactEvery := flag.Duration("compact-every", 0, "check compaction thresholds at this interval and compact in the background when one is met (0 = no background compaction)")
-	compactMinSegments := flag.Int("compact-min-segments", 4, "background compaction threshold: compact at this many segments")
-	compactMinDeleted := flag.Int("compact-min-deleted", 64, "background compaction threshold: compact at this many tombstoned trees")
+	flag.IntVar(&sc.limit, "limit", server.DefaultMaxMatches, "max matches returned per query (-1 = unlimited)")
+	flag.IntVar(&sc.maxbatch, "maxbatch", server.DefaultMaxBatch, "max queries per /batch request")
+	flag.Int64Var(&sc.maxappend, "maxappend", server.DefaultMaxAppendBody, "max /append body bytes (-1 = disable /append, /delete and /compact)")
+	flag.IntVar(&sc.maxinflight, "maxinflight", 0, "max concurrently evaluating query requests; excess answered 429 + Retry-After without queueing (0 = unlimited)")
+	flag.DurationVar(&sc.timeout, "timeout", 30*time.Second, "default per-request evaluation timeout; requests may shorten it with ?timeout= but never extend it (0 = none)")
+	flag.DurationVar(&sc.drain, "drain", 10*time.Second, "graceful shutdown: how long to wait for in-flight requests after /readyz flips to 503")
+	flag.StringVar(&sc.follow, "follow", "", "replicate this leader sisrv URL: pull its published segments via /manifest + /segment and reload (forces -maxappend -1)")
+	flag.DurationVar(&sc.syncEvery, "sync-every", 5*time.Second, "how often a -follow node polls the leader for new segments")
+	flag.DurationVar(&sc.compact.every, "compact-every", 0, "check compaction thresholds at this interval and compact in the background when one is met (0 = no background compaction)")
+	flag.IntVar(&sc.compact.minSegments, "compact-min-segments", 4, "background compaction threshold: compact at this many segments")
+	flag.IntVar(&sc.compact.minDeleted, "compact-min-deleted", 64, "background compaction threshold: compact at this many tombstoned trees")
 	flag.Parse()
 
-	cc := compactConfig{every: *compactEvery, minSegments: *compactMinSegments, minDeleted: *compactMinDeleted}
-	open := si.OpenOptions{CacheSize: *cache, PlanCacheSize: *plancache}
+	sc.open = si.OpenOptions{CacheSize: *cache, PlanCacheSize: *plancache}
 	if !*mmap {
-		open.Mmap = si.MmapOff
+		sc.open.Mmap = si.MmapOff
 	}
-	if err := run(*dir, *addr, *gen, *seed, *mss, *shards, open, *limit, *maxbatch, *maxappend, *timeout, cc); err != nil {
+	if err := run(sc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// serveConfig carries the parsed flags into run.
+type serveConfig struct {
+	dir, addr   string
+	gen         int
+	seed        uint64
+	mss, shards int
+	open        si.OpenOptions
+	limit       int
+	maxbatch    int
+	maxappend   int64
+	maxinflight int
+	timeout     time.Duration
+	drain       time.Duration
+	follow      string
+	syncEvery   time.Duration
+	compact     compactConfig
 }
 
 // compactConfig drives the background compaction loop.
@@ -128,21 +161,81 @@ func compactLoop(ctx context.Context, ix *si.Index, cc compactConfig) {
 	}
 }
 
-// run builds or opens the index and serves it until SIGINT/SIGTERM.
-func run(dir, addr string, gen int, seed uint64, mss, shards int, open si.OpenOptions, limit, maxbatch int, maxappend int64, timeout time.Duration, cc compactConfig) error {
-	if dir == "" && gen == 0 {
+// syncLoop polls the leader every sc.syncEvery, pulls new segments and
+// reloads, until ctx is cancelled. A failed sync is logged and retried
+// at the next tick; the node keeps serving whatever generation it has.
+func syncLoop(ctx context.Context, ix *si.Index, sc serveConfig) {
+	hc := &http.Client{}
+	t := time.NewTicker(sc.syncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		res, err := cluster.Sync(ctx, hc, sc.follow, sc.dir)
+		if err != nil {
+			if ctx.Err() == nil {
+				log.Printf("sync from %s failed (retrying next tick): %v", sc.follow, err)
+			}
+			continue
+		}
+		if !res.Changed {
+			continue
+		}
+		if _, err := ix.Reload(); err != nil {
+			log.Printf("reload after sync failed: %v", err)
+			continue
+		}
+		log.Printf("synced to generation %d from %s (%d segment(s) fetched), %d trees",
+			res.Generation, sc.follow, res.Fetched, ix.NumTrees())
+		if err := cluster.RemoveStaleSegments(sc.dir, res.Segments); err != nil {
+			log.Printf("stale segment cleanup: %v", err)
+		}
+	}
+}
+
+// initialSync blocks until the first successful pull from the leader
+// (retrying every sc.syncEvery), so a brand-new follower has an index
+// to open before it starts listening.
+func initialSync(ctx context.Context, sc serveConfig) error {
+	hc := &http.Client{}
+	for {
+		res, err := cluster.Sync(ctx, hc, sc.follow, sc.dir)
+		if err == nil {
+			log.Printf("following %s at generation %d (%d segment(s) fetched)",
+				sc.follow, res.Generation, res.Fetched)
+			return nil
+		}
+		log.Printf("initial sync from %s failed (retrying in %s): %v", sc.follow, sc.syncEvery, err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(sc.syncEvery):
+		}
+	}
+}
+
+// run builds, opens or replicates the index and serves it until
+// SIGINT/SIGTERM, then drains gracefully.
+func run(sc serveConfig) error {
+	if sc.dir == "" && sc.gen == 0 {
 		return errors.New("sisrv: set -index to serve an existing index, or -gen N to build a demo index")
 	}
-	if dir == "" {
+	if sc.follow != "" && sc.dir == "" {
+		return errors.New("sisrv: -follow needs -index (the local replica directory)")
+	}
+	if sc.dir == "" {
 		tmp, err := os.MkdirTemp("", "sisrv-")
 		if err != nil {
 			return err
 		}
 		defer os.RemoveAll(tmp)
-		dir = tmp
-		log.Printf("building demo index: %d trees, seed %d, mss %d, %d shard(s)", gen, seed, mss, shards)
-		info, err := si.Build(dir, si.GenerateCorpus(seed, gen), si.BuildOptions{
-			MSS: mss, Coding: si.RootSplit, Shards: shards,
+		sc.dir = tmp
+		log.Printf("building demo index: %d trees, seed %d, mss %d, %d shard(s)", sc.gen, sc.seed, sc.mss, sc.shards)
+		info, err := si.Build(sc.dir, si.GenerateCorpus(sc.seed, sc.gen), si.BuildOptions{
+			MSS: sc.mss, Coding: si.RootSplit, Shards: sc.shards,
 		})
 		if err != nil {
 			return err
@@ -150,13 +243,35 @@ func run(dir, addr string, gen int, seed uint64, mss, shards int, open si.OpenOp
 		log.Printf("built: %d keys, %d postings, %d KiB index", info.Keys, info.Postings, info.IndexBytes/1024)
 	}
 
-	ix, err := si.OpenWith(dir, open)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if sc.follow != "" {
+		// A follower is a read-only replica: its segment set belongs to
+		// the leader, so the local mutation surface would only diverge
+		// the two — disable it.
+		sc.maxappend = -1
+		if err := initialSync(ctx, sc); err != nil {
+			return fmt.Errorf("sisrv: initial sync: %w", err)
+		}
+	}
+
+	ix, err := si.OpenWith(sc.dir, sc.open)
 	if err != nil {
 		return err
 	}
 	defer ix.Close()
 	log.Printf("serving %s: %d trees, %d shard(s), mss %d, %s coding",
-		dir, ix.NumTrees(), ix.Shards(), ix.MSS(), ix.Coding())
+		sc.dir, ix.NumTrees(), ix.Shards(), ix.MSS(), ix.Coding())
+
+	h := server.New(ix, server.Config{
+		MaxMatches:    sc.limit,
+		MaxBatch:      sc.maxbatch,
+		MaxAppendBody: sc.maxappend,
+		MaxInflight:   sc.maxinflight,
+		Timeout:       sc.timeout,
+		Dir:           sc.dir,
+	})
 
 	// The evaluation timeout flows to per-request contexts through
 	// server.Config; the http.Server write timeout is derived from it
@@ -166,45 +281,55 @@ func run(dir, addr string, gen int, seed uint64, mss, shards int, open si.OpenOp
 	// either level: the write timeout is disabled too, or a >60s
 	// evaluation would have its connection severed mid-response.
 	writeTimeout := time.Duration(0)
-	if timeout > 0 {
-		writeTimeout = timeout + 30*time.Second
+	if sc.timeout > 0 {
+		writeTimeout = sc.timeout + 30*time.Second
 		if writeTimeout < 60*time.Second {
 			writeTimeout = 60 * time.Second
 		}
 	}
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           server.New(ix, server.Config{MaxMatches: limit, MaxBatch: maxbatch, MaxAppendBody: maxappend, Timeout: timeout}),
+		Addr:              sc.addr,
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      writeTimeout,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if cc.every > 0 {
+	if sc.compact.every > 0 {
 		log.Printf("background compaction: every %s at >=%d segments or >=%d deleted trees",
-			cc.every, cc.minSegments, cc.minDeleted)
+			sc.compact.every, sc.compact.minSegments, sc.compact.minDeleted)
 		compactDone := make(chan struct{})
 		go func() {
 			defer close(compactDone)
-			compactLoop(ctx, ix, cc)
+			compactLoop(ctx, ix, sc.compact)
 		}()
 		// The loop must drain before the deferred ix.Close: a compaction
 		// in flight during shutdown still holds the index.
 		defer func() { stop(); <-compactDone }()
 	}
+	if sc.follow != "" {
+		syncDone := make(chan struct{})
+		go func() {
+			defer close(syncDone)
+			syncLoop(ctx, ix, sc)
+		}()
+		defer func() { stop(); <-syncDone }()
+	}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", addr)
+		log.Printf("listening on %s", sc.addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Printf("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: flip /readyz to 503 first so routers and load
+		// balancers stop sending work, then let Shutdown wait for
+		// in-flight requests (active streams included) up to -drain.
+		log.Printf("shutting down: draining for up to %s", sc.drain)
+		h.SetDraining(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), sc.drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			return fmt.Errorf("sisrv: shutdown: %w", err)

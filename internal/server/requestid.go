@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// Request IDs make one query traceable across the serving tier: sisrv
+// accepts (or mints) an X-Request-Id per request and echoes it in the
+// response headers, error logs and /stream summary lines; sirouter
+// propagates the same ID onto every per-node subrequest it fans out,
+// so a slow or failing query can be followed from the client through
+// the router to the node that served each piece.
+
+// RequestIDHeader is the header carrying the request ID.
+const RequestIDHeader = "X-Request-Id"
+
+// maxRequestIDLen bounds accepted client-supplied IDs; longer (or
+// malformed) ones are replaced rather than propagated.
+const maxRequestIDLen = 64
+
+// ridKey is the context key request IDs travel under.
+type ridKey struct{}
+
+// RequestID returns the request's ID: the client's X-Request-Id when
+// it is well-formed (printable ASCII, at most maxRequestIDLen bytes),
+// otherwise a freshly generated one.
+func RequestID(r *http.Request) string {
+	if rid := r.Header.Get(RequestIDHeader); validRequestID(rid) {
+		return rid
+	}
+	return NewRequestID()
+}
+
+// NewRequestID mints a fresh random request ID (16 hex chars).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant ID still
+		// keeps requests serviceable, just not distinguishable.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validRequestID accepts printable non-space ASCII up to the length
+// cap — enough for UUIDs and trace IDs, while rejecting header
+// injection and log garbage.
+func validRequestID(rid string) bool {
+	if rid == "" || len(rid) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(rid); i++ {
+		if rid[i] <= ' ' || rid[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// WithRequestID stashes a request ID in a context.
+func WithRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, ridKey{}, rid)
+}
+
+// RequestIDFrom returns the request ID stashed in ctx ("" when none).
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}

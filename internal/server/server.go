@@ -19,7 +19,10 @@
 //	POST /reload               pick up segments and tombstones published
 //	                           by another process
 //	GET  /healthz              liveness + corpus summary
+//	GET  /readyz               readiness: 503 while draining for shutdown
 //	GET  /stats                index info and cumulative serving counters
+//	GET  /manifest             on-disk manifest, for follower replication
+//	GET  /segment/{name}/{file} published segment payloads, range-served
 //
 // /append, /delete, /compact and /reload are the live-update surface:
 // each publishes a new segment set (or tombstone set) atomically and
@@ -50,11 +53,16 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/query"
 	"repro/si"
 )
@@ -87,6 +95,18 @@ type Config struct {
 	// request's timeout= parameter may shorten it but never extend it.
 	// 0 means no server-imposed deadline.
 	Timeout time.Duration
+	// MaxInflight bounds the number of concurrently evaluating query
+	// requests (/search, /count, /stream, /batch). Excess requests are
+	// rejected immediately with 429 and a Retry-After header — nothing
+	// queues, so a saturated node degrades with fast rejections instead
+	// of collapsing under unbounded goroutines. 0 means unlimited.
+	MaxInflight int
+	// Dir is the index directory the server is serving. When set, the
+	// replication surface is enabled: GET /manifest serves the on-disk
+	// manifest and GET /segment/{name}/{file} range-serves published
+	// segment files, so a follower node can pull the segment set and
+	// /reload it. Empty disables both endpoints (404).
+	Dir string
 }
 
 // normalize fills in defaults for zero fields.
@@ -112,9 +132,19 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 
+	// inflight is the admission-control semaphore over query
+	// evaluations; nil means unlimited. Acquisition never blocks: a
+	// full semaphore answers 429 instead of queueing the request.
+	inflight chan struct{}
+	// draining flips when graceful shutdown begins: /readyz turns 503
+	// so routers and load balancers stop sending new work while
+	// in-flight requests finish.
+	draining atomic.Bool
+
 	requests atomic.Uint64 // HTTP requests accepted
 	queries  atomic.Uint64 // queries evaluated (batch elements count individually)
 	errors   atomic.Uint64 // requests answered with an error status
+	rejected atomic.Uint64 // requests shed by admission control (429)
 }
 
 // New returns a handler serving ix. The index must stay open for the
@@ -122,6 +152,9 @@ type Server struct {
 func New(ix *si.Index, cfg Config) *Server {
 	cfg.normalize()
 	s := &Server{ix: ix, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/stream", s.handleStream)
 	s.mux.HandleFunc("/count", s.handleCount)
@@ -131,14 +164,56 @@ func New(ix *si.Index, cfg Config) *Server {
 	s.mux.HandleFunc("/compact", s.handleCompact)
 	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/manifest", s.handleManifest)
+	s.mux.HandleFunc("/segment/", s.handleSegment)
 	return s
 }
 
-// ServeHTTP dispatches to the endpoint handlers.
+// ServeHTTP dispatches to the endpoint handlers. Every request gets a
+// request ID — the client's X-Request-Id when it sent a sane one, a
+// fresh one otherwise — echoed in the response headers, carried in the
+// request context for error logs and stream summaries, and forwarded
+// by the router on per-node subrequests so one query is traceable
+// across the cluster.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	rid := RequestID(r)
+	w.Header().Set(RequestIDHeader, rid)
+	r = r.WithContext(WithRequestID(r.Context(), rid))
 	s.mux.ServeHTTP(w, r)
+}
+
+// SetDraining marks the server as draining (true) or serving (false).
+// While draining, /readyz answers 503 so routers and load balancers
+// take the node out of rotation; already-accepted requests are
+// unaffected. Call it when graceful shutdown begins, before
+// http.Server.Shutdown waits for in-flight requests.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// admit reserves an admission-control slot for one query evaluation,
+// answering 429 with a Retry-After header when the server is already
+// at MaxInflight. The returned release must be called exactly once
+// when the evaluation (including response writing, for /stream)
+// finishes; ok=false means the rejection response was already written.
+// Admission never queues: the goroutine count of a saturated server
+// stays bounded by MaxInflight plus the connections the HTTP server
+// itself accepts.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.inflight == nil {
+		return func() {}, true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, true
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, r, http.StatusTooManyRequests,
+			fmt.Sprintf("server at capacity (%d evaluations in flight); retry shortly", s.cfg.MaxInflight))
+		return nil, false
+	}
 }
 
 // MatchJSON is one query match on the wire.
@@ -227,6 +302,10 @@ type StreamSummary struct {
 	// as it writes. A slow reader inflates it; it is not comparable to
 	// /search's evaluation-only took_ns.
 	TookNS int64 `json:"took_ns"`
+	// RequestID echoes the request's X-Request-Id in the NDJSON body
+	// itself, so a consumer that only kept the stream (or a router
+	// re-streaming node lines) can still correlate it with server logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // BatchRequest is the /batch request body.
@@ -302,6 +381,13 @@ type ServingStats struct {
 	Queries uint64 `json:"queries"`
 	// Errors is the number of requests answered with an error status.
 	Errors uint64 `json:"errors"`
+	// Rejected is the number of requests shed by admission control
+	// (429); a subset of Errors. Zero on servers without MaxInflight.
+	Rejected uint64 `json:"rejected"`
+	// MaxInflight echoes the configured admission-control bound
+	// (0 = unlimited), so a router or operator reading /stats can tell
+	// how close Rejected growth is to expected shedding vs. misconfig.
+	MaxInflight int `json:"max_inflight"`
 	// Stats are the index's counters: posting fetches and plan-cache
 	// hits/misses.
 	si.Stats
@@ -426,14 +512,19 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 // evaluate runs the shared GET-query path for /search and /count.
 func (s *Server) evaluate(w http.ResponseWriter, r *http.Request, countOnly bool) (*si.SearchResult, searchParams, time.Duration, bool) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		s.fail(w, r, http.StatusMethodNotAllowed, "use GET")
 		return nil, searchParams{}, 0, false
 	}
 	p, err := s.parseParams(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+		s.fail(w, r, http.StatusBadRequest, err.Error())
 		return nil, p, 0, false
 	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return nil, p, 0, false
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r, p.timeout)
 	defer cancel()
 	limit, offset := p.limit, p.offset
@@ -443,7 +534,7 @@ func (s *Server) evaluate(w http.ResponseWriter, r *http.Request, countOnly bool
 	start := time.Now()
 	res, err := s.ix.Search(ctx, p.src, searchOptions(limit, offset, countOnly)...)
 	if err != nil {
-		s.fail(w, errStatus(err), err.Error())
+		s.fail(w, r, errStatus(err), err.Error())
 		return nil, p, 0, false
 	}
 	s.queries.Add(1)
@@ -468,20 +559,28 @@ func (s *Server) evaluate(w http.ResponseWriter, r *http.Request, countOnly bool
 // preceding lines a valid prefix of the result.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, "use GET")
+		s.fail(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	p, err := s.parseParams(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+		s.fail(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The admission slot is held for the whole handler: /stream
+	// evaluates interleaved with writing, so a slow reader is still an
+	// in-flight evaluation.
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r, p.timeout)
 	defer cancel()
 	start := time.Now()
 	res, err := s.ix.SearchStream(ctx, p.src, searchOptions(p.limit, p.offset, false)...)
 	if err != nil {
-		s.fail(w, errStatus(err), err.Error())
+		s.fail(w, r, errStatus(err), err.Error())
 		return
 	}
 	next, stop := iter.Pull2(res.All())
@@ -490,7 +589,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if ok && firstErr != nil {
 		// Evaluation died before producing anything: a status line is
 		// still possible, so answer like /search would.
-		s.fail(w, errStatus(firstErr), firstErr.Error())
+		s.fail(w, r, errStatus(firstErr), firstErr.Error())
 		return
 	}
 	s.queries.Add(1)
@@ -524,6 +623,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		Truncated: res.Stats.Truncated,
 		Stats:     statsJSON(res.Stats),
 		TookNS:    time.Since(start).Nanoseconds(),
+		RequestID: RequestIDFrom(r.Context()),
 	}
 	if streamErr != nil {
 		summary.Error = streamErr.Error()
@@ -539,21 +639,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // handleBatch serves POST /batch.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		s.fail(w, r, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	var req BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		s.fail(w, r, http.StatusBadRequest, "bad batch body: "+err.Error())
 		return
 	}
 	if len(req.Queries) == 0 {
-		s.fail(w, http.StatusBadRequest, "empty queries")
+		s.fail(w, r, http.StatusBadRequest, "empty queries")
 		return
 	}
 	if len(req.Queries) > s.cfg.MaxBatch {
-		s.fail(w, http.StatusBadRequest,
+		s.fail(w, r, http.StatusBadRequest,
 			fmt.Sprintf("batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
 		return
 	}
@@ -561,18 +661,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// clamp as /search's query parameters.
 	limit, offset, timeout, err := s.boundParams(req.Limit, req.Offset, req.Timeout)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err.Error())
+		s.fail(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if req.CountOnly {
 		limit, offset = 0, 0
 	}
+	release, admitted := s.admit(w, r)
+	if !admitted {
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r, timeout)
 	defer cancel()
 	start := time.Now()
 	results, err := s.ix.SearchBatch(ctx, req.Queries, searchOptions(limit, offset, req.CountOnly)...)
 	if err != nil {
-		s.fail(w, errStatus(err), err.Error())
+		s.fail(w, r, errStatus(err), err.Error())
 		return
 	}
 	s.queries.Add(uint64(len(req.Queries)))
@@ -604,25 +709,25 @@ type AppendResponse struct {
 // pinned.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		s.fail(w, r, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	if s.cfg.MaxAppendBody < 0 {
-		s.fail(w, http.StatusForbidden, "append is disabled on this server")
+		s.fail(w, r, http.StatusForbidden, "append is disabled on this server")
 		return
 	}
 	trees, err := si.ReadTrees(http.MaxBytesReader(w, r.Body, s.cfg.MaxAppendBody))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "bad append body: "+err.Error())
+		s.fail(w, r, http.StatusBadRequest, "bad append body: "+err.Error())
 		return
 	}
 	if len(trees) == 0 {
-		s.fail(w, http.StatusBadRequest, "empty append: need one bracketed tree per line")
+		s.fail(w, r, http.StatusBadRequest, "empty append: need one bracketed tree per line")
 		return
 	}
 	start := time.Now()
 	if _, err := s.ix.Append(r.Context(), trees); err != nil {
-		s.fail(w, errStatus(err), err.Error())
+		s.fail(w, r, errStatus(err), err.Error())
 		return
 	}
 	s.writeJSON(w, http.StatusOK, AppendResponse{
@@ -666,27 +771,27 @@ type DeleteResponse struct {
 // tids fail the whole request with 400 before anything is published.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		s.fail(w, r, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	if s.cfg.MaxAppendBody < 0 {
-		s.fail(w, http.StatusForbidden, "index mutation is disabled on this server")
+		s.fail(w, r, http.StatusForbidden, "index mutation is disabled on this server")
 		return
 	}
 	var req DeleteRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad delete body: "+err.Error())
+		s.fail(w, r, http.StatusBadRequest, "bad delete body: "+err.Error())
 		return
 	}
 	if len(req.TIDs) == 0 {
-		s.fail(w, http.StatusBadRequest, "empty delete: need tids")
+		s.fail(w, r, http.StatusBadRequest, "empty delete: need tids")
 		return
 	}
 	n := s.ix.NumTrees()
 	for _, tid := range req.TIDs {
 		if tid < 0 || tid >= n {
-			s.fail(w, http.StatusBadRequest,
+			s.fail(w, r, http.StatusBadRequest,
 				fmt.Sprintf("tid %d out of range [0, %d)", tid, n))
 			return
 		}
@@ -694,7 +799,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	deleted, err := s.ix.Delete(r.Context(), req.TIDs...)
 	if err != nil {
-		s.fail(w, errStatus(err), err.Error())
+		s.fail(w, r, errStatus(err), err.Error())
 		return
 	}
 	st := s.ix.Stats()
@@ -732,17 +837,17 @@ type CompactResponse struct {
 // tombstones) answers 200 with compacted=false.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		s.fail(w, r, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	if s.cfg.MaxAppendBody < 0 {
-		s.fail(w, http.StatusForbidden, "index mutation is disabled on this server")
+		s.fail(w, r, http.StatusForbidden, "index mutation is disabled on this server")
 		return
 	}
 	start := time.Now()
 	compacted, err := s.ix.Compact(r.Context())
 	if err != nil {
-		s.fail(w, errStatus(err), err.Error())
+		s.fail(w, r, errStatus(err), err.Error())
 		return
 	}
 	st := s.ix.Stats()
@@ -771,12 +876,12 @@ type ReloadResponse struct {
 // against the served directory) with zero downtime.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		s.fail(w, r, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	reloaded, err := s.ix.Reload()
 	if err != nil {
-		s.fail(w, errStatus(err), err.Error())
+		s.fail(w, r, errStatus(err), err.Error())
 		return
 	}
 	s.writeJSON(w, http.StatusOK, ReloadResponse{
@@ -793,6 +898,96 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Trees:  s.ix.NumTrees(),
 		Shards: s.ix.Shards(),
 	})
+}
+
+// ReadyResponse is the /readyz response body.
+type ReadyResponse struct {
+	// Ready reports the node accepts new query traffic. It is false
+	// while the server drains for shutdown; routers and load balancers
+	// should stop routing to the node but leave in-flight requests to
+	// finish.
+	Ready bool `json:"ready"`
+	// Trees is the number of indexed trees.
+	Trees int `json:"trees"`
+	// Segments is the live segment count.
+	Segments int `json:"segments"`
+	// Generation is the manifest publish counter — a cheap way for a
+	// follower's operator to check replication lag against the leader.
+	Generation int `json:"generation"`
+}
+
+// handleReadyz serves GET /readyz: readiness, as distinct from
+// /healthz's liveness. A live process stops being ready the moment
+// graceful shutdown begins (SetDraining), so a router health loop that
+// polls /readyz drains the node cleanly: no new queries are routed,
+// while accepted ones — and the drain window — finish undisturbed. By
+// construction the handler only exists once the index is open, so
+// before that the port answers connection refused, which is equally
+// "not ready" to a poller.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{
+		Ready:      !s.draining.Load(),
+		Trees:      s.ix.NumTrees(),
+		Segments:   s.ix.Segments(),
+		Generation: s.ix.Generation(),
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// handleManifest serves GET /manifest: the on-disk index manifest
+// (meta.json), byte-for-byte. A follower polls it for the generation
+// counter and segment list, pulls any segments it is missing via
+// /segment, writes the same manifest bytes locally and calls its own
+// Reload — the atomic-publish contract means whatever manifest this
+// endpoint returns names only fully published segments.
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.cfg.Dir == "" {
+		s.fail(w, r, http.StatusNotFound, "replication is disabled (server not configured with an index directory)")
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, core.MetaFileName))
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, "read manifest: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleSegment serves GET /segment/{name}/{file}: one payload file of
+// a published segment, range-served (http.ServeFile) so an interrupted
+// follower pull can resume. {name} must be a seg-NNNNNN directory and
+// {file} one of the fixed payload paths (meta.json, subtree.idx,
+// trees.dat, trees.idx, optionally under one shard-NNNN/ level);
+// the allowlist is structural, so traversal and absolute paths are
+// unrepresentable rather than filtered. Segments are immutable once
+// published, which is what makes byte-range resumption sound.
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.cfg.Dir == "" {
+		s.fail(w, r, http.StatusNotFound, "replication is disabled (server not configured with an index directory)")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/segment/")
+	name, file, found := strings.Cut(rest, "/")
+	if !found || !core.IsSegmentName(name) || !core.IsSegmentFile(file) {
+		s.fail(w, r, http.StatusNotFound, "no such segment file (want /segment/seg-NNNNNN/{meta.json|subtree.idx|trees.dat|trees.idx}, optionally under shard-NNNN/)")
+		return
+	}
+	http.ServeFile(w, r, filepath.Join(s.cfg.Dir, name, filepath.FromSlash(file)))
 }
 
 // handleStats serves GET /stats.
@@ -819,6 +1014,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Requests:      s.requests.Load(),
 			Queries:       s.queries.Load(),
 			Errors:        s.errors.Load(),
+			Rejected:      s.rejected.Load(),
+			MaxInflight:   s.cfg.MaxInflight,
 			Stats:         st,
 		},
 	})
@@ -868,9 +1065,15 @@ func errStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-// fail answers with a JSON error body.
-func (s *Server) fail(w http.ResponseWriter, status int, msg string) {
+// fail answers with a JSON error body. Server-side failures (5xx) are
+// logged with the request ID so a client-reported failure can be
+// matched to its server log line.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, msg string) {
 	s.errors.Add(1)
+	if status >= 500 {
+		log.Printf("sisrv: rid=%s %s %s: %d %s",
+			RequestIDFrom(r.Context()), r.Method, r.URL.Path, status, msg)
+	}
 	s.writeJSON(w, status, map[string]string{"error": msg})
 }
 

@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"encoding/json"
+	stderrors "errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -55,6 +56,11 @@ type ReplayStats struct {
 	Queries int
 	// Errors counts failed requests (transport errors or non-200).
 	Errors int
+	// Rejected counts the subset of Errors shed by the server's
+	// admission control (429 Too Many Requests) — load the server
+	// refused quickly rather than failed to serve, reported separately
+	// so saturation tests can tell shedding from breakage.
+	Rejected int
 	// Matches sums the reported match counts of all successful queries.
 	Matches int
 	// Elapsed is the wall-clock duration of the run.
@@ -102,7 +108,7 @@ func Replay(baseURL string, queries []string, opt ReplayOptions) (ReplayStats, e
 		}
 	}
 
-	var requests, queriesDone, errors, matches atomic.Int64
+	var requests, queriesDone, errors, rejected, matches atomic.Int64
 	work := make(chan unit)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -115,6 +121,10 @@ func Replay(baseURL string, queries []string, opt ReplayOptions) (ReplayStats, e
 				counts, err := sendUnit(client, baseURL, u.queries, opt)
 				if err != nil {
 					errors.Add(1)
+					var se *statusError
+					if stderrors.As(err, &se) && se.code == http.StatusTooManyRequests {
+						rejected.Add(1)
+					}
 					continue
 				}
 				queriesDone.Add(int64(len(counts)))
@@ -134,6 +144,7 @@ func Replay(baseURL string, queries []string, opt ReplayOptions) (ReplayStats, e
 		Requests: int(requests.Load()),
 		Queries:  int(queriesDone.Load()),
 		Errors:   int(errors.Load()),
+		Rejected: int(rejected.Load()),
 		Matches:  int(matches.Load()),
 		Elapsed:  time.Since(start),
 	}, nil
@@ -160,7 +171,7 @@ func sendUnit(client *http.Client, baseURL string, qs []string, opt ReplayOption
 		}
 		defer drain(resp.Body)
 		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("workload: %s: status %d", endpoint, resp.StatusCode)
+			return nil, &statusError{endpoint: endpoint, code: resp.StatusCode}
 		}
 		var r replayResult
 		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
@@ -187,7 +198,7 @@ func sendUnit(client *http.Client, baseURL string, qs []string, opt ReplayOption
 	}
 	defer drain(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("workload: /batch: status %d", resp.StatusCode)
+		return nil, &statusError{endpoint: "/batch", code: resp.StatusCode}
 	}
 	var br struct {
 		Results []replayResult `json:"results"`
@@ -200,6 +211,18 @@ func sendUnit(client *http.Client, baseURL string, qs []string, opt ReplayOption
 		counts[i] = r.Count
 	}
 	return counts, nil
+}
+
+// statusError is a non-200 answer, kept typed so Replay can classify
+// admission-control rejections (429) apart from other failures.
+type statusError struct {
+	endpoint string
+	code     int
+}
+
+// Error formats the failed endpoint and status.
+func (e *statusError) Error() string {
+	return fmt.Sprintf("workload: %s: status %d", e.endpoint, e.code)
 }
 
 // drain consumes and closes a response body so connections are reused.

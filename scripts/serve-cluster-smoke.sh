@@ -1,0 +1,166 @@
+#!/bin/sh
+# serve-cluster-smoke: end-to-end distributed-serving check, run by
+# CI's serve job and `make serve-cluster-smoke`. Build an index, serve
+# it from a leader sisrv, replicate it into a follower sisrv with
+# -follow, put a sirouter over the two as one replica group, then
+# exercise the failure paths the cluster layer exists for: a replica
+# killed mid-stream (the client stream must complete via failover
+# resume), admission-control saturation (429 + Retry-After, no
+# queueing), and graceful shutdown (SIGTERM drains and exits cleanly).
+set -eu
+
+BINS="$(mktemp -d)"
+WORK="$(mktemp -d)"
+LEADER="127.0.0.1:18091"
+FOLLOWER="127.0.0.1:18092"
+ROUTER="127.0.0.1:18090"
+LEADER_PID=""
+FOLLOWER_PID=""
+ROUTER_PID=""
+STREAM_PID=""
+COUNTER_PID=""
+cleanup() {
+	for p in "$LEADER_PID" "$FOLLOWER_PID" "$ROUTER_PID" "$STREAM_PID" "$COUNTER_PID"; do
+		[ -n "$p" ] && kill "$p" 2>/dev/null || true
+	done
+	rm -rf "$BINS" "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$BINS/sibuild" ./cmd/sibuild
+go build -o "$BINS/sisrv" ./cmd/sisrv
+go build -o "$BINS/sirouter" ./cmd/sirouter
+
+wait_ready() {
+	i=0
+	while [ "$i" -lt 75 ]; do
+		if curl -fsS "http://$1/readyz" >/dev/null 2>&1; then return 0; fi
+		i=$((i + 1))
+		sleep 0.2
+	done
+	echo "$2 did not become ready" >&2
+	return 1
+}
+
+"$BINS/sibuild" -gen 5000 -seed 7 -out "$WORK/leader" -shards 2
+
+# Leader: replication surface needs a segmented index; one live append
+# promotes the freshly built one.
+"$BINS/sisrv" -index "$WORK/leader" -addr "$LEADER" -limit -1 &
+LEADER_PID=$!
+wait_ready "$LEADER" "leader sisrv"
+curl -fsS --data-binary '(S (NP (NNX zzyzx)) (VP (VBZ is)))' "http://$LEADER/append" \
+	| grep -q '"segments":2' || { echo "/append did not promote the leader" >&2; exit 1; }
+
+# Follower: cold directory, converges by pulling the leader's segments.
+# -maxinflight 1 so the saturation check below has a bound to hit.
+"$BINS/sisrv" -index "$WORK/follower" -follow "http://$LEADER" -sync-every 300ms \
+	-addr "$FOLLOWER" -limit -1 -maxinflight 1 &
+FOLLOWER_PID=$!
+wait_ready "$FOLLOWER" "follower sisrv"
+i=0
+while [ "$i" -lt 75 ]; do
+	if curl -fsS "http://$FOLLOWER/readyz" 2>/dev/null | grep -q '"trees":5001'; then break; fi
+	i=$((i + 1))
+	sleep 0.2
+done
+curl -fsS "http://$FOLLOWER/readyz" | grep -q '"trees":5001' || {
+	echo "follower never converged to the leader's 5001 trees" >&2; exit 1; }
+
+# Router over the replica pair.
+"$BINS/sirouter" -addr "$ROUTER" -nodes "http://$LEADER|http://$FOLLOWER" \
+	-limit -1 -health-every 500ms -hedge-after 50ms &
+ROUTER_PID=$!
+wait_ready "$ROUTER" "sirouter"
+
+Q='S(//NN)'
+EXPECT="$(curl -fsS "http://$ROUTER/count?q=$Q" | sed 's/.*"count":\([0-9]*\).*/\1/')"
+[ "$EXPECT" -gt 100 ] || { echo "routed count $EXPECT suspiciously small" >&2; exit 1; }
+curl -fsS "http://$ROUTER/search?q=$Q&limit=3" | grep -q '"tid"' || {
+	echo "routed /search returned no matches" >&2; exit 1; }
+curl -fsS -d "{\"queries\":[\"$Q\",\"ZZZ(QQQ)\"]}" "http://$ROUTER/batch" \
+	| grep -q '"results"' || { echo "routed /batch failed" >&2; exit 1; }
+curl -fsS "http://$ROUTER/stats" | grep -q '"hedges"' || {
+	echo "router /stats does not expose the hedge counter" >&2; exit 1; }
+
+# Kill a replica mid-stream: start a rate-limited stream through the
+# router (the throttle keeps it on the wire for seconds), kill the
+# leader while it is in flight, and require the stream to complete —
+# every match line plus a clean summary — from the follower's resume.
+curl -sN --limit-rate 40k "http://$ROUTER/stream?q=$Q&limit=-1" > "$WORK/stream.out" &
+STREAM_PID=$!
+sleep 0.55
+# Keep routed counts flowing across the kill: the leader is listed
+# first, so while the health probe still believes it is ready every
+# count dials it first — whichever count is in flight the instant it
+# dies gets a reset, fails over to the follower, and moves the
+# router's failover counter no matter how much of the throttled
+# stream the kernel had already buffered.
+(
+	i=0
+	while [ "$i" -lt 80 ]; do
+		curl -fsS "http://$ROUTER/count?q=$Q" >/dev/null 2>&1 || true
+		i=$((i + 1))
+	done
+) &
+COUNTER_PID=$!
+sleep 0.15
+kill -9 "$LEADER_PID"
+LEADER_PID=""
+wait "$STREAM_PID" || { echo "client stream broke when the leader died" >&2; exit 1; }
+STREAM_PID=""
+wait "$COUNTER_PID" 2>/dev/null || true
+COUNTER_PID=""
+GOT="$(grep -c '"tid"' "$WORK/stream.out" || true)"
+[ "$GOT" = "$EXPECT" ] || {
+	echo "stream delivered $GOT matches after the kill, want $EXPECT" >&2; exit 1; }
+tail -1 "$WORK/stream.out" | grep -q '"done":true' || {
+	echo "stream has no summary line" >&2; exit 1; }
+tail -1 "$WORK/stream.out" | grep -q '"error"' && {
+	echo "stream summary reports an error after failover" >&2; exit 1; }
+
+# The router keeps answering from the surviving replica, and its stats
+# record the failover.
+curl -fsS "http://$ROUTER/count?q=$Q" | grep -q "\"count\":$EXPECT" || {
+	echo "routed /count wrong with the leader dead" >&2; exit 1; }
+i=0
+while [ "$i" -lt 10 ]; do
+	if curl -fsS "http://$ROUTER/stats" | grep -o '"failovers":[0-9]*' \
+		| grep -qv '"failovers":0'; then break; fi
+	i=$((i + 1))
+	sleep 0.3
+done
+[ "$i" -lt 10 ] || { echo "router /stats recorded no failover" >&2; exit 1; }
+
+# 429 degradation: burst 30 concurrent searches at the follower's
+# single admission slot. Some must be admitted (200), the overflow must
+# be shed immediately as 429 + Retry-After — never queued.
+pids=""
+for i in $(seq 1 30); do
+	(
+		code="$(curl -s -o /dev/null -D "$WORK/h$i" -w '%{http_code}' \
+			"http://$FOLLOWER/search?q=$Q&limit=-1")"
+		echo "$code" > "$WORK/c$i"
+	) &
+	pids="$pids $!"
+done
+for p in $pids; do wait "$p" || true; done
+hit=""
+served=""
+for i in $(seq 1 30); do
+	case "$(cat "$WORK/c$i" 2>/dev/null)" in
+	429) hit="$i" ;;
+	200) served="$i" ;;
+	esac
+done
+[ -n "$served" ] || { echo "saturation burst: nothing was admitted" >&2; exit 1; }
+[ -n "$hit" ] || { echo "saturation burst: nothing was shed with 429" >&2; exit 1; }
+grep -qi '^Retry-After:' "$WORK/h$hit" || {
+	echo "429 carried no Retry-After header" >&2; exit 1; }
+
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$FOLLOWER_PID"
+wait "$FOLLOWER_PID" || { echo "follower did not shut down cleanly on SIGTERM" >&2; exit 1; }
+FOLLOWER_PID=""
+
+echo "serve-cluster-smoke: OK (replication converged, stream survived a replica kill, saturation shed 429s, SIGTERM drained cleanly)"
