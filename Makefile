@@ -16,8 +16,9 @@ bench:
 # posting-fetch and join-row counts) and convert the output to
 # BENCH_search.json (the full per-run artifact, not committed). The
 # committed BENCH_baseline.json holds only the guarded metrics of the
-# limited-search, sharded-query and batch benchmarks — the fetch and
-# join-row work counters plus allocs/op and B/op; benchjson diffs the
+# limited-search, sharded-query, batch and planner-skew benchmarks —
+# the fetch and join-row work counters plus allocs/op and B/op;
+# benchjson diffs the
 # new run against it and fails on a >25% increase — or on a baseline
 # matching nothing — so both the early-termination counters and the
 # zero-copy allocation profile are gates, not just artifacts.
@@ -26,7 +27,7 @@ bench:
 # then reviewed and committed. That keeps within-tolerance drift from
 # compounding silently — every baseline move is a visible commit.
 BENCH_TOLERANCE ?= 0.25
-BENCH_CMD = $(GO) test -run='^$$' -bench='SearchBatch|CountOnly|LimitedSearch|ShardedQuery' \
+BENCH_CMD = $(GO) test -run='^$$' -bench='SearchBatch|CountOnly|LimitedSearch|ShardedQuery|PlannerSkew' \
 	-benchmem -benchtime=1x .
 bench-json:
 	$(BENCH_CMD) > bench.out
@@ -54,10 +55,19 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzPostingDecode -fuzztime=$(FUZZTIME) ./internal/postings/
 	$(GO) test -fuzz=FuzzPageHeader -fuzztime=$(FUZZTIME) ./internal/pager/
 
+# Lint: gofmt and vet always; staticcheck when the tool is on PATH
+# (CI installs a pinned version — see .github/workflows/ci.yml — so
+# the full check always runs there; locally it is opt-in rather than
+# an install-on-demand surprise).
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 # Start a demo query server over a freshly generated corpus.
 serve:

@@ -21,8 +21,9 @@
 // non-zero. Wall-clock (ns/op) is never compared — it is the one
 // metric too noisy across runners to gate on. The gate fails CLOSED: a
 // baseline that loads but matches zero guarded counters (benchmarks
-// renamed, -guard typo) is an error, not a silent pass; only a missing
-// baseline file skips with a note. -write-baseline FILE emits, after a
+// renamed, -guard typo) is an error, not a silent pass, and so is any
+// individual -guard item that gates zero counters while the others
+// match; only a missing baseline file skips with a note. -write-baseline FILE emits, after a
 // passing gate, a stripped document holding just the guarded counters —
 // deterministic for a fixed corpus seed, so the committed baseline only
 // changes when the gated numbers do.
@@ -48,16 +49,28 @@ import (
 var guardedMetrics = []string{"fetches/op", "joinrows/op", "allocs/op", "B/op"}
 
 // defaultGuard names the gated benchmark families: limited search (the
-// early-termination counters), plus the sharded-query and batch paths
-// whose allocation profile the zero-copy read path flattened.
-const defaultGuard = "LimitedSearch,ShardedQuery,SearchBatch"
+// early-termination counters), the sharded-query and batch paths whose
+// allocation profile the zero-copy read path flattened, and the
+// planner's skewed-corpus fetch/join-row savings.
+const defaultGuard = "LimitedSearch,ShardedQuery,SearchBatch,PlannerSkew"
+
+// guardItems splits a comma-separated guard list into its non-empty
+// items (so a trailing comma is harmless).
+func guardItems(guard string) []string {
+	var items []string
+	for _, g := range strings.Split(guard, ",") {
+		if g != "" {
+			items = append(items, g)
+		}
+	}
+	return items
+}
 
 // matchesGuard reports whether a benchmark name matches any of the
-// comma-separated guard substrings (empty items are ignored, so a
-// trailing comma is harmless).
+// comma-separated guard substrings.
 func matchesGuard(name, guard string) bool {
-	for _, g := range strings.Split(guard, ",") {
-		if g != "" && strings.Contains(name, g) {
+	for _, g := range guardItems(guard) {
+		if strings.Contains(name, g) {
 			return true
 		}
 	}
@@ -165,9 +178,11 @@ func stripBaseline(doc *Doc, guard string) *Doc {
 // emitted JSON document, returning an error describing every
 // regression beyond the tolerance. Individual benchmarks or metrics
 // absent on one side are skipped, but a baseline that matches NOTHING
-// fails: a wholesale rename (or -guard typo) silently disarming the
-// gate is exactly how protected counters rot, so that case demands an
-// explicit baseline regeneration instead of a green run.
+// fails, and so does any single guard item that gated no counter: a
+// wholesale rename (or -guard typo) silently disarming the gate — or
+// one family quietly dropping out of it — is exactly how protected
+// counters rot, so those cases demand an explicit baseline
+// regeneration instead of a green run.
 func diffBaseline(path string, doc *Doc, guard string, tolerance float64) error {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -187,6 +202,7 @@ func diffBaseline(path string, doc *Doc, guard string, tolerance float64) error 
 	}
 	var regressions []string
 	compared := 0
+	itemHits := make(map[string]int) // guard item -> counters it gated
 	for _, b := range doc.Benchmarks {
 		if !matchesGuard(b.Name, guard) {
 			continue
@@ -202,6 +218,11 @@ func diffBaseline(path string, doc *Doc, guard string, tolerance float64) error 
 				continue
 			}
 			compared++
+			for _, g := range guardItems(guard) {
+				if strings.Contains(b.Name, g) {
+					itemHits[g]++
+				}
+			}
 			if cur > was*(1+tolerance) {
 				regressions = append(regressions, fmt.Sprintf(
 					"%s %s regressed: %.0f -> %.0f (>%+.0f%%)", b.Name, metric, was, cur, tolerance*100))
@@ -213,6 +234,17 @@ func diffBaseline(path string, doc *Doc, guard string, tolerance float64) error 
 	}
 	if compared == 0 {
 		return fmt.Errorf("baseline %s matched no guarded counters (guard %q): the gate would be a no-op — regenerate the baseline after a benchmark rename", path, guard)
+	}
+	// A guard item gating zero counters is the same rot in miniature: one
+	// renamed family silently dropping out of an otherwise-green gate.
+	var dead []string
+	for _, g := range guardItems(guard) {
+		if itemHits[g] == 0 {
+			dead = append(dead, g)
+		}
+	}
+	if len(dead) > 0 {
+		return fmt.Errorf("guard item(s) %q matched no counters in baseline %s: the family was renamed or the -guard item is a typo — fix the guard list or regenerate the baseline", strings.Join(dead, ","), path)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d guarded counters within %.0f%% of baseline\n", compared, tolerance*100)
 	return nil

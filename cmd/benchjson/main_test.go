@@ -122,6 +122,35 @@ func TestDiffBaselineFailsClosed(t *testing.T) {
 	}
 }
 
+// TestDiffBaselineDeadGuardItem asserts the per-item half of the
+// fail-closed contract: when one -guard item gates counters but
+// another matches nothing (one family renamed, or a typo in a
+// multi-item list), the gate errors naming the dead item instead of
+// passing on the families that still match.
+func TestDiffBaselineDeadGuardItem(t *testing.T) {
+	base := writeDoc(t, baselineDoc(4))
+	err := diffBaseline(base, baselineDoc(4), "LimitedSearch,PlannerSkew", 0.25)
+	if err == nil {
+		t.Fatal("a guard item matching zero counters passed the gate")
+	}
+	if !strings.Contains(err.Error(), "PlannerSkew") {
+		t.Fatalf("error does not name the dead guard item: %v", err)
+	}
+	if strings.Contains(err.Error(), "LimitedSearch,PlannerSkew\" matched no") {
+		t.Fatalf("error blames the whole guard list, not the dead item: %v", err)
+	}
+	// Both items gating counters passes.
+	two := baselineDoc(4)
+	two.Benchmarks = append(two.Benchmarks, Benchmark{
+		Name: "BenchmarkPlannerSkew/cost", Iterations: 1,
+		Metrics: map[string]float64{"fetches/op": 2},
+	})
+	baseTwo := writeDoc(t, two)
+	if err := diffBaseline(baseTwo, two, "LimitedSearch,PlannerSkew", 0.25); err != nil {
+		t.Fatalf("fully matched multi-item guard failed the gate: %v", err)
+	}
+}
+
 // TestDiffBaselineAllocs asserts the allocation gate: allocs/op and
 // B/op regressions beyond tolerance fail, so the zero-copy read path
 // cannot silently regrow per-query garbage.
@@ -132,18 +161,21 @@ func TestDiffBaselineAllocs(t *testing.T) {
 			Metrics: map[string]float64{"allocs/op": allocs, "B/op": bytes, "ns/op": 1},
 		}}}
 	}
+	// Guard only the family the fixture contains: under the per-item
+	// fail-closed rule, the full defaultGuard would (correctly) error on
+	// its other families matching nothing here.
 	base := writeDoc(t, mk(800, 7_000_000))
-	if err := diffBaseline(base, mk(900, 7_500_000), defaultGuard, 0.25); err != nil {
+	if err := diffBaseline(base, mk(900, 7_500_000), "ShardedQuery", 0.25); err != nil {
 		t.Fatalf("within-tolerance alloc drift failed the gate: %v", err)
 	}
-	err := diffBaseline(base, mk(40_000, 7_000_000), defaultGuard, 0.25)
+	err := diffBaseline(base, mk(40_000, 7_000_000), "ShardedQuery", 0.25)
 	if err == nil {
 		t.Fatal("a 50x allocs/op regression passed the gate")
 	}
 	if !strings.Contains(err.Error(), "allocs/op") {
 		t.Fatalf("regression report does not name allocs/op: %v", err)
 	}
-	if err := diffBaseline(base, mk(800, 12_000_000), defaultGuard, 0.25); err == nil {
+	if err := diffBaseline(base, mk(800, 12_000_000), "ShardedQuery", 0.25); err == nil {
 		t.Fatal("a +71%% B/op regression passed the gate")
 	}
 }

@@ -6,6 +6,7 @@
 //	siquery -index idxdir -show 3 'S(//NN(rodent))'
 //	siquery -index idxdir -limit 10 -offset 20 -timeout 2s 'NP(DT)(NN)'
 //	siquery -index idxdir -count 'S(//NN)'
+//	siquery -index idxdir -explain 'S(//NN)(//RB)'
 //	siquery -index idxdir -info
 //
 // Each positional argument is one query; -show N prints the first N
@@ -13,9 +14,12 @@
 // matches (on a sharded index a limited query stops fetching postings
 // early), -timeout bounds each query's evaluation, and -count asks
 // only for the exact match count through the allocation-free path.
-// -info prints the index's segment state (segments, generation, live
-// and tombstoned tree counts) instead of running queries — the offline
-// equivalent of sisrv's /stats index section.
+// -explain additionally prints how the planner executed the query: the
+// chosen strategy, the estimated match cardinality, and each cover
+// piece's estimated vs. actually decoded posting entries. -info prints
+// the index's segment state (segments, generation, live and tombstoned
+// tree counts) instead of running queries — the offline equivalent of
+// sisrv's /stats index section.
 package main
 
 import (
@@ -35,6 +39,7 @@ func main() {
 	offset := flag.Int("offset", 0, "skip the first N matches per query")
 	timeout := flag.Duration("timeout", 0, "per-query evaluation timeout (0 = none)")
 	count := flag.Bool("count", false, "print only exact match counts (count-only path)")
+	explain := flag.Bool("explain", false, "print the planner's strategy and per-piece estimated vs. actual cardinality")
 	cache := flag.Int64("cache", 0, "LRU page cache bytes per index file (0 = uncached, the paper's setup)")
 	info := flag.Bool("info", false, "print the index's segment state instead of running queries")
 	flag.Parse()
@@ -56,7 +61,7 @@ func main() {
 		if *timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 		}
-		err := runQuery(ctx, ix, src, *limit, *offset, *show, *count)
+		err := runQuery(ctx, ix, src, *limit, *offset, *show, *count, *explain)
 		cancel()
 		if err != nil {
 			fatal(err)
@@ -77,9 +82,9 @@ func printInfo(ix *si.Index) {
 }
 
 // runQuery evaluates one query under ctx and prints its result.
-func runQuery(ctx context.Context, ix *si.Index, src string, limit, offset, show int, countOnly bool) error {
+func runQuery(ctx context.Context, ix *si.Index, src string, limit, offset, show int, countOnly, explain bool) error {
 	start := time.Now()
-	if countOnly {
+	if countOnly && !explain {
 		n, err := ix.Count(ctx, src)
 		if err != nil {
 			return err
@@ -94,6 +99,12 @@ func runQuery(ctx context.Context, ix *si.Index, src string, limit, offset, show
 	if offset > 0 {
 		opts = append(opts, si.WithOffset(offset))
 	}
+	if countOnly {
+		opts = append(opts, si.WithCountOnly())
+	}
+	if explain {
+		opts = append(opts, si.WithExplain())
+	}
 	res, err := ix.Search(ctx, src, opts...)
 	if err != nil {
 		return err
@@ -105,6 +116,9 @@ func runQuery(ctx context.Context, ix *si.Index, src string, limit, offset, show
 	fmt.Printf("%s: %d%s matches in %v (%d returned, %d shard(s), %d fetches)\n",
 		src, res.Count, suffix, time.Since(start).Round(time.Microsecond),
 		len(res.Matches), res.Stats.ShardsConsulted, res.Stats.PostingFetches)
+	if explain {
+		printExplain(res.Stats)
+	}
 	shown := 0
 	for m, err := range res.All() {
 		if err != nil {
@@ -121,6 +135,20 @@ func runQuery(ctx context.Context, ix *si.Index, src string, limit, offset, show
 		fmt.Printf("  tree %d @ node %d: %s\n", m.TID, m.Root, t)
 	}
 	return nil
+}
+
+// printExplain prints the planner's view of one executed query: the
+// chosen strategy, the plan-time match estimate, and each cover
+// piece's estimated vs. actually decoded posting entries.
+func printExplain(st si.SearchStats) {
+	strategy := st.Strategy
+	if strategy == "" {
+		strategy = "uncosted" // an index built before statistics existed
+	}
+	fmt.Printf("  plan: strategy=%s estimated_rows=%d\n", strategy, st.EstimatedRows)
+	for _, p := range st.Pieces {
+		fmt.Printf("  piece %-24q est=%-8d actual=%d\n", p.Key, p.Est, p.Actual)
+	}
 }
 
 func fatal(err error) {

@@ -59,6 +59,7 @@ var requiredDocs = []string{
 // silently break the cross-references.
 var requiredSections = map[string][]string{
 	"docs/ARCHITECTURE.md": {
+		"## Planning & statistics",
 		"## Read path & memory model",
 		"## Segments, generations and live updates",
 	},

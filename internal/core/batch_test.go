@@ -198,7 +198,7 @@ func TestPlanCacheEviction(t *testing.T) {
 // once: after the first compilation, every further lookup of either
 // spelling hits.
 func TestPlanCacheAliasesDoNotThrash(t *testing.T) {
-	p := newPlanner(Meta{MSS: 3}, 1)
+	p := newCompiler(Meta{MSS: 3}, 1)
 	const alias = "NP(NN)(DT)"     // non-canonical sibling order
 	const canonical = "NP(DT)(NN)" // its canonical form
 	if _, _, err := p.planText(alias); err != nil {

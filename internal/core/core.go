@@ -18,6 +18,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/lingtree"
 	"repro/internal/pager"
+	"repro/internal/planner"
 	"repro/internal/postings"
 	"repro/internal/subtree"
 	"repro/internal/treebank"
@@ -99,24 +100,48 @@ type Meta struct {
 	// drops them physically. Manifests written before deletes existed
 	// simply lack the field and read as "no tombstones" — the section
 	// is additive, so older v3 manifests stay valid unchanged.
-	Tombstones   map[string][]int `json:"tombstones,omitempty"`
-	MSS          int              `json:"mss"`           // maximum indexed subtree size
-	Coding       postings.Coding  `json:"coding"`        // posting-list scheme
-	NumTrees     int              `json:"num_trees"`     // corpus size
-	Keys         int              `json:"keys"`          // unique subtrees indexed
-	Postings     int              `json:"postings"`      // total posting records
-	IndexBytes   int64            `json:"index_bytes"`   // B+Tree file size
-	DataBytes    int64            `json:"data_bytes"`    // flattened corpus size
-	BuildNanos   int64            `json:"build_nanos"`   // wall-clock build time
-	ExtractNanos int64            `json:"extract_nanos"` // subtree-enumeration phase
-	LoadNanos    int64            `json:"load_nanos"`    // B+Tree bulk-load phase
+	Tombstones map[string][]int `json:"tombstones,omitempty"`
+	// KeyStats holds the per-cover-key posting statistics the planner's
+	// cost model runs on (entry count, distinct tids, payload bytes for
+	// the heaviest keys, plus corpus totals for the tail). Recorded by
+	// Build into version-1 metas and aggregated into version-2 sharded
+	// roots; segmented (version-3) manifests deliberately omit it — the
+	// live layer re-merges segment stats in memory at every open and
+	// publish, keeping the frequently rewritten manifest small. Metas
+	// written before statistics existed simply lack the field and read
+	// as nil, which compiles uncosted plans with legacy behavior.
+	KeyStats     *planner.Stats  `json:"key_stats,omitempty"`
+	MSS          int             `json:"mss"`           // maximum indexed subtree size
+	Coding       postings.Coding `json:"coding"`        // posting-list scheme
+	NumTrees     int             `json:"num_trees"`     // corpus size
+	Keys         int             `json:"keys"`          // unique subtrees indexed
+	Postings     int             `json:"postings"`      // total posting records
+	IndexBytes   int64           `json:"index_bytes"`   // B+Tree file size
+	DataBytes    int64           `json:"data_bytes"`    // flattened corpus size
+	BuildNanos   int64           `json:"build_nanos"`   // wall-clock build time
+	ExtractNanos int64           `json:"extract_nanos"` // subtree-enumeration phase
+	LoadNanos    int64           `json:"load_nanos"`    // B+Tree bulk-load phase
 }
 
 // accumulator unifies the three coding accumulators during the build.
+// It also counts the distinct trees folded into it — trees arrive in
+// tid order, so a run-length check suffices — feeding the per-key
+// statistics the planner estimates from.
 type accumulator struct {
 	filter   *postings.FilterAccumulator
 	root     *postings.RootAccumulator
 	interval *postings.IntervalAccumulator
+
+	tids    int    // distinct trees folded so far
+	lastTID uint32 // tid of the most recent fold (valid when tids > 0)
+}
+
+// sawTID notes one occurrence in tree tid, counting distinct trees.
+func (a *accumulator) sawTID(tid uint32) {
+	if a.tids == 0 || a.lastTID != tid {
+		a.tids++
+		a.lastTID = tid
+	}
 }
 
 func (a *accumulator) count() int {
@@ -179,6 +204,7 @@ func Build(dir string, trees []*lingtree.Tree, opt Options) (*Meta, error) {
 				acc = newAcc()
 				accs[occ.Key] = acc
 			}
+			acc.sawTID(uint32(t.TID))
 			switch opt.Coding {
 			case postings.FilterBased:
 				acc.filter.Add(uint32(t.TID))
@@ -215,6 +241,7 @@ func Build(dir string, trees []*lingtree.Tree, opt Options) (*Meta, error) {
 	if err != nil {
 		return nil, err
 	}
+	stats := &planner.Stats{}
 	var val []byte
 	for _, k := range keys {
 		acc := accs[subtree.Key(k)]
@@ -222,10 +249,16 @@ func Build(dir string, trees []*lingtree.Tree, opt Options) (*Meta, error) {
 		val = val[:0]
 		val = appendUvarint(val, uint64(acc.count()))
 		val = append(val, acc.bytes()...)
+		stats.Record(k, planner.KeyStat{
+			Entries: uint64(acc.count()),
+			Tids:    uint64(acc.tids),
+			Bytes:   uint64(len(val)),
+		})
 		if err := bld.Add([]byte(k), val); err != nil {
 			return nil, fmt.Errorf("core: loading key %q: %w", k, err)
 		}
 	}
+	stats.Seal(0)
 	if err := bld.Finish(); err != nil {
 		return nil, err
 	}
@@ -244,6 +277,7 @@ func Build(dir string, trees []*lingtree.Tree, opt Options) (*Meta, error) {
 
 	meta := &Meta{
 		FormatVersion: FormatSingle,
+		KeyStats:      stats,
 		MSS:           opt.MSS,
 		Coding:        opt.Coding,
 		NumTrees:      len(trees),

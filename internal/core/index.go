@@ -13,6 +13,7 @@ import (
 	"repro/internal/join"
 	"repro/internal/lingtree"
 	"repro/internal/match"
+	"repro/internal/planner"
 	"repro/internal/postings"
 	"repro/internal/query"
 	"repro/internal/subtree"
@@ -25,7 +26,7 @@ type Index struct {
 	meta    Meta
 	tree    *btree.Tree
 	store   *treebank.Store
-	plans   *planner
+	plans   *compiler
 	fetches atomic.Uint64 // physical posting-list reads issued by query evaluation
 }
 
@@ -115,7 +116,7 @@ func OpenWith(dir string, opts OpenOptions) (*Index, error) {
 		return nil, err
 	}
 	return &Index{dir: dir, meta: meta, tree: tr, store: store,
-		plans: newPlanner(meta, opts.PlanCache)}, nil
+		plans: newCompiler(meta, opts.PlanCache)}, nil
 }
 
 // Meta returns the index metadata recorded at build time.
@@ -161,6 +162,17 @@ type Counters struct {
 	// had to parse and/or decompose. Both cache counters stay zero when
 	// the plan cache is disabled.
 	PlanCacheMisses uint64 `json:"plan_cache_misses"`
+	// PlanReplans counts compilations forced by a statistics-generation
+	// bump: a published segment change purged the plan cache, and a query
+	// whose plan was purged compiled again under the new statistics.
+	PlanReplans uint64 `json:"plan_replans"`
+	// PlanEstimatedRows accumulates the planner's estimated join
+	// cardinality over costed queries; together with PlanActualRows it
+	// exposes the cost model's aggregate estimate error.
+	PlanEstimatedRows uint64 `json:"plan_estimated_rows"`
+	// PlanActualRows accumulates the actual match counts of the same
+	// costed queries PlanEstimatedRows covers.
+	PlanActualRows uint64 `json:"plan_actual_rows"`
 	// LiveTrees is the number of searchable trees: stored trees minus
 	// tombstoned ones. Unlike the cumulative counters above, the four
 	// fields from here on are point-in-time gauges of the serving state
@@ -187,18 +199,22 @@ type Counters struct {
 // point-in-time lifecycle gauges.
 func (ix *Index) Counters() Counters {
 	hits, misses := ix.plans.counters()
+	replans, est, act := ix.plans.plannerCounters()
 	mapped := 0
 	if ix.tree.Mapped() {
 		mapped = 1
 	}
 	return Counters{
-		PostingFetches:  ix.fetches.Load(),
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
-		LiveTrees:       ix.meta.NumTrees,
-		Segments:        1,
-		SegmentBytes:    ix.meta.IndexBytes + ix.meta.DataBytes,
-		MmapLeaves:      mapped,
+		PostingFetches:    ix.fetches.Load(),
+		PlanCacheHits:     hits,
+		PlanCacheMisses:   misses,
+		PlanReplans:       replans,
+		PlanEstimatedRows: est,
+		PlanActualRows:    act,
+		LiveTrees:         ix.meta.NumTrees,
+		Segments:          1,
+		SegmentBytes:      ix.meta.IndexBytes + ix.meta.DataBytes,
+		MmapLeaves:        mapped,
 	}
 }
 
@@ -335,33 +351,82 @@ type evalOpts struct {
 	// expansion, joining or validation, so a deleted tree costs no join
 	// rows and can never surface as a match.
 	dels *TombSet
+	// pieceReads, when non-nil, accumulates per-piece actual
+	// cardinalities (decoded posting entries, indexed like pl.Pieces) for
+	// explain output. The slice is shared across the concurrent leaf
+	// evaluations of a sharded or segmented query, hence the atomics; it
+	// is only allocated when a caller asked for explain, so the normal
+	// path pays nothing.
+	pieceReads []atomic.Uint64
 }
 
-// evalPlan evaluates a compiled plan, dispatching on the index coding
-// and bounds. It returns the sorted matches and their count; with
-// ev.countOnly the match slice stays nil (no per-match allocation) and
-// only the count is meaningful; with ev.target evaluation is streamed
-// and stops early (see evalOpts). ctx cancels evaluation between and
-// inside the fetch, join and validation loops.
+// notePieceRead credits n decoded entries to piece i for explain
+// output; a no-op when explain was not requested.
+func (ev *evalOpts) notePieceRead(i, n int) {
+	if ev.pieceReads != nil && i < len(ev.pieceReads) {
+		ev.pieceReads[i].Add(uint64(n))
+	}
+}
+
+// evalPlan evaluates a compiled plan, dispatching on the index coding,
+// bounds and the planner's chosen strategy. It returns the sorted
+// matches and their count; with ev.countOnly the match slice stays nil
+// (no per-match allocation) and only the count is meaningful; with
+// ev.target evaluation is streamed and stops early (see evalOpts). ctx
+// cancels evaluation between and inside the fetch, join and validation
+// loops.
 func (ix *Index) evalPlan(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
 	if ev.target > 0 && !ev.countOnly {
-		return ix.evalPlanBounded(ctx, pl, get, ev.target, ev.dels)
+		return ix.evalPlanBounded(ctx, pl, get, ev)
 	}
 	switch ix.meta.Coding {
 	case postings.FilterBased:
 		return ix.evalFilter(ctx, pl, get, ev)
 	case postings.RootSplit, postings.SubtreeInterval:
+		if pl.Strategy == planner.StrategyStream && len(pl.Pieces) > 1 {
+			return ix.evalStreamAll(ctx, pl, get, ev)
+		}
 		return ix.evalJoin(ctx, pl, get, ev)
 	default:
 		return nil, 0, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
 	}
 }
 
+// evalStreamAll drains the streaming producer to completion — the
+// planner's StrategyStream for unbounded queries whose estimated input
+// is large enough that materializing every relation up front would
+// dominate. Output order and dedup match evalJoin: the stream yields
+// distinct (tid, root) pairs in ascending order.
+func (ix *Index) evalStreamAll(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
+	ms, st, err := ix.streamPlan(ctx, pl, get, ev)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	var out []Match
+	count := 0
+	for {
+		m, ok := ms.next()
+		if !ok {
+			break
+		}
+		count++
+		if !ev.countOnly {
+			out = append(out, m)
+		}
+	}
+	ms.finish(st)
+	if err := ms.err(); err != nil {
+		return nil, 0, nil, err
+	}
+	return out, count, st, nil
+}
+
 // evalPlanBounded evaluates pl through the streaming producer, pulling
 // at most target+1 matches so unneeded posting entries are never
 // decoded and unneeded join rows never produced.
-func (ix *Index) evalPlanBounded(ctx context.Context, pl *Plan, get postingGetter, target int, dels *TombSet) ([]Match, int, *QueryStats, error) {
-	ms, st, err := ix.streamPlan(ctx, pl, get, dels)
+func (ix *Index) evalPlanBounded(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
+	target := ev.target
+	ms, st, err := ix.streamPlan(ctx, pl, get, ev)
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -460,27 +525,47 @@ func (ix *Index) fetchPiece(pp PlanPiece, get postingGetter, dels *TombSet, aren
 	return rel, count, true, nil
 }
 
-// evalJoin evaluates a plan under root-split or subtree-interval coding.
+// evalJoin evaluates a plan under root-split or subtree-interval
+// coding. Pieces are fetched in the plan's cost order (syntactic order
+// on uncosted plans), aborting as soon as one comes back absent or
+// empty: on a costed plan the cheapest — most selective — piece is read
+// first, so a query whose rare piece has no postings here never fetches
+// or decodes the expensive ones. The relations keep their piece
+// positions, so the join layer sees the same input regardless of fetch
+// order.
 func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
 	st := &QueryStats{Pieces: len(pl.Pieces)}
-	rels := make([]join.Relation, 0, len(pl.Pieces))
+	rels := make([]join.Relation, len(pl.Pieces))
 	var arena postings.RefArena // per-evaluation: rels die with the matches
-	for _, pp := range pl.Pieces {
+	fetchOrder := pl.Order
+	if len(fetchOrder) != len(pl.Pieces) {
+		fetchOrder = nil
+	}
+	for i := range pl.Pieces {
+		pi := i
+		if fetchOrder != nil {
+			pi = fetchOrder[i]
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, 0, nil, err
 		}
-		rel, _, found, err := ix.fetchPiece(pp, get, ev.dels, &arena)
+		rel, _, found, err := ix.fetchPiece(pl.Pieces[pi], get, ev.dels, &arena)
 		if err != nil {
 			return nil, 0, nil, err
 		}
-		if !found {
-			return nil, 0, st, nil // a piece with no postings: no matches
+		if !found || len(rel.Entries) == 0 {
+			return nil, 0, st, nil // a piece with no live postings: no matches
 		}
 		st.PostingsFetched += len(rel.Entries)
-		rels = append(rels, rel)
+		ev.notePieceRead(pi, len(rel.Entries))
+		rels[pi] = rel
 	}
 	st.Joins = len(rels) - 1
-	ms, info, err := join.Run(ctx, pl.Query, rels, join.Options{CountOnly: ev.countOnly})
+	ms, info, err := join.Run(ctx, pl.Query, rels, join.Options{
+		CountOnly: ev.countOnly,
+		Order:     pl.Order,
+		NoStack:   pl.Strategy == planner.StrategyBlock,
+	})
 	if err != nil {
 		return nil, 0, nil, err
 	}
@@ -491,12 +576,24 @@ func (ix *Index) evalJoin(ctx context.Context, pl *Plan, get postingGetter, ev e
 // filterCandidates runs the filter coding's candidate phase, shared by
 // the materialized and streaming paths: fetch each piece's tid list
 // (skipping tombstoned tids), intersect, and report the phase's stats.
-// found=false means a piece key is absent (no matches anywhere); st is
-// valid either way.
-func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGetter, dels *TombSet) (cands []uint32, st *QueryStats, found bool, err error) {
+// Lists are fetched in the plan's cost order (syntactic on uncosted
+// plans) and the phase aborts as soon as one comes back absent or empty
+// — the intersection is already known to be empty, so the remaining,
+// larger lists are never read. found=false means no matches are
+// possible; st is valid either way.
+func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) (cands []uint32, st *QueryStats, found bool, err error) {
 	st = &QueryStats{Pieces: len(pl.Pieces)}
+	fetchOrder := pl.Order
+	if len(fetchOrder) != len(pl.Pieces) {
+		fetchOrder = nil
+	}
 	var lists [][]uint32
-	for _, pp := range pl.Pieces {
+	for i := range pl.Pieces {
+		pi := i
+		if fetchOrder != nil {
+			pi = fetchOrder[i]
+		}
+		pp := pl.Pieces[pi]
 		if err := ctx.Err(); err != nil {
 			return nil, nil, false, err
 		}
@@ -514,7 +611,7 @@ func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGett
 		var tids []uint32
 		it := postings.NewFilterIterator(val[n:])
 		for it.Next() {
-			if dels.Has(it.TID()) {
+			if ev.dels.Has(it.TID()) {
 				continue
 			}
 			tids = append(tids, it.TID())
@@ -523,6 +620,10 @@ func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGett
 			return nil, nil, false, err
 		}
 		st.PostingsFetched += len(tids)
+		ev.notePieceRead(pi, len(tids))
+		if len(tids) == 0 {
+			return nil, st, false, nil // empty list: empty intersection
+		}
 		lists = append(lists, tids)
 	}
 	st.Joins = len(lists) - 1
@@ -538,7 +639,7 @@ func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGett
 // validation dominates this coding's cost, so an expired ctx stops the
 // scan within one tree's worth of work.
 func (ix *Index) evalFilter(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) ([]Match, int, *QueryStats, error) {
-	cands, st, found, err := ix.filterCandidates(ctx, pl, get, ev.dels)
+	cands, st, found, err := ix.filterCandidates(ctx, pl, get, ev)
 	if err != nil {
 		return nil, 0, nil, err
 	}

@@ -1,181 +1,26 @@
 package core
 
 import (
-	"repro/internal/cover"
+	"repro/internal/planner"
 	"repro/internal/postings"
 	"repro/internal/query"
-	"repro/internal/subtree"
 )
 
-// PlanPiece is one cover piece of a compiled plan: the index key whose
-// posting list the piece reads, plus everything needed to turn that
-// list into a join relation without revisiting the query.
-type PlanPiece struct {
-	// Key is the canonical flattened form of the piece's pattern — the
-	// B+Tree key to fetch.
-	Key subtree.Key
-	// Root is the query node the piece is rooted at; root-split
-	// relations bind exactly this slot.
-	Root int
-	// Slots maps the pattern's canonical pre-order positions to query
-	// node indexes; subtree-interval relations bind all of them.
-	Slots []int
-	// Perms are the pattern's slot automorphisms (see
-	// subtree.SlotAutomorphisms); subtree-interval evaluation expands
-	// postings by them when len(Perms) > 1.
-	Perms [][]int
-}
+// Plan is a compiled query; the type lives in internal/planner (the
+// middle stage of the decompose → plan → execute pipeline) and is
+// aliased here so the evaluation code reads naturally.
+type Plan = planner.Plan
 
-// Plan is a compiled query: the parsed query together with its cover
-// decomposition under one index configuration (MSS and coding). A Plan
-// is immutable after NewPlan returns and safe to share between
-// goroutines — the plan cache hands one instance to all of them. All
-// evaluation runs against plan.Query; two textual queries that are
-// equal up to sibling order share a plan, which is sound because
-// matches expose only the query root's image.
-type Plan struct {
-	// Query is the parsed query the plan was compiled from.
-	Query *query.Query
-	// Pieces is the cover decomposition across all child components, in
-	// construction order.
-	Pieces []PlanPiece
-}
+// PlanPiece is one cover piece of a compiled plan; aliased from
+// internal/planner.
+type PlanPiece = planner.PlanPiece
 
 // NewPlan decomposes q into cover pieces for an index with the given
-// MSS and coding and resolves each piece to its index key, slot
-// mapping and automorphisms.
+// MSS and coding without cardinality statistics: the resulting plan is
+// uncosted and executes with the legacy runtime-size ordering. Query
+// paths go through the planner's cache (which supplies the live
+// statistics); this entry point serves tools and tests that compile
+// plans directly.
 func NewPlan(q *query.Query, mss int, coding postings.Coding) (*Plan, error) {
-	covers, err := coverQuery(q, mss, coding == postings.RootSplit)
-	if err != nil {
-		return nil, err
-	}
-	pl := &Plan{Query: q}
-	for _, c := range covers {
-		for _, p := range c {
-			pat, slots, err := q.SubPattern(p.Nodes)
-			if err != nil {
-				return nil, err
-			}
-			pp := PlanPiece{Key: pat.Key(), Root: p.Root, Slots: slots}
-			if coding == postings.SubtreeInterval {
-				pp.Perms = subtree.SlotAutomorphisms(pat)
-			}
-			pl.Pieces = append(pl.Pieces, pp)
-		}
-	}
-	return pl, nil
-}
-
-// coverQuery computes per-component covers with the decomposition
-// algorithm matching the index coding.
-//
-// Root-split coding needs extra care around // edges: a //-parent u is
-// only constrainable through pieces *rooted at u* (root-split postings
-// carry no interior slots, so a piece covering u from above binds a
-// possibly different instance of u's label — a false-positive source).
-// Every node on the path from the component root to a //-parent is
-// therefore forced to be a piece root: the component is split at these
-// marked nodes and minRC runs per sub-component. Consecutive marked
-// roots join with parent predicates, so all constraints on a marked
-// node apply to one binding.
-func coverQuery(q *query.Query, mss int, rootSplit bool) ([]cover.Cover, error) {
-	var out []cover.Cover
-	for _, cr := range q.ComponentRoots() {
-		comp := q.ChildComponent(cr)
-		if !rootSplit {
-			c, err := cover.Optimal(q, comp, mss)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, c)
-			continue
-		}
-		marked := markedRootPath(q, comp, cr)
-		var c cover.Cover
-		for _, sub := range splitAtMarked(q, comp, cr, marked) {
-			sc, err := cover.MinRootSplit(q, sub, mss)
-			if err != nil {
-				return nil, err
-			}
-			c = append(c, sc...)
-		}
-		out = append(out, c)
-	}
-	return out, nil
-}
-
-// markedRootPath returns the set of component nodes lying on a path
-// from the component root to any //-edge parent (empty for //-free
-// components).
-func markedRootPath(q *query.Query, comp []int, cr int) map[int]bool {
-	inComp := make(map[int]bool, len(comp))
-	for _, v := range comp {
-		inComp[v] = true
-	}
-	marked := map[int]bool{}
-	for _, v := range comp {
-		hasDescChild := false
-		for _, ch := range q.Nodes[v].Children {
-			if q.Nodes[ch].Axis == query.Descendant {
-				hasDescChild = true
-				break
-			}
-		}
-		if !hasDescChild {
-			continue
-		}
-		for u := v; ; u = q.Nodes[u].Parent {
-			marked[u] = true
-			if u == cr || !inComp[u] {
-				break
-			}
-		}
-	}
-	return marked
-}
-
-// splitAtMarked partitions the component into sub-components, one per
-// marked node plus (if unmarked) the component root, each holding its
-// root and the unmarked descendants reachable without crossing another
-// marked node. With no marked nodes the whole component is returned.
-func splitAtMarked(q *query.Query, comp []int, cr int, marked map[int]bool) [][]int {
-	if len(marked) == 0 {
-		return [][]int{comp}
-	}
-	inComp := make(map[int]bool, len(comp))
-	for _, v := range comp {
-		inComp[v] = true
-	}
-	var subs [][]int
-	var gather func(v int) []int
-	gather = func(v int) []int {
-		sub := []int{v}
-		var walk func(u int)
-		walk = func(u int) {
-			for _, ch := range q.Nodes[u].Children {
-				if q.Nodes[ch].Axis != query.Child || !inComp[ch] {
-					continue
-				}
-				if marked[ch] {
-					continue // starts its own sub-component
-				}
-				sub = append(sub, ch)
-				walk(ch)
-			}
-		}
-		walk(v)
-		return sub
-	}
-	// The component root always roots a sub-component; every marked
-	// node roots one too (the root may itself be marked).
-	roots := []int{cr}
-	for _, v := range comp {
-		if marked[v] && v != cr {
-			roots = append(roots, v)
-		}
-	}
-	for _, r := range roots {
-		subs = append(subs, gather(r))
-	}
-	return subs
+	return planner.New(q, mss, coding, nil)
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"container/list"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/planner"
 	"repro/internal/postings"
 	"repro/internal/query"
 )
@@ -21,7 +23,7 @@ import (
 // (The previous per-key accounting did exactly that: at capacity, the
 // alias put after a canonical-key hit evicted the canonical key it had
 // just hit — pathological thrash at PlanCacheSize=1.) All methods are
-// safe for concurrent use. Hit/miss accounting lives in the planner
+// safe for concurrent use. Hit/miss accounting lives in the compiler
 // (one hit or miss per plan lookup, regardless of how many keys were
 // probed).
 type planCache struct {
@@ -135,45 +137,163 @@ func (c *planCache) len() int {
 	return c.lru.Len()
 }
 
-// planner compiles queries into plans for one index configuration,
-// optionally through a planCache. Index and Sharded each embed one; in
-// a sharded index only the root's planner is consulted, since all
-// shards share MSS and coding and therefore plans. Each planQuery or
-// planText call records exactly one cache hit or miss.
-type planner struct {
+// purge drops every cached plan and returns the primary (first-stored)
+// key of each dropped entry, so the compiler can recognize which
+// queries get re-planned after an invalidation.
+func (c *planCache) purge() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	primaries := make([]string, 0, c.lru.Len())
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*planEntry)
+		if len(ent.keys) > 0 {
+			primaries = append(primaries, ent.keys[0])
+		}
+	}
+	c.m = make(map[string]*list.Element)
+	c.byPlan = make(map[*Plan]*list.Element)
+	c.lru = list.New()
+	return primaries
+}
+
+// compiler turns query text into cost-annotated plans for one index
+// configuration, optionally through a planCache — the entry point of
+// the decompose → plan → execute pipeline. Index and Sharded each
+// embed one; in a sharded index only the root's compiler is consulted,
+// since all shards share MSS, coding and statistics and therefore
+// plans. Each planQuery or planText call records exactly one cache hit
+// or miss.
+//
+// The compiler carries the live posting statistics and their
+// generation. Cache keys embed the generation, and a generation bump
+// (publish of a new segment set by Append/Delete/Compact/Reload)
+// purges the cache: a plan costed against replaced statistics can
+// never be served against the republished index, and the queries whose
+// plans were invalidated count as replans when they next compile.
+type compiler struct {
 	mss    int
 	coding postings.Coding
 	cache  *planCache // nil = caching disabled
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	gen     atomic.Uint64                 // statistics generation, embedded in cache keys
+	stats   atomic.Pointer[planner.Stats] // live statistics plans are costed against
+	replans atomic.Uint64                 // re-compilations forced by a generation bump
+	estRows atomic.Uint64                 // cumulative estimated join rows of costed queries
+	actRows atomic.Uint64                 // cumulative actual join rows of the same queries
+
+	invalMu     sync.Mutex
+	invalidated map[string]struct{} // canonical texts purged by the last bumps
 }
 
-// newPlanner returns a planner for an index with the given meta,
-// caching up to cacheSize plans (0 disables caching).
-func newPlanner(meta Meta, cacheSize int) *planner {
-	return &planner{mss: meta.MSS, coding: meta.Coding, cache: newPlanCache(cacheSize)}
+// newCompiler returns a compiler for an index with the given meta,
+// caching up to cacheSize plans (0 disables caching). The meta's
+// KeyStats (nil on indexes built before statistics existed) seed the
+// cost model at generation 0.
+func newCompiler(meta Meta, cacheSize int) *compiler {
+	p := &compiler{mss: meta.MSS, coding: meta.Coding, cache: newPlanCache(cacheSize)}
+	if meta.KeyStats != nil {
+		p.stats.Store(meta.KeyStats)
+	}
+	return p
+}
+
+// setStats installs the statistics of a freshly published segment set.
+// A generation change purges the plan cache and remembers the purged
+// queries so their next compilation counts as a replan; gen 0 publishes
+// (the initial open) install silently.
+func (p *compiler) setStats(stats *planner.Stats, gen uint64) {
+	old := p.gen.Load()
+	p.stats.Store(stats)
+	if gen == old {
+		return
+	}
+	p.gen.Store(gen)
+	if p.cache == nil {
+		return
+	}
+	purged := p.cache.purge()
+	if len(purged) == 0 {
+		return
+	}
+	p.invalMu.Lock()
+	if p.invalidated == nil {
+		p.invalidated = make(map[string]struct{}, len(purged))
+	}
+	for _, k := range purged {
+		// Purged keys carry the generation prefix; strip it so the next
+		// compile (under the new generation) can match.
+		p.invalidated[stripGenPrefix(k)] = struct{}{}
+	}
+	p.invalMu.Unlock()
+}
+
+// genKey prefixes a cache key with the statistics generation, so a
+// cached plan is only ever served against the statistics it was costed
+// under.
+func (p *compiler) genKey(key string) string {
+	return "g" + strconv.FormatUint(p.gen.Load(), 10) + "|" + key
+}
+
+// stripGenPrefix undoes genKey.
+func stripGenPrefix(key string) string {
+	for i := 1; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[i+1:]
+		}
+	}
+	return key
+}
+
+// noteMiss records a compile, counting it as a replan when the query's
+// previous plan was invalidated by a generation bump.
+func (p *compiler) noteMiss(canon string) {
+	p.misses.Add(1)
+	p.invalMu.Lock()
+	if _, ok := p.invalidated[canon]; ok {
+		delete(p.invalidated, canon)
+		p.replans.Add(1)
+	}
+	p.invalMu.Unlock()
+}
+
+// compile builds a plan against the current statistics.
+func (p *compiler) compile(q *query.Query) (*Plan, error) {
+	return planner.New(q, p.mss, p.coding, p.stats.Load())
+}
+
+// observePlan accumulates one costed query's estimated vs. actual
+// match cardinality — the planner's estimate-error counters surfaced
+// in /stats. Uncosted plans carry no estimate and are not counted.
+func (p *compiler) observePlan(pl *Plan, actual int) {
+	if pl == nil || !pl.Costed {
+		return
+	}
+	p.estRows.Add(pl.EstRows)
+	p.actRows.Add(uint64(actual))
 }
 
 // planQuery returns the plan of an already-parsed query, keyed by its
 // canonical text, and whether the plan came from the cache. The query
 // is cloned before the plan is cached, so a caller who mutates q
 // afterwards cannot corrupt cached plans.
-func (p *planner) planQuery(q *query.Query) (*Plan, bool, error) {
+func (p *compiler) planQuery(q *query.Query) (*Plan, bool, error) {
 	if p.cache == nil {
-		pl, err := NewPlan(q, p.mss, p.coding)
+		pl, err := p.compile(q)
 		return pl, false, err
 	}
 	canon := q.Canonical()
-	if pl, ok := p.cache.get(canon); ok {
+	if pl, ok := p.cache.get(p.genKey(canon)); ok {
 		p.hits.Add(1)
 		return pl, true, nil
 	}
-	p.misses.Add(1)
-	pl, err := NewPlan(q.Clone(), p.mss, p.coding)
+	p.noteMiss(canon)
+	pl, err := p.compile(q.Clone())
 	if err != nil {
 		return nil, false, err
 	}
-	p.cache.put(canon, pl)
+	p.cache.put(p.genKey(canon), pl)
 	return pl, false, nil
 }
 
@@ -182,16 +302,16 @@ func (p *planner) planQuery(q *query.Query) (*Plan, bool, error) {
 // entirely; otherwise the text is parsed, the canonical key is tried,
 // and the raw text is stored as an alias so the next identical request
 // short-circuits.
-func (p *planner) planText(src string) (*Plan, bool, error) {
+func (p *compiler) planText(src string) (*Plan, bool, error) {
 	if p.cache == nil {
 		q, err := query.Parse(src)
 		if err != nil {
 			return nil, false, err
 		}
-		pl, err := NewPlan(q, p.mss, p.coding)
+		pl, err := p.compile(q)
 		return pl, false, err
 	}
-	if pl, ok := p.cache.get(src); ok {
+	if pl, ok := p.cache.get(p.genKey(src)); ok {
 		p.hits.Add(1)
 		return pl, true, nil
 	}
@@ -201,20 +321,20 @@ func (p *planner) planText(src string) (*Plan, bool, error) {
 	}
 	canon := q.Canonical()
 	if canon != src {
-		if pl, ok := p.cache.get(canon); ok {
+		if pl, ok := p.cache.get(p.genKey(canon)); ok {
 			p.hits.Add(1)
-			p.cache.put(src, pl)
+			p.cache.put(p.genKey(src), pl)
 			return pl, true, nil
 		}
 	}
-	p.misses.Add(1)
-	pl, err := NewPlan(q, p.mss, p.coding)
+	p.noteMiss(canon)
+	pl, err := p.compile(q)
 	if err != nil {
 		return nil, false, err
 	}
-	p.cache.put(canon, pl)
+	p.cache.put(p.genKey(canon), pl)
 	if canon != src {
-		p.cache.put(src, pl)
+		p.cache.put(p.genKey(src), pl)
 	}
 	return pl, false, nil
 }
@@ -222,7 +342,7 @@ func (p *planner) planText(src string) (*Plan, bool, error) {
 // planBatch plans every query of a batch, reporting per-query cache
 // hits; any unparsable query fails the whole batch with an error
 // naming its position.
-func (p *planner) planBatch(srcs []string) ([]*Plan, []bool, error) {
+func (p *compiler) planBatch(srcs []string) ([]*Plan, []bool, error) {
 	plans := make([]*Plan, len(srcs))
 	hits := make([]bool, len(srcs))
 	for i, src := range srcs {
@@ -235,8 +355,15 @@ func (p *planner) planBatch(srcs []string) ([]*Plan, []bool, error) {
 	return plans, hits, nil
 }
 
-// counters reports the planner's cache activity (zeros when caching is
+// counters reports the compiler's cache activity (zeros when caching is
 // disabled, since no lookups happen).
-func (p *planner) counters() (hits, misses uint64) {
+func (p *compiler) counters() (hits, misses uint64) {
 	return p.hits.Load(), p.misses.Load()
+}
+
+// plannerCounters reports the compiler's planning activity: replans
+// forced by statistics-generation bumps and the cumulative estimated
+// vs. actual join rows of costed queries.
+func (p *compiler) plannerCounters() (replans, estRows, actRows uint64) {
+	return p.replans.Load(), p.estRows.Load(), p.actRows.Load()
 }

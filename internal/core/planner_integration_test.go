@@ -1,0 +1,270 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/planner"
+	"repro/internal/postings"
+)
+
+// TestPlanCacheInvalidationOnPublish is the statistics-generation
+// regression test: a published segment-set change (append, delete,
+// compact) must purge the plan cache — a plan costed against replaced
+// statistics may never serve the republished index — and the purged
+// queries must count as replans when they next compile.
+func TestPlanCacheInvalidationOnPublish(t *testing.T) {
+	trees := shardCorpus(300)
+	l := openLive(t, trees[:200], 1, OpenOptions{PlanCache: 64})
+	ctx := context.Background()
+	const q = "NP(DT)(NN)"
+
+	search := func() {
+		t.Helper()
+		if _, err := l.Search(ctx, q, SearchOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	search()
+	search()
+	c := l.Counters()
+	if c.PlanCacheMisses != 1 || c.PlanCacheHits != 1 {
+		t.Fatalf("warm-up: hits=%d misses=%d, want 1/1", c.PlanCacheHits, c.PlanCacheMisses)
+	}
+	if c.PlanReplans != 0 {
+		t.Fatalf("replans before any publish: %d", c.PlanReplans)
+	}
+
+	// Append publishes a new generation: the cached plan must die and the
+	// next compile of the same query counts as a replan.
+	if _, err := l.Append(ctx, trees[200:250], 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	search()
+	c = l.Counters()
+	if c.PlanCacheMisses != 2 {
+		t.Fatalf("post-append search hit a stale plan: hits=%d misses=%d", c.PlanCacheHits, c.PlanCacheMisses)
+	}
+	if c.PlanReplans != 1 {
+		t.Fatalf("PlanReplans = %d after append, want 1", c.PlanReplans)
+	}
+
+	// Compact publishes again: same contract.
+	if _, err := l.Delete(ctx, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Compact(ctx, CompactOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	search()
+	c = l.Counters()
+	if c.PlanReplans < 2 {
+		t.Fatalf("PlanReplans = %d after delete+compact, want >= 2", c.PlanReplans)
+	}
+	// The estimate-error counters accumulate on every costed search.
+	if c.PlanEstimatedRows == 0 || c.PlanActualRows == 0 {
+		t.Fatalf("estimate-error counters empty: est=%d act=%d", c.PlanEstimatedRows, c.PlanActualRows)
+	}
+
+	// A repeat with no publish in between stays a cache hit — the purge
+	// must not over-invalidate.
+	hits := c.PlanCacheHits
+	search()
+	if got := l.Counters().PlanCacheHits; got != hits+1 {
+		t.Fatalf("post-compact repeat was not a cache hit: hits %d -> %d", hits, got)
+	}
+}
+
+// TestReloadInvalidatesPlans covers the cross-process half: a Reload
+// that picks up another process's publish must purge cached plans too.
+func TestReloadInvalidatesPlans(t *testing.T) {
+	trees := shardCorpus(260)
+	dir := filepath.Join(t.TempDir(), "ix")
+	if _, err := BuildSharded(dir, trees[:200], Options{MSS: 3, Coding: postings.RootSplit}, 1); err != nil {
+		t.Fatal(err)
+	}
+	serving, err := OpenLive(dir, OpenOptions{PlanCache: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serving.Close()
+	ctx := context.Background()
+	const q = "S(//NN)"
+	if _, err := serving.Search(ctx, q, SearchOpts{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second writer process appends and publishes.
+	writer, err := OpenLive(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Append(ctx, trees[200:], 1, 0); err != nil {
+		writer.Close()
+		t.Fatal(err)
+	}
+	writer.Close()
+
+	if changed, err := serving.Reload(); err != nil || !changed {
+		t.Fatalf("Reload = %v, %v; want a pickup", changed, err)
+	}
+	if _, err := serving.Search(ctx, q, SearchOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	c := serving.Counters()
+	if c.PlanReplans != 1 {
+		t.Fatalf("PlanReplans = %d after reload, want 1", c.PlanReplans)
+	}
+	if c.PlanCacheMisses != 2 {
+		t.Fatalf("post-reload search should recompile: hits=%d misses=%d", c.PlanCacheHits, c.PlanCacheMisses)
+	}
+}
+
+// TestCostOrderEquivalence is the planner's safety property: on random
+// corpora and random queries, cost-ordered execution returns matches
+// byte-identical to the syntactic-order ablation, across every read
+// path — search, count-only, stream and batch — for both joining
+// codings and for sharded layouts. The planner may only ever change
+// the work done, never the answer.
+func TestCostOrderEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20120808))
+	codings := []postings.Coding{postings.RootSplit, postings.SubtreeInterval}
+	for round := 0; round < 4; round++ {
+		trees := randomForest(rng, 120)
+		var srcs []string
+		for len(srcs) < 6 {
+			q := randomQuery(rng)
+			if hasSameLabelSiblings(q) {
+				continue // root-split is inexact on these; keep one query set for both codings
+			}
+			srcs = append(srcs, q.Canonical())
+		}
+		for _, coding := range codings {
+			for _, shards := range []int{1, 3} {
+				dir := filepath.Join(t.TempDir(), "ix")
+				if _, err := BuildSharded(dir, trees, Options{MSS: 3, Coding: coding}, shards); err != nil {
+					t.Fatal(err)
+				}
+				type outcome struct {
+					matches []Match
+					count   int
+					stream  []Match
+					batch   []int
+				}
+				run := func(syntactic bool) outcome {
+					t.Helper()
+					planner.UseSyntacticOrder = syntactic
+					defer func() { planner.UseSyntacticOrder = false }()
+					l, err := OpenLive(dir, OpenOptions{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer l.Close()
+					ctx := context.Background()
+					var out outcome
+					for _, src := range srcs {
+						res, err := l.Search(ctx, src, SearchOpts{})
+						if err != nil {
+							t.Fatalf("%s: %v", src, err)
+						}
+						out.matches = append(out.matches, res.Matches...)
+						cres, err := l.Search(ctx, src, SearchOpts{CountOnly: true})
+						if err != nil {
+							t.Fatal(err)
+						}
+						out.count += cres.Count
+						sres, err := l.SearchStream(ctx, src, SearchOpts{})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for m, err := range sres.All() {
+							if err != nil {
+								t.Fatal(err)
+							}
+							out.stream = append(out.stream, m)
+						}
+					}
+					batch, err := l.SearchBatch(ctx, srcs, SearchOpts{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, res := range batch {
+						out.batch = append(out.batch, res.Count)
+					}
+					return out
+				}
+				costed := run(false)
+				syntactic := run(true)
+				if !reflect.DeepEqual(costed, syntactic) {
+					t.Fatalf("round %d coding %v shards %d: cost-ordered and syntactic-order results differ\ncost:      %+v\nsyntactic: %+v",
+						round, coding, shards, costed, syntactic)
+				}
+			}
+		}
+	}
+}
+
+// TestExplainStats asserts the observability contract of WithExplain:
+// a costed search reports its strategy, the plan estimate, and one
+// piece row per cover piece with both estimated and actual entry
+// counts; without Explain the search stays free of the extra counters.
+func TestExplainStats(t *testing.T) {
+	trees := shardCorpus(300)
+	l := openLive(t, trees, 2, OpenOptions{})
+	ctx := context.Background()
+	const q = "NP(DT)(NN)"
+
+	plain, err := l.Search(ctx, q, SearchOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.Pieces != nil {
+		t.Fatalf("plain search carries piece stats: %+v", plain.Stats.Pieces)
+	}
+	if plain.Count == 0 {
+		t.Fatalf("%q matches nothing; pick a better fixture query", q)
+	}
+
+	res, err := l.Search(ctx, q, SearchOpts{Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Strategy == "" {
+		t.Fatal("explain on a freshly built index reports no strategy (stats missing?)")
+	}
+	if st.EstimatedRows == 0 {
+		t.Fatal("explain reports zero estimated rows on a costed plan")
+	}
+	if len(st.Pieces) == 0 {
+		t.Fatal("explain reports no pieces")
+	}
+	var decoded uint64
+	for _, p := range st.Pieces {
+		if p.Key == "" {
+			t.Fatalf("piece with empty key: %+v", st.Pieces)
+		}
+		if p.Est == 0 {
+			t.Fatalf("piece %q has no estimate", p.Key)
+		}
+		decoded += p.Actual
+	}
+	if decoded == 0 {
+		t.Fatal("explain reports zero actually decoded entries on a matching query")
+	}
+	if res.Count != plain.Count || !reflect.DeepEqual(res.Matches, plain.Matches) {
+		t.Fatal("explain changed the result")
+	}
+
+	// The bounded path reports the stream strategy it actually ran.
+	lres, err := l.Search(ctx, q, SearchOpts{Limit: 3, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Stats.Strategy != "stream" {
+		t.Fatalf("bounded explain strategy %q, want stream", lres.Stats.Strategy)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"iter"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/subtree"
 )
@@ -35,6 +37,13 @@ type SearchOpts struct {
 	// per-match allocation happens anywhere on the path. Limit and
 	// Offset are ignored — a count is always exact.
 	CountOnly bool
+	// Explain asks for per-piece planner diagnostics: the result's
+	// Stats.Pieces records each cover piece's estimated vs. actual
+	// cardinality. Off by default — the tracking slice is only
+	// allocated when set, so the normal path pays nothing. Ignored by
+	// batch searches (shared work cannot be attributed per piece per
+	// query).
+	Explain bool
 }
 
 // target returns the number of leading matches that must be merged
@@ -77,6 +86,58 @@ type SearchStats struct {
 	// cross-shard fetch savings. (A limit the result fits inside does
 	// all the work and saves nothing.)
 	JoinRows uint64 `json:"join_rows"`
+	// Strategy is the execution mode the query ran under ("filter",
+	// "stack", "block" or "stream" — bounded and pending searches
+	// always stream); empty when the plan was uncosted (no statistics
+	// available).
+	Strategy string `json:"strategy,omitempty"`
+	// EstimatedRows is the planner's estimated distinct-match
+	// cardinality for the query; 0 when the plan was uncosted.
+	EstimatedRows uint64 `json:"estimated_rows,omitempty"`
+	// Pieces holds per-piece explain records, in plan-piece order; nil
+	// unless SearchOpts.Explain was set.
+	Pieces []PieceStat `json:"pieces,omitempty"`
+}
+
+// PieceStat is one cover piece's explain record: the index key the
+// piece fetches, the planner's estimated posting-entry cardinality
+// under the statistics the plan was costed with, and the entries
+// actually decoded for it during the search (summed over consulted
+// shards; less than the stored postings when early termination or an
+// early abort skipped work).
+type PieceStat struct {
+	// Key is the piece's index key (canonical subtree text).
+	Key string `json:"key"`
+	// Est is the planner's estimated entry count; 0 on uncosted plans.
+	Est uint64 `json:"est"`
+	// Actual is the number of posting entries decoded for the piece.
+	Actual uint64 `json:"actual"`
+}
+
+// planStats fills the Stats' planner-facing fields from the compiled
+// plan: the chosen strategy (overridden to "stream" when bounded
+// evaluation streamed regardless of the plan's pick), the estimated
+// cardinality, and — when reads is non-nil (Explain) — the per-piece
+// estimated vs. actual table.
+func planStats(stats *SearchStats, pl *Plan, reads []atomic.Uint64, streamed bool) {
+	if pl.Costed {
+		stats.Strategy = pl.Strategy.String()
+		if streamed {
+			stats.Strategy = planner.StrategyStream.String()
+		}
+		stats.EstimatedRows = pl.EstRows
+	}
+	if reads == nil {
+		return
+	}
+	stats.Pieces = make([]PieceStat, len(pl.Pieces))
+	for i := range pl.Pieces {
+		stats.Pieces[i] = PieceStat{
+			Key:    string(pl.Pieces[i].Key),
+			Est:    pl.Pieces[i].Est,
+			Actual: reads[i].Load(),
+		}
+	}
 }
 
 // Result is the outcome of one v2 search. Search returns it fully
@@ -219,6 +280,9 @@ func (ix *Index) searchPlan(ctx context.Context, pl *Plan, opts SearchOpts, hit 
 	if !opts.CountOnly {
 		ev.target = opts.target()
 	}
+	if opts.Explain {
+		ev.pieceReads = make([]atomic.Uint64, len(pl.Pieces))
+	}
 	ms, n, st, err := ix.evalPlan(ctx, pl, get, ev)
 	if err != nil {
 		return nil, err
@@ -233,6 +297,8 @@ func (ix *Index) searchPlan(ctx context.Context, pl *Plan, opts SearchOpts, hit 
 	if st != nil {
 		res.Stats.JoinRows = uint64(st.JoinRows)
 	}
+	planStats(&res.Stats, pl, ev.pieceReads, ev.target > 0)
+	ix.plans.observePlan(pl, res.Count)
 	return res, nil
 }
 
@@ -283,7 +349,11 @@ func (s *Sharded) Search(ctx context.Context, src string, opts SearchOpts) (*Res
 	if err != nil {
 		return nil, err
 	}
-	return s.set.searchPlan(ctx, pl, opts, hit)
+	res, err := s.set.searchPlan(ctx, pl, opts, hit)
+	if err == nil {
+		s.plans.observePlan(pl, res.Count)
+	}
+	return res, err
 }
 
 // SearchQuery evaluates an already-parsed query across the shards
@@ -296,7 +366,11 @@ func (s *Sharded) SearchQuery(ctx context.Context, q *query.Query, opts SearchOp
 	if err != nil {
 		return nil, err
 	}
-	return s.set.searchPlan(ctx, pl, opts, hit)
+	res, err := s.set.searchPlan(ctx, pl, opts, hit)
+	if err == nil {
+		s.plans.observePlan(pl, res.Count)
+	}
+	return res, err
 }
 
 // searchPlan runs one compiled plan across the leaves, choosing the
@@ -304,10 +378,14 @@ func (s *Sharded) SearchQuery(ctx context.Context, q *query.Query, opts SearchOp
 // lazily in tid order and stop early, unbounded ones keep the
 // concurrent fan-out.
 func (ls leafSet) searchPlan(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
-	if target := opts.target(); target > 0 && !opts.CountOnly {
-		return ls.searchLazy(ctx, pl, opts, hit, target)
+	var reads []atomic.Uint64
+	if opts.Explain {
+		reads = make([]atomic.Uint64, len(pl.Pieces))
 	}
-	return ls.searchFanout(ctx, pl, opts, hit)
+	if target := opts.target(); target > 0 && !opts.CountOnly {
+		return ls.searchLazy(ctx, pl, opts, hit, target, reads)
+	}
+	return ls.searchFanout(ctx, pl, opts, hit, reads)
 }
 
 // lazyLookahead is how many shards the lazy merge keeps in flight:
@@ -336,7 +414,7 @@ const lazyLookahead = 2
 // exist, so the found-count stays a valid lower bound — while the
 // window itself only ever uses matches merged before the gap, keeping
 // the prefix property intact.
-func (ls leafSet) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit bool, target int) (*Result, error) {
+func (ls leafSet) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit bool, target int, reads []atomic.Uint64) (*Result, error) {
 	type shardOut struct {
 		ms      []Match
 		fetched uint64
@@ -349,7 +427,7 @@ func (ls leafSet) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 		go func(i int, sh *Index) {
 			var o shardOut
 			var st *QueryStats
-			o.ms, _, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{target: target, dels: ls.del(i)})
+			o.ms, _, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{target: target, dels: ls.del(i), pieceReads: reads})
 			if st != nil {
 				o.rows = st.JoinRows
 			}
@@ -409,13 +487,14 @@ func (ls leafSet) searchLazy(ctx context.Context, pl *Plan, opts SearchOpts, hit
 	var trimmed bool
 	res.Matches, res.Count, trimmed = window(all, opts)
 	res.Stats.Truncated = trimmed || consulted < len(ls.leaves)
+	planStats(&res.Stats, pl, reads, true)
 	return res, nil
 }
 
 // searchFanout is the full-evaluation path (unlimited or count-only):
 // one goroutine per shard, results rebased to global tids and
 // concatenated in shard order.
-func (ls leafSet) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, hit bool) (*Result, error) {
+func (ls leafSet) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, hit bool, reads []atomic.Uint64) (*Result, error) {
 	type shardOut struct {
 		ms      []Match
 		n       int
@@ -431,7 +510,7 @@ func (ls leafSet) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, h
 			defer wg.Done()
 			o := &outs[i]
 			var st *QueryStats
-			o.ms, o.n, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{countOnly: opts.CountOnly, dels: ls.del(i)})
+			o.ms, o.n, st, o.err = sh.evalPlan(ctx, pl, countingGetter(sh.getPosting, &o.fetched), evalOpts{countOnly: opts.CountOnly, dels: ls.del(i), pieceReads: reads})
 			if st != nil {
 				o.rows = st.JoinRows
 			}
@@ -450,6 +529,7 @@ func (ls leafSet) searchFanout(ctx context.Context, pl *Plan, opts SearchOpts, h
 		res.Stats.PostingFetches += outs[i].fetched
 		res.Stats.JoinRows += uint64(outs[i].rows)
 	}
+	planStats(&res.Stats, pl, reads, false)
 	if opts.CountOnly {
 		return res, nil
 	}
@@ -615,7 +695,7 @@ func (rs *resultStream) pull() (Match, bool) {
 				return Match{}, false
 			}
 			sh := rs.ls.leaves[rs.si]
-			ms, st, err := sh.streamPlan(rs.ctx, rs.pl, countingGetter(sh.getPosting, &rs.fetched), rs.ls.del(rs.si))
+			ms, st, err := sh.streamPlan(rs.ctx, rs.pl, countingGetter(sh.getPosting, &rs.fetched), evalOpts{dels: rs.ls.del(rs.si)})
 			if err != nil {
 				rs.err = fmt.Errorf("core: shard %d: %w", rs.si, err)
 				return Match{}, false
@@ -688,6 +768,7 @@ func (rs *resultStream) finish(r *Result) {
 		Truncated:       rs.truncated || !rs.finished || rs.consulted < len(rs.ls.leaves),
 		JoinRows:        rs.rows,
 	}
+	planStats(&r.Stats, rs.pl, nil, true)
 	if rs.release != nil {
 		rs.release()
 		rs.release = nil

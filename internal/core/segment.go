@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/lingtree"
+	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/subtree"
 	"repro/internal/treebank"
@@ -132,7 +133,7 @@ type liveInfo struct {
 type Live struct {
 	dir      string
 	leafOpts OpenOptions // per-leaf options (plan cache lives at the root)
-	plans    *planner
+	plans    *compiler
 	info     atomic.Pointer[liveInfo]
 	cur      atomic.Pointer[epoch] // nil once closed
 
@@ -174,7 +175,7 @@ func OpenLive(dir string, opts OpenOptions) (*Live, error) {
 	l := &Live{
 		dir:      dir,
 		leafOpts: OpenOptions{CacheSize: opts.CacheSize, Mmap: opts.Mmap},
-		plans:    newPlanner(meta, opts.PlanCache),
+		plans:    newCompiler(meta, opts.PlanCache),
 		openSegs: make(map[*segment]struct{}),
 	}
 	var segs []*segment
@@ -313,7 +314,10 @@ func closeSegments(segs []*segment) {
 // aggregateMeta folds the segment metas into the epoch-wide view: one
 // segment passes through unchanged (so a plain index reports exactly
 // what it always did), several sum their statistics with Shards
-// holding the total leaf count.
+// holding the total leaf count. Per-key posting statistics merge the
+// same way — unless any segment lacks them (built before statistics
+// existed), in which case the merged view carries none and plans run
+// uncosted rather than on a partial, skewed model.
 func aggregateMeta(segs []*segment) Meta {
 	if len(segs) == 1 {
 		return segs[0].meta
@@ -334,7 +338,25 @@ func aggregateMeta(segs []*segment) Meta {
 		agg.ExtractNanos += sg.meta.ExtractNanos
 		agg.LoadNanos += sg.meta.LoadNanos
 	}
+	agg.KeyStats = mergeSegmentStats(segs)
 	return agg
+}
+
+// mergeSegmentStats merges the per-key posting statistics of all
+// segments into one model, sealed back to the per-index cap; nil when
+// any segment predates statistics.
+func mergeSegmentStats(segs []*segment) *planner.Stats {
+	for _, sg := range segs {
+		if sg.meta.KeyStats == nil {
+			return nil
+		}
+	}
+	merged := &planner.Stats{}
+	for _, sg := range segs {
+		merged.Merge(sg.meta.KeyStats)
+	}
+	merged.Seal(0)
+	return merged
 }
 
 // publishLocked installs segs as the current epoch at generation gen
@@ -374,6 +396,11 @@ func (l *Live) publishLocked(segs []*segment, gen int, tombs map[string][]int) {
 	meta := aggregateMeta(segs)
 	meta.Generation = gen
 	l.info.Store(&liveInfo{meta: meta, leaves: len(set.leaves), segments: len(segs), gen: gen, deleted: deleted})
+	// Every publish path (open, Append, Delete, Compact, Reload) funnels
+	// through here: install the merged statistics in the compiler, and —
+	// when the generation moved — purge the plan cache so no plan costed
+	// against the replaced segment set is ever served again.
+	l.plans.setStats(meta.KeyStats, uint64(gen))
 	if old := l.cur.Swap(e); old != nil {
 		old.release()
 	}
@@ -446,14 +473,18 @@ func (l *Live) Close() error {
 // count and bytes) of the current epoch.
 func (l *Live) Counters() Counters {
 	hits, misses := l.plans.counters()
+	replans, est, act := l.plans.plannerCounters()
 	info := l.info.Load()
 	c := Counters{
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
-		LiveTrees:       info.meta.NumTrees - info.deleted,
-		TombstonedTrees: info.deleted,
-		Segments:        info.segments,
-		SegmentBytes:    info.meta.IndexBytes + info.meta.DataBytes,
+		PlanCacheHits:     hits,
+		PlanCacheMisses:   misses,
+		PlanReplans:       replans,
+		PlanEstimatedRows: est,
+		PlanActualRows:    act,
+		LiveTrees:         info.meta.NumTrees - info.deleted,
+		TombstonedTrees:   info.deleted,
+		Segments:          info.segments,
+		SegmentBytes:      info.meta.IndexBytes + info.meta.DataBytes,
 	}
 	if e := l.cur.Load(); e != nil {
 		c.MmapLeaves = e.set.mappedLeaves()
@@ -482,7 +513,11 @@ func (l *Live) Search(ctx context.Context, src string, opts SearchOpts) (*Result
 		return nil, err
 	}
 	defer e.release()
-	return e.set.searchPlan(ctx, pl, opts, hit)
+	res, err := e.set.searchPlan(ctx, pl, opts, hit)
+	if err == nil {
+		l.plans.observePlan(pl, res.Count)
+	}
+	return res, err
 }
 
 // SearchQuery evaluates an already-parsed query across the live
@@ -500,7 +535,11 @@ func (l *Live) SearchQuery(ctx context.Context, q *query.Query, opts SearchOpts)
 		return nil, err
 	}
 	defer e.release()
-	return e.set.searchPlan(ctx, pl, opts, hit)
+	res, err := e.set.searchPlan(ctx, pl, opts, hit)
+	if err == nil {
+		l.plans.observePlan(pl, res.Count)
+	}
+	return res, err
 }
 
 // SearchStream parses src and returns a pending Result over the
@@ -732,6 +771,10 @@ func (l *Live) writeManifestLocked(gen int, segs []*segment, tombs map[string][]
 	man.FormatVersion = FormatSegmented
 	man.Shards = 0
 	man.Generation = gen
+	// The manifest is rewritten on every publish; per-key statistics
+	// stay out of it (they live in the immutable segment metas and are
+	// re-merged in memory at open and publish — see Meta.KeyStats).
+	man.KeyStats = nil
 	man.Segments = make([]string, len(segs))
 	for i, sg := range segs {
 		man.Segments[i] = sg.name

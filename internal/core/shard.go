@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/lingtree"
+	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/subtree"
 	"repro/internal/treebank"
@@ -128,6 +129,9 @@ func BuildSharded(dir string, trees []*lingtree.Tree, opt Options, shards int) (
 		Coding:        opt.Coding,
 		BuildNanos:    time.Since(start).Nanoseconds(),
 	}
+	// The root's statistics merge the per-shard models (sealed back to
+	// the cap), so root-compiled plans cost against corpus-wide counts.
+	stats := &planner.Stats{}
 	for _, m := range metas {
 		meta.NumTrees += m.NumTrees
 		meta.Keys += m.Keys
@@ -136,7 +140,10 @@ func BuildSharded(dir string, trees []*lingtree.Tree, opt Options, shards int) (
 		meta.DataBytes += m.DataBytes
 		meta.ExtractNanos += m.ExtractNanos
 		meta.LoadNanos += m.LoadNanos
+		stats.Merge(m.KeyStats)
 	}
+	stats.Seal(0)
+	meta.KeyStats = stats
 	if err := writeMeta(dir, meta); err != nil {
 		return nil, err
 	}
@@ -354,7 +361,7 @@ func (ls leafSet) tree(tid int) (*lingtree.Tree, error) {
 type Sharded struct {
 	dir   string
 	meta  Meta
-	plans *planner
+	plans *compiler
 	set   leafSet
 }
 
@@ -370,7 +377,7 @@ func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
 	if meta.Shards < 1 {
 		return nil, fmt.Errorf("core: %s is not a sharded index root", dir)
 	}
-	s := &Sharded{dir: dir, meta: meta, plans: newPlanner(meta, opts.PlanCache)}
+	s := &Sharded{dir: dir, meta: meta, plans: newCompiler(meta, opts.PlanCache)}
 	shardOpts := opts
 	shardOpts.PlanCache = 0 // shards evaluate root-compiled plans
 	s.set.offsets = make([]uint32, 0, meta.Shards+1)
@@ -559,14 +566,18 @@ func (s *Sharded) QueryTextBatch(srcs []string) ([][]Match, error) {
 // handle is one segment with no tombstones).
 func (s *Sharded) Counters() Counters {
 	hits, misses := s.plans.counters()
+	replans, est, act := s.plans.plannerCounters()
 	return Counters{
-		PostingFetches:  s.set.sumFetches(),
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
-		LiveTrees:       s.meta.NumTrees,
-		Segments:        1,
-		SegmentBytes:    s.meta.IndexBytes + s.meta.DataBytes,
-		MmapLeaves:      s.set.mappedLeaves(),
+		PostingFetches:    s.set.sumFetches(),
+		PlanCacheHits:     hits,
+		PlanCacheMisses:   misses,
+		PlanReplans:       replans,
+		PlanEstimatedRows: est,
+		PlanActualRows:    act,
+		LiveTrees:         s.meta.NumTrees,
+		Segments:          1,
+		SegmentBytes:      s.meta.IndexBytes + s.meta.DataBytes,
+		MmapLeaves:        s.set.mappedLeaves(),
 	}
 }
 

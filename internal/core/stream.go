@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/join"
 	"repro/internal/match"
+	"repro/internal/planner"
 	"repro/internal/postings"
 )
 
@@ -36,13 +38,14 @@ type matchStream struct {
 
 // streamPlan builds the match stream of one compiled plan, returning
 // it with a QueryStats carrying the structural counters (Pieces,
-// Joins, Candidates); the work counters land in finish.
-func (ix *Index) streamPlan(ctx context.Context, pl *Plan, get postingGetter, dels *TombSet) (*matchStream, *QueryStats, error) {
+// Joins, Candidates); the work counters land in finish. Of ev only
+// dels and pieceReads apply — bounds are the consumer's business.
+func (ix *Index) streamPlan(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) (*matchStream, *QueryStats, error) {
 	switch ix.meta.Coding {
 	case postings.RootSplit, postings.SubtreeInterval:
-		return ix.streamJoin(ctx, pl, get, dels)
+		return ix.streamJoin(ctx, pl, get, ev)
 	case postings.FilterBased:
-		return ix.streamFilter(ctx, pl, get, dels)
+		return ix.streamFilter(ctx, pl, get, ev)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown coding %v", ix.meta.Coding)
 	}
@@ -72,14 +75,26 @@ func (ix *Index) pieceCursor(pp PlanPiece, get postingGetter, dels *TombSet) (jo
 }
 
 // streamJoin builds the streaming evaluation for the join codings.
-func (ix *Index) streamJoin(ctx context.Context, pl *Plan, get postingGetter, dels *TombSet) (*matchStream, *QueryStats, error) {
+// Posting blobs are fetched in the plan's cost order (syntactic on
+// uncosted plans), so a query whose cheapest piece is absent never
+// issues the remaining point reads; the relations keep their piece
+// positions for the join.
+func (ix *Index) streamJoin(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) (*matchStream, *QueryStats, error) {
 	st := &QueryStats{Pieces: len(pl.Pieces), Joins: len(pl.Pieces) - 1}
-	rels := make([]join.StreamRelation, 0, len(pl.Pieces))
-	for _, pp := range pl.Pieces {
+	rels := make([]join.StreamRelation, len(pl.Pieces))
+	fetchOrder := pl.Order
+	if len(fetchOrder) != len(pl.Pieces) {
+		fetchOrder = nil
+	}
+	for i := range pl.Pieces {
+		pi := i
+		if fetchOrder != nil {
+			pi = fetchOrder[i]
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		rel, found, err := ix.pieceCursor(pp, get, dels)
+		rel, found, err := ix.pieceCursor(pl.Pieces[pi], get, ev.dels)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -87,9 +102,15 @@ func (ix *Index) streamJoin(ctx context.Context, pl *Plan, get postingGetter, de
 			// A piece with no postings: no matches anywhere.
 			return emptyStream(), st, nil
 		}
-		rels = append(rels, rel)
+		if ev.pieceReads != nil && pi < len(ev.pieceReads) {
+			rel.Cursor = &countCursor{inner: rel.Cursor, n: &ev.pieceReads[pi]}
+		}
+		rels[pi] = rel
 	}
-	js, err := join.NewStream(ctx, pl.Query, rels)
+	js, err := join.NewStreamOpts(ctx, pl.Query, rels, join.Options{
+		Order:   pl.Order,
+		NoStack: pl.Strategy == planner.StrategyBlock,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -106,8 +127,8 @@ func (ix *Index) streamJoin(ctx context.Context, pl *Plan, get postingGetter, de
 // streamFilter builds the streaming evaluation for the filter coding:
 // tid lists intersect eagerly (shared with evalFilter), candidate
 // trees validate lazily.
-func (ix *Index) streamFilter(ctx context.Context, pl *Plan, get postingGetter, dels *TombSet) (*matchStream, *QueryStats, error) {
-	cands, st, found, err := ix.filterCandidates(ctx, pl, get, dels)
+func (ix *Index) streamFilter(ctx context.Context, pl *Plan, get postingGetter, ev evalOpts) (*matchStream, *QueryStats, error) {
+	cands, st, found, err := ix.filterCandidates(ctx, pl, get, ev)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -159,6 +180,26 @@ func (ix *Index) streamFilter(ctx context.Context, pl *Plan, get postingGetter, 
 		},
 	}, st, nil
 }
+
+// countCursor wraps an entry cursor so each decoded entry is tallied
+// into a per-piece explain counter; only attached when a caller asked
+// for explain output.
+type countCursor struct {
+	inner join.EntryCursor
+	n     *atomic.Uint64
+}
+
+// Next decodes the next entry, counting it.
+func (c *countCursor) Next() (postings.IntervalEntry, bool) {
+	e, ok := c.inner.Next()
+	if ok {
+		c.n.Add(1)
+	}
+	return e, ok
+}
+
+// Err reports the inner cursor's decode error, if any.
+func (c *countCursor) Err() error { return c.inner.Err() }
 
 // emptyStream is the no-matches stream (an absent cover piece).
 func emptyStream() *matchStream {

@@ -1,0 +1,205 @@
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// coveredNodes returns the sorted union of a cover's piece nodes.
+func coveredNodes(c Cover) []int {
+	seen := map[int]bool{}
+	for _, p := range c {
+		for _, v := range p.Nodes {
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// assertSlots asserts every piece's slot mapping is faithful: the
+// sub-pattern resolves, maps one slot per piece node, and the mapped
+// slots are exactly the piece's nodes (so a posting bound through the
+// piece binds the query nodes it claims to).
+func assertSlots(t *testing.T, q *query.Query, c Cover) {
+	t.Helper()
+	for i, p := range c {
+		pat, slots, err := q.SubPattern(p.Nodes)
+		if err != nil {
+			t.Fatalf("piece %d %v: %v", i, p.Nodes, err)
+		}
+		if len(slots) != len(p.Nodes) {
+			t.Fatalf("piece %d: %d slots for %d nodes", i, len(slots), len(p.Nodes))
+		}
+		got := append([]int(nil), slots...)
+		sort.Ints(got)
+		want := append([]int(nil), p.Nodes...)
+		sort.Ints(want)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("piece %d: slots %v bind nodes %v, want %v", i, slots, got, want)
+			}
+		}
+		if pat.Size() != len(p.Nodes) {
+			t.Fatalf("piece %d: pattern size %d over %d nodes", i, pat.Size(), len(p.Nodes))
+		}
+	}
+}
+
+// TestCoverSingleNode asserts the smallest degenerate input: a
+// one-node query yields exactly one single-node piece under every
+// algorithm and every mss.
+func TestCoverSingleNode(t *testing.T) {
+	q := query.MustParse("NN")
+	for _, mss := range []int{1, 2, 3, 6} {
+		for name, fn := range map[string]func(*query.Query, []int, int) (Cover, error){
+			"Optimal": Optimal, "MinRootSplit": MinRootSplit,
+		} {
+			c, err := fn(q, comp(q), mss)
+			if err != nil {
+				t.Fatalf("%s mss=%d: %v", name, mss, err)
+			}
+			if len(c) != 1 || len(c[0].Nodes) != 1 || c[0].Root != 0 {
+				t.Fatalf("%s mss=%d: cover %v, want one single-node piece rooted at 0", name, mss, c)
+			}
+			if err := c.Verify(q, comp(q), mss, name == "MinRootSplit"); err != nil {
+				t.Fatalf("%s mss=%d: %v", name, mss, err)
+			}
+			if c.Joins() != 0 {
+				t.Fatalf("%s mss=%d: %d joins on one piece", name, mss, c.Joins())
+			}
+		}
+	}
+}
+
+// TestCoverMSS1 asserts mss=1 degrades both algorithms to the node
+// approach: one piece per node, exactly like Singles, with faithful
+// slots — the LPath baseline the paper compares against.
+func TestCoverMSS1(t *testing.T) {
+	q := query.MustParse(paperQuery)
+	nodes := comp(q)
+	for name, fn := range map[string]func(*query.Query, []int, int) (Cover, error){
+		"Optimal": Optimal, "MinRootSplit": MinRootSplit,
+	} {
+		c, err := fn(q, nodes, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(c) != len(nodes) {
+			t.Fatalf("%s mss=1: %d pieces over %d nodes, want one per node", name, len(c), len(nodes))
+		}
+		for _, p := range c {
+			if len(p.Nodes) != 1 || p.Nodes[0] != p.Root {
+				t.Fatalf("%s mss=1: piece %v is not a single rooted node", name, p)
+			}
+		}
+		covered := coveredNodes(c)
+		want := append([]int(nil), nodes...)
+		sort.Ints(want)
+		if fmt.Sprint(covered) != fmt.Sprint(want) {
+			t.Fatalf("%s mss=1: covered %v, want %v", name, covered, want)
+		}
+		if err := c.Verify(q, nodes, 1, name == "MinRootSplit"); err != nil {
+			t.Fatalf("%s mss=1: %v", name, err)
+		}
+		assertSlots(t, q, c)
+	}
+}
+
+// TestCoverDeepUnaryChain asserts piece counts on chains, where each
+// algorithm's minimum differs. A connected piece holds at most mss
+// chain nodes, so Optimal partitions a chain of L nodes into exactly
+// ceil(L/mss) pieces. MinRootSplit must cover every subtree entirely
+// before its ancestors, so after the one deepest full-size piece every
+// remaining ancestor is a singleton: L-mss+1 pieces for L > mss — the
+// price of keeping all joins on piece roots.
+func TestCoverDeepUnaryChain(t *testing.T) {
+	for _, length := range []int{2, 3, 5, 7, 12, 20} {
+		src := "N0"
+		for i := 1; i < length; i++ {
+			src += fmt.Sprintf("(N%d", i)
+		}
+		src += strings.Repeat(")", length-1)
+		q := query.MustParse(src)
+		if q.Size() != length {
+			t.Fatalf("chain fixture of %d nodes parsed to %d", length, q.Size())
+		}
+		for _, mss := range []int{1, 2, 3, 4, 6} {
+			optWant := (length + mss - 1) / mss
+			minRCWant := 1
+			if length > mss {
+				minRCWant = length - mss + 1
+			}
+			for _, tc := range []struct {
+				name string
+				fn   func(*query.Query, []int, int) (Cover, error)
+				want int
+			}{
+				{"Optimal", Optimal, optWant},
+				{"MinRootSplit", MinRootSplit, minRCWant},
+			} {
+				c, err := tc.fn(q, comp(q), mss)
+				if err != nil {
+					t.Fatalf("%s L=%d mss=%d: %v", tc.name, length, mss, err)
+				}
+				if len(c) != tc.want {
+					t.Fatalf("%s L=%d mss=%d: %d pieces, want %d",
+						tc.name, length, mss, len(c), tc.want)
+				}
+				if err := c.Verify(q, comp(q), mss, tc.name == "MinRootSplit"); err != nil {
+					t.Fatalf("%s L=%d mss=%d: %v", tc.name, length, mss, err)
+				}
+				assertSlots(t, q, c)
+			}
+		}
+	}
+}
+
+// TestCoverWideFanOut asserts minimality on stars: a root with k equal
+// children covers in ceil(k/(mss-1)) pieces — each piece binds the
+// root plus mss-1 children, and no cover can do better because every
+// child needs a piece and a piece reaches at most mss-1 of them.
+func TestCoverWideFanOut(t *testing.T) {
+	for _, k := range []int{2, 5, 8, 12, 16} {
+		var sb strings.Builder
+		sb.WriteString("R")
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(&sb, "(C%d)", i)
+		}
+		q := query.MustParse(sb.String())
+		for _, mss := range []int{2, 3, 4} {
+			minimal := (k + mss - 2) / (mss - 1)
+			for name, fn := range map[string]func(*query.Query, []int, int) (Cover, error){
+				"Optimal": Optimal, "MinRootSplit": MinRootSplit,
+			} {
+				c, err := fn(q, comp(q), mss)
+				if err != nil {
+					t.Fatalf("%s k=%d mss=%d: %v", name, k, mss, err)
+				}
+				if len(c) != minimal {
+					t.Fatalf("%s k=%d mss=%d: %d pieces, want ceil(k/(mss-1))=%d",
+						name, k, mss, len(c), minimal)
+				}
+				if err := c.Verify(q, comp(q), mss, name == "MinRootSplit"); err != nil {
+					t.Fatalf("%s k=%d mss=%d: %v", name, k, mss, err)
+				}
+				assertSlots(t, q, c)
+				// Every piece of a star must be rooted at the star's root —
+				// the only way a multi-node connected piece exists.
+				for _, p := range c {
+					if len(p.Nodes) > 1 && p.Root != 0 {
+						t.Fatalf("%s k=%d mss=%d: multi-node piece rooted at %d", name, k, mss, p.Root)
+					}
+				}
+			}
+		}
+	}
+}

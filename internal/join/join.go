@@ -57,11 +57,24 @@ type pred struct {
 }
 
 // Options shape one Run: count-only evaluation skips materializing,
-// sorting and returning the match slice altogether.
+// sorting and returning the match slice altogether; Order and NoStack
+// let a cost-based planner pin the execution this package would
+// otherwise choose from runtime sizes.
 type Options struct {
 	// CountOnly makes Run return only the distinct-match count, with a
 	// nil match slice — no per-match allocation happens.
 	CountOnly bool
+	// Order, when non-nil, is the preferred left-deep join order as
+	// indexes into rels. Run validates it — it must be a permutation
+	// whose every step connects to the bound set — and silently falls
+	// back to the runtime size-based order otherwise, so a stale or
+	// uncosted plan can degrade but never break a join.
+	Order []int
+	// NoStack disables the Stack-Tree fast path for this run. The
+	// planner sets it when its plan-time simulation shows no step would
+	// qualify, keeping execution deterministic with the chosen strategy;
+	// a mistaken NoStack costs only the fast path, never correctness.
+	NoStack bool
 }
 
 // Info reports how one Run executed.
@@ -130,11 +143,16 @@ func Run(ctx context.Context, q *query.Query, rels []Relation, opt Options) ([]M
 	}
 	preds := buildPredicates(q)
 
-	// Greedy left-deep order: start from the smallest relation; always
-	// add the smallest relation connected to the bound set.
-	order, err := planOrder(q, rels)
-	if err != nil {
-		return nil, info, err
+	// Order: the planner's, when it supplied a valid one; otherwise the
+	// greedy left-deep runtime order (smallest relation first, then
+	// repeatedly the smallest relation connected to the bound set).
+	order := opt.Order
+	if !validOrder(q, relationSlots(rels), order) {
+		var err error
+		order, err = planOrder(q, rels)
+		if err != nil {
+			return nil, info, err
+		}
 	}
 
 	cc := &canceller{ctx: ctx}
@@ -144,7 +162,8 @@ func Run(ctx context.Context, q *query.Query, rels []Relation, opt Options) ([]M
 		if err := ctx.Err(); err != nil {
 			return nil, info, err
 		}
-		cur, err = joinStep(cc, cur, rels[ri], preds, &arena)
+		var err error
+		cur, err = joinStep(cc, cur, rels[ri], preds, &arena, opt.NoStack)
 		if err != nil {
 			return nil, info, err
 		}
@@ -248,27 +267,10 @@ func planOrder(q *query.Query, rels []Relation) ([]int, error) {
 	}
 	take(smallest)
 
-	connected := func(i int) bool {
-		for _, s := range rels[i].Slots {
-			if bound[s] {
-				return true
-			}
-			// A query edge between s and a bound node also connects.
-			if p := q.Nodes[s].Parent; p >= 0 && bound[p] {
-				return true
-			}
-			for _, c := range q.Nodes[s].Children {
-				if bound[c] {
-					return true
-				}
-			}
-		}
-		return false
-	}
 	for len(order) < n {
 		best := -1
 		for i := 0; i < n; i++ {
-			if used[i] || !connected(i) {
+			if used[i] || !slotsConnected(q, rels[i].Slots, bound) {
 				continue
 			}
 			if best == -1 || len(rels[i].Entries) < len(rels[best].Entries) {
@@ -281,6 +283,67 @@ func planOrder(q *query.Query, rels []Relation) ([]int, error) {
 		take(best)
 	}
 	return order, nil
+}
+
+// slotsConnected reports whether a relation's slot set touches the
+// bound set: a shared query node, or a query edge between one of its
+// slots and a bound node.
+func slotsConnected(q *query.Query, slots []int, bound map[int]bool) bool {
+	for _, s := range slots {
+		if bound[s] {
+			return true
+		}
+		if p := q.Nodes[s].Parent; p >= 0 && bound[p] {
+			return true
+		}
+		for _, c := range q.Nodes[s].Children {
+			if bound[c] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// relationSlots projects the slot sets out of materialized relations,
+// the shape validOrder checks against.
+func relationSlots(rels []Relation) [][]int {
+	slots := make([][]int, len(rels))
+	for i := range rels {
+		slots[i] = rels[i].Slots
+	}
+	return slots
+}
+
+// validOrder reports whether order can drive a left-deep join over
+// relations with the given slot sets: a permutation of them in which
+// every relation after the first connects to the already-bound set —
+// the same invariant planOrder establishes. An invalid (or nil) order
+// makes the executor fall back to its runtime ordering.
+func validOrder(q *query.Query, slots [][]int, order []int) bool {
+	if len(order) != len(slots) || len(order) == 0 {
+		return false
+	}
+	seen := make([]bool, len(slots))
+	for _, i := range order {
+		if i < 0 || i >= len(slots) || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	bound := map[int]bool{}
+	for _, s := range slots[order[0]] {
+		bound[s] = true
+	}
+	for _, ri := range order[1:] {
+		if !slotsConnected(q, slots[ri], bound) {
+			return false
+		}
+		for _, s := range slots[ri] {
+			bound[s] = true
+		}
+	}
+	return true
 }
 
 // table is an intermediate result: rows of bindings, with col mapping
@@ -311,9 +374,10 @@ func newTable(r Relation) *table {
 // that becomes checkable (both nodes bound) and keeping shared-slot
 // equality implicit predicates. Result-row bindings are carved from
 // arena, so a step allocates per chunk rather than per surviving row.
-// It aborts with the context's error when cc observes cancellation
-// mid-merge.
-func joinStep(cc *canceller, cur *table, r Relation, preds []pred, arena *postings.RefArena) (*table, error) {
+// noStack suppresses the Stack-Tree fast path (a planner decision; see
+// Options.NoStack). It aborts with the context's error when cc
+// observes cancellation mid-merge.
+func joinStep(cc *canceller, cur *table, r Relation, preds []pred, arena *postings.RefArena, noStack bool) (*table, error) {
 	// Columns of the result: existing + new slots of r.
 	out := &table{col: map[int]int{}}
 	for k, v := range cur.col {
@@ -347,7 +411,7 @@ func joinStep(cc *canceller, cur *table, r Relation, preds []pred, arena *postin
 	// Fast path: a pure structural step (no shared slots, a single
 	// parent/ancestor edge crossing the two sides) runs as a
 	// Stack-Tree structural join over (tid, pre)-sorted streams.
-	if !DisableStackJoin && len(sharedSlots) == 0 {
+	if !DisableStackJoin && !noStack && len(sharedSlots) == 0 {
 		rSlots := map[int]int{}
 		for i, s := range r.Slots {
 			rSlots[s] = i

@@ -63,10 +63,11 @@ type Stream struct {
 
 	arena postings.RefArena // row bindings of per-tid joins, amortized
 
-	read int // entries pulled from cursors
-	rows int // read + rows produced by join steps
-	done bool
-	err  error
+	read    int  // entries pulled from cursors
+	rows    int  // read + rows produced by join steps
+	noStack bool // planner decision: skip the Stack-Tree fast path
+	done    bool
+	err     error
 }
 
 // NewStream validates the inputs and returns a stream positioned
@@ -111,6 +112,27 @@ func NewStream(ctx context.Context, q *query.Query, rels []StreamRelation) (*Str
 			// the remaining cursors are not even primed.
 			s.done = true
 		}
+	}
+	return s, nil
+}
+
+// NewStreamOpts is NewStream with planner options applied: a valid
+// opt.Order pins the per-tree join order up front (instead of the
+// size-based order computed on the first block) and opt.NoStack
+// suppresses the Stack-Tree fast path. Invalid orders are ignored, as
+// in Run.
+func NewStreamOpts(ctx context.Context, q *query.Query, rels []StreamRelation, opt Options) (*Stream, error) {
+	s, err := NewStream(ctx, q, rels)
+	if err != nil {
+		return nil, err
+	}
+	s.noStack = opt.NoStack
+	slots := make([][]int, len(rels))
+	for i := range rels {
+		slots[i] = rels[i].Slots
+	}
+	if validOrder(q, slots, opt.Order) {
+		s.order = append([]int(nil), opt.Order...)
 	}
 	return s, nil
 }
@@ -258,7 +280,7 @@ func (s *Stream) joinTID() ([]Match, int, error) {
 	cur := newTable(s.minis[s.order[0]])
 	var err error
 	for _, ri := range s.order[1:] {
-		cur, err = joinStep(s.cc, cur, s.minis[ri], s.preds, &s.arena)
+		cur, err = joinStep(s.cc, cur, s.minis[ri], s.preds, &s.arena, s.noStack)
 		if err != nil {
 			return nil, rows, err
 		}

@@ -6,6 +6,8 @@
 // Endpoints:
 //
 //	GET  /search?q=Q&limit=N&offset=M&timeout=D   one query's match window
+//	                           (&explain=1 adds the planner's strategy and
+//	                           per-piece estimated vs. actual cardinality)
 //	GET  /stream?q=Q&limit=N&offset=M&timeout=D   same, streamed as NDJSON
 //	GET  /count?q=Q&timeout=D                     exact match count only
 //	POST /batch                {"queries": [...]} evaluated as one batch:
@@ -239,16 +241,44 @@ type StatsJSON struct {
 	// intermediate join rows produced. Limits push into the join, so a
 	// truncated query reports fewer rows than its unlimited run.
 	JoinRows uint64 `json:"join_rows"`
+	// Strategy is the execution strategy the planner chose (filter,
+	// stack, block or stream); present only with explain=1 on an index
+	// built with statistics.
+	Strategy string `json:"strategy,omitempty"`
+	// EstimatedRows is the planner's estimated match cardinality;
+	// present only with explain=1 on a costed plan.
+	EstimatedRows uint64 `json:"estimated_rows,omitempty"`
+	// Pieces lists each cover piece's estimated vs. actually decoded
+	// posting entries; present only with explain=1.
+	Pieces []PieceJSON `json:"pieces,omitempty"`
+}
+
+// PieceJSON is one cover piece's explain row (the wire form of
+// si.PieceStat).
+type PieceJSON struct {
+	// Key is the piece's index key (the flattened subtree).
+	Key string `json:"key"`
+	// Est is the planner's estimated posting-entry count for the key.
+	Est uint64 `json:"est"`
+	// Actual is the number of posting entries execution decoded; under
+	// cost-ordered early abort or a limit it can be far below Est.
+	Actual uint64 `json:"actual"`
 }
 
 // statsJSON converts engine stats to the wire form.
 func statsJSON(st si.SearchStats) *StatsJSON {
-	return &StatsJSON{
+	out := &StatsJSON{
 		PostingFetches:  st.PostingFetches,
 		PlanCacheHit:    st.PlanCacheHit,
 		ShardsConsulted: st.ShardsConsulted,
 		JoinRows:        st.JoinRows,
+		Strategy:        st.Strategy,
+		EstimatedRows:   st.EstimatedRows,
 	}
+	for _, p := range st.Pieces {
+		out.Pieces = append(out.Pieces, PieceJSON{Key: p.Key, Est: p.Est, Actual: p.Actual})
+	}
+	return out
 }
 
 // QueryResult is the per-query payload of /search and /batch.
@@ -400,6 +430,7 @@ type searchParams struct {
 	limit   int
 	offset  int
 	timeout time.Duration
+	explain bool
 }
 
 // boundParams is the one validation and clamping path for the
@@ -447,6 +478,13 @@ func (s *Server) parseParams(r *http.Request) (searchParams, error) {
 		}
 		p.offset = n
 	}
+	if raw := v.Get("explain"); raw != "" {
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return p, fmt.Errorf("bad explain %q (want 1 or 0)", raw)
+		}
+		p.explain = b
+	}
 	var err error
 	p.limit, p.offset, p.timeout, err = s.boundParams(p.limit, p.offset, v.Get("timeout"))
 	return p, err
@@ -477,6 +515,14 @@ func searchOptions(limit, offset int, countOnly bool) []si.SearchOption {
 	}
 	if countOnly {
 		opts = append(opts, si.WithCountOnly())
+	}
+	return opts
+}
+
+// explainOptions appends WithExplain when the request asked for it.
+func explainOptions(opts []si.SearchOption, explain bool) []si.SearchOption {
+	if explain {
+		opts = append(opts, si.WithExplain())
 	}
 	return opts
 }
@@ -532,7 +578,7 @@ func (s *Server) evaluate(w http.ResponseWriter, r *http.Request, countOnly bool
 		limit, offset = 0, 0
 	}
 	start := time.Now()
-	res, err := s.ix.Search(ctx, p.src, searchOptions(limit, offset, countOnly)...)
+	res, err := s.ix.Search(ctx, p.src, explainOptions(searchOptions(limit, offset, countOnly), p.explain)...)
 	if err != nil {
 		s.fail(w, r, errStatus(err), err.Error())
 		return nil, p, 0, false

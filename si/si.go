@@ -426,6 +426,14 @@ func WithOffset(n int) SearchOption { return func(o *SearchOptions) { o.Offset =
 // Count is the one-call form.
 func WithCountOnly() SearchOption { return func(o *SearchOptions) { o.CountOnly = true } }
 
+// WithExplain asks the search to report how the planner executed it:
+// SearchStats gains the chosen strategy, the plan's estimated match
+// cardinality, and a per-piece table of estimated vs. actually decoded
+// posting entries (SearchStats.Pieces). Explain adds a per-piece
+// counter to the hot path, so leave it off in production loops; it is
+// ignored by SearchBatch.
+func WithExplain() SearchOption { return func(o *SearchOptions) { o.Explain = true } }
+
 // searchOptions folds SearchOption values into a SearchOptions.
 func searchOptions(opts []SearchOption) SearchOptions {
 	var o SearchOptions
@@ -446,8 +454,15 @@ type SearchResult = core.Result
 
 // SearchStats are per-query execution statistics: posting fetches
 // issued, plan-cache hit, shards consulted, and whether the result was
-// truncated by a limit.
+// truncated by a limit. With WithExplain they additionally carry the
+// planner's chosen strategy, estimated match cardinality and per-piece
+// estimates (see PieceStat).
 type SearchStats = core.SearchStats
+
+// PieceStat is one cover piece's explain row: the piece's index key,
+// the planner's estimated posting entries, and the entries actually
+// decoded during execution. Populated only under WithExplain.
+type PieceStat = core.PieceStat
 
 // Query evaluates a parsed query under ctx. Options as in Search.
 func (i *Index) Query(ctx context.Context, q *Query, opts ...SearchOption) (*SearchResult, error) {
