@@ -1,6 +1,18 @@
 GO ?= go
 
-.PHONY: build test bench bench-json bench-baseline fuzz-short lint serve serve-append-smoke serve-cluster-smoke docs-check examples ci
+# The single source of truth for the staticcheck pin: CI's lint job
+# runs `make lint`, so local and CI use the identical version. Override
+# STATICCHECK itself to substitute a binary (or `true` to skip in an
+# offline environment — the skip is then an explicit, visible choice).
+STATICCHECK_VERSION ?= 2024.1.1
+STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+
+# The repository's own vet tool (cmd/silint): borrowcheck, epochpin,
+# arenascope, ctxloop plus the lostcancel/nilness extras. docs/LINTING.md
+# is the catalog.
+SILINT := bin/silint
+
+.PHONY: build test bench bench-json bench-baseline fuzz-short lint silint serve serve-append-smoke serve-cluster-smoke docs-check examples ci
 
 build:
 	$(GO) build ./...
@@ -55,19 +67,19 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzPostingDecode -fuzztime=$(FUZZTIME) ./internal/postings/
 	$(GO) test -fuzz=FuzzPageHeader -fuzztime=$(FUZZTIME) ./internal/pager/
 
-# Lint: gofmt and vet always; staticcheck when the tool is on PATH
-# (CI installs a pinned version — see .github/workflows/ci.yml — so
-# the full check always runs there; locally it is opt-in rather than
-# an install-on-demand surprise).
-lint:
+# Build the repository's vet tool.
+silint:
+	$(GO) build -o $(SILINT) ./cmd/silint
+
+# Lint, fail-closed and identical to CI's lint job: gofmt, the standard
+# vet passes, the silint analyzer suite (docs/LINTING.md), and the
+# pinned staticcheck.
+lint: silint
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		echo staticcheck ./...; staticcheck ./...; \
-	else \
-		echo "staticcheck not installed; skipping (CI runs it)"; \
-	fi
+	$(GO) vet -vettool=$(SILINT) ./...
+	$(STATICCHECK) ./...
 
 # Start a demo query server over a freshly generated corpus.
 serve:

@@ -50,6 +50,7 @@ var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
 var requiredDocs = []string{
 	"README.md",
 	"docs/ARCHITECTURE.md",
+	"docs/LINTING.md",
 	"docs/QUERY_SYNTAX.md",
 	"docs/SEGMENTS.md",
 }
@@ -62,6 +63,10 @@ var requiredSections = map[string][]string{
 		"## Planning & statistics",
 		"## Read path & memory model",
 		"## Segments, generations and live updates",
+	},
+	"docs/LINTING.md": {
+		"## The analyzers",
+		"## Silencing a finding",
 	},
 }
 

@@ -1,0 +1,12 @@
+package arenascope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/arenascope"
+)
+
+func TestArenascope(t *testing.T) {
+	analysistest.Run(t, "testdata/src", arenascope.Analyzer, "a")
+}

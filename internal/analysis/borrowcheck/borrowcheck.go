@@ -1,0 +1,285 @@
+// Package borrowcheck enforces the pager's borrow contract
+// (internal/pager, "Read path and the borrow contract"): every
+// `view, release, err := f.ReadPage(id)` acquisition must call release
+// on every path out of the acquiring scope — error returns included —
+// and the view must not outlive the borrow by escaping the function.
+//
+// Recognized discharges, beyond a plain release() call:
+//
+//   - defer release() (covers every later exit);
+//   - storing or passing the release value on — parking the borrow in
+//     a struct (the B+Tree iterator holds page+release across Next and
+//     drops them in dropPage) or returning it transfers the obligation
+//     to whoever now holds the release;
+//   - returns inside the `err != nil` branch of the acquisition's own
+//     error, where no borrow was taken.
+//
+// The view must stay local: returning it, storing it into a field,
+// global, channel or goroutine is an escape — unless the same
+// statement also transfers the release (borrow moves as a pair), or
+// the function consults Stable(), the pager's explicit marker that
+// views outlive release on this backend.
+//
+// The analyzer identifies ReadPage by name and result shape
+// ([]byte, func(), error), tracks only the directly bound variables
+// (derived aliases are out of scope), and skips _test.go files.
+package borrowcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+// Analyzer is the borrowcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "borrowcheck",
+	Doc:  "check that pager.ReadPage borrows release on all paths and views do not escape",
+	Run:  run,
+}
+
+// run visits every function and checks each ReadPage acquisition in
+// it.
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if len(file.Decls) > 0 && analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		analysis.Funcs(file, func(fb analysis.FuncBody) {
+			checkFunc(pass, fb)
+		})
+	}
+	return nil
+}
+
+// checkFunc checks the ReadPage acquisitions directly inside fb's body
+// (nested literals are visited as their own FuncBody).
+func checkFunc(pass *analysis.Pass, fb analysis.FuncBody) {
+	stableExempt := consultsStable(fb.Body)
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // checked as its own function body
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		call := borrowCall(pass, assign)
+		if call == nil {
+			return true
+		}
+		view, release, errv := lhsIdent(assign, 0), lhsIdent(assign, 1), lhsIdent(assign, 2)
+		if release == nil {
+			pass.Reportf(assign.Pos(), "ReadPage release discarded: bind it and call it on every path")
+			return true
+		}
+		relObj := pass.TypesInfo.ObjectOf(release)
+		scope, ok := flow.ScopeAfter(fb.Body, assign)
+		if !ok {
+			return true
+		}
+		cfg := flow.Config{
+			AcquirePos: assign.Pos(),
+			Discharges: func(s ast.Stmt) bool {
+				return analysis.UsesObject(s, relObj, pass.TypesInfo)
+			},
+		}
+		if errv != nil {
+			cfg.ExemptCond = analysis.ErrExemptCond(pass.TypesInfo.ObjectOf(errv), pass.TypesInfo)
+		}
+		for _, v := range flow.Check(cfg, scope) {
+			pass.Reportf(v.Pos, "ReadPage view %s: release not called on %s path (in %s)",
+				viewName(view), v.Kind, fb.Name)
+		}
+		if view != nil && !stableExempt {
+			checkEscapes(pass, fb, scope, pass.TypesInfo.ObjectOf(view), relObj)
+		}
+		return true
+	})
+}
+
+// viewName names the view variable for diagnostics ("_" when blank).
+func viewName(view *ast.Ident) string {
+	if view == nil {
+		return "_"
+	}
+	return view.Name
+}
+
+// borrowCall returns the ReadPage call when assign is a borrow
+// acquisition — a := with a single call whose results are
+// ([]byte, func(), error) from a method named ReadPage — else nil.
+func borrowCall(pass *analysis.Pass, assign *ast.AssignStmt) *ast.CallExpr {
+	if assign.Tok.String() != ":=" || len(assign.Rhs) != 1 || len(assign.Lhs) != 3 {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ReadPage" {
+		return nil
+	}
+	tup, ok := pass.TypesInfo.TypeOf(call).(*types.Tuple)
+	if !ok || tup.Len() != 3 {
+		return nil
+	}
+	if !isByteSlice(tup.At(0).Type()) || !isNullarySig(tup.At(1).Type()) || !isError(tup.At(2).Type()) {
+		return nil
+	}
+	return call
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isNullarySig reports whether t is func().
+func isNullarySig(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// isError reports whether t is the error interface.
+func isError(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// lhsIdent returns assign.Lhs[i] as a non-blank identifier, or nil.
+func lhsIdent(assign *ast.AssignStmt, i int) *ast.Ident {
+	if i >= len(assign.Lhs) {
+		return nil
+	}
+	id, ok := assign.Lhs[i].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// consultsStable reports whether the body calls a Stable() method —
+// the pager's marker that this code knowingly relies on views
+// outliving release, which waives the escape checks (not the release
+// pairing).
+func consultsStable(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Stable" && len(call.Args) == 0 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkEscapes reports view escapes within the acquisition scope: the
+// view (or a subslice of it) returned, stored into a non-local sink,
+// sent on a channel, or captured by a goroutine — except when the same
+// statement also moves the release (the borrow transfers as a pair).
+func checkEscapes(pass *analysis.Pass, fb analysis.FuncBody, scope []ast.Stmt, viewObj, relObj types.Object) {
+	if viewObj == nil {
+		return
+	}
+	derives := func(e ast.Expr) bool { return derivesFrom(e, viewObj, pass.TypesInfo) }
+	for _, s := range scope {
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if derives(r) && !analysis.UsesObject(n, relObj, pass.TypesInfo) {
+						pass.Reportf(n.Pos(), "ReadPage view %s escapes via return without its release (in %s): copy it or return the release too",
+							viewObj.Name(), fb.Name)
+					}
+				}
+			case *ast.AssignStmt:
+				if analysis.UsesObject(n, relObj, pass.TypesInfo) {
+					return true // borrow transferred as a pair
+				}
+				for i, r := range n.Rhs {
+					if !derives(r) {
+						continue
+					}
+					if sink := storeSink(pass, n.Lhs, i); sink != "" {
+						pass.Reportf(n.Pos(), "ReadPage view %s stored into %s (in %s): it is only valid until release; copy it",
+							viewObj.Name(), sink, fb.Name)
+					}
+				}
+			case *ast.SendStmt:
+				if derives(n.Value) {
+					pass.Reportf(n.Pos(), "ReadPage view %s sent on a channel (in %s): the borrow is single-goroutine; copy it",
+						viewObj.Name(), fb.Name)
+				}
+			case *ast.GoStmt:
+				if analysis.UsesObject(n.Call, viewObj, pass.TypesInfo) {
+					pass.Reportf(n.Pos(), "ReadPage view %s used from a goroutine (in %s): the borrow is single-goroutine; copy it",
+						viewObj.Name(), fb.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// storeSink classifies the i-th assignment target (position-matched
+// for 1:1 assigns, any target otherwise) and returns a description of
+// the sink when it outlives the borrow: a field, element or
+// package-level variable. Empty string means a plain local, which is
+// fine.
+func storeSink(pass *analysis.Pass, lhs []ast.Expr, i int) string {
+	target := lhs[0]
+	if i < len(lhs) {
+		target = lhs[i]
+	}
+	switch t := target.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return ""
+		}
+		if analysis.IsPackageLevel(pass.TypesInfo.ObjectOf(t)) {
+			return "package-level variable " + t.Name
+		}
+		return ""
+	default:
+		if base := analysis.BaseIdent(target); base != nil {
+			return "field or element of " + base.Name
+		}
+		return "a non-local location"
+	}
+}
+
+// derivesFrom reports whether e is obj or a still-aliasing derivation
+// of it: subslices, parens, address-of, or a composite literal holding
+// one. Calls are a copy boundary and do not derive.
+func derivesFrom(e ast.Expr, obj types.Object, info *types.Info) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e) == obj
+	case *ast.SliceExpr:
+		return derivesFrom(e.X, obj, info)
+	case *ast.ParenExpr:
+		return derivesFrom(e.X, obj, info)
+	case *ast.UnaryExpr:
+		return e.Op.String() == "&" && derivesFrom(e.X, obj, info)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if derivesFrom(el, obj, info) {
+				return true
+			}
+		}
+	}
+	return false
+}

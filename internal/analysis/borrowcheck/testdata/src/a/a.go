@@ -1,0 +1,160 @@
+// Package a is the borrowcheck fixture: pagerFile mirrors the shape of
+// internal/pager's File (ReadPage returning view, release, error plus a
+// Stable marker), and each function is one positive or negative case of
+// the borrow contract.
+package a
+
+import "errors"
+
+type pagerFile struct{ stable bool }
+
+func (f *pagerFile) ReadPage(id uint32) ([]byte, func(), error) {
+	if id == 0 {
+		return nil, nil, errors.New("bad id")
+	}
+	return make([]byte, 8), func() {}, nil
+}
+
+func (f *pagerFile) Stable() bool { return f.stable }
+
+func use(b []byte) {}
+
+// goodDefer releases on every path: the error branch is exempt, defer
+// covers the rest, and indexing the view is a copy, not an escape.
+func goodDefer(f *pagerFile) (byte, error) {
+	view, release, err := f.ReadPage(1)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	return view[0], nil
+}
+
+// leakOnErrPath forgets the release on a non-acquisition error return.
+func leakOnErrPath(f *pagerFile) ([]byte, error) {
+	view, release, err := f.ReadPage(1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(view))
+	copy(out, view)
+	if len(out) == 0 {
+		return nil, errors.New("empty") // want `release not called on return path`
+	}
+	release()
+	return out, nil
+}
+
+// leakScopeEnd can fall off the end of the function with the borrow
+// live: release is only called on an unreachable branch.
+func leakScopeEnd(f *pagerFile, cond bool) {
+	view, release, err := f.ReadPage(2) // want `release not called on end of scope path`
+	if err != nil {
+		return
+	}
+	use(view)
+	if cond {
+		release()
+	}
+}
+
+// discarded drops the release outright.
+func discarded(f *pagerFile) {
+	view, _, err := f.ReadPage(3) // want `release discarded`
+	if err != nil {
+		return
+	}
+	use(view)
+}
+
+type holder struct{ data []byte }
+
+// escapeField parks the view in a foreign struct without its release.
+func escapeField(f *pagerFile, h *holder) {
+	view, release, err := f.ReadPage(4)
+	if err != nil {
+		return
+	}
+	defer release()
+	h.data = view // want `stored into field or element of h`
+}
+
+type iter struct {
+	page    []byte
+	release func()
+}
+
+// load parks view and release together — the iterator idiom, where
+// dropPage releases later. Moving the pair transfers the obligation.
+func (it *iter) load(f *pagerFile) error {
+	page, release, err := f.ReadPage(5)
+	if err != nil {
+		return err
+	}
+	it.page, it.release = page, release
+	return nil
+}
+
+// stableEscape consults Stable() first, the pager's marker that views
+// outlive release on this backend: the escape checks are waived.
+func stableEscape(f *pagerFile, h *holder) {
+	if !f.Stable() {
+		return
+	}
+	view, release, err := f.ReadPage(6)
+	if err != nil {
+		return
+	}
+	release()
+	h.data = view
+}
+
+// escapeReturn returns the view bare: released, but the caller now
+// holds memory the pool may reuse.
+func escapeReturn(f *pagerFile) []byte {
+	view, release, err := f.ReadPage(7)
+	if err != nil {
+		return nil
+	}
+	release()
+	return view // want `escapes via return without its release`
+}
+
+// transferPair returns view and release together: the borrow moves to
+// the caller whole.
+func transferPair(f *pagerFile) ([]byte, func(), error) {
+	view, release, err := f.ReadPage(8)
+	if err != nil {
+		return nil, nil, err
+	}
+	return view, release, nil
+}
+
+// escapeGoroutine hands the view to another goroutine.
+func escapeGoroutine(f *pagerFile) {
+	view, release, err := f.ReadPage(9)
+	if err != nil {
+		return
+	}
+	defer release()
+	go use(view) // want `used from a goroutine`
+}
+
+// escapeChan sends the view across a channel.
+func escapeChan(f *pagerFile, ch chan []byte) {
+	view, release, err := f.ReadPage(10)
+	if err != nil {
+		return
+	}
+	defer release()
+	ch <- view // want `sent on a channel`
+}
+
+// blankView never binds the view; only the release pairing applies.
+func blankView(f *pagerFile) {
+	_, release, err := f.ReadPage(11)
+	if err != nil {
+		return
+	}
+	release()
+}

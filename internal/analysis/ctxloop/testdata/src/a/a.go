@@ -1,0 +1,119 @@
+// Package a is the ctxloop fixture: cursor mirrors the shape of the
+// repository's posting cursors (a Next method advancing a decode), and
+// each function is one positive or negative case of the
+// consumption-loop cancellation rule.
+package a
+
+import "context"
+
+type cursor struct{ n int }
+
+func (c *cursor) Next() (int, bool) {
+	c.n++
+	return c.n, c.n < 100
+}
+
+// drainNoCheck has a context in reach but never consults it while the
+// loop decodes.
+func drainNoCheck(ctx context.Context, c *cursor) int {
+	total := 0
+	for { // want `consumption loop advances a cursor without a ctx check`
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		total += v
+	}
+	return total
+}
+
+// drainChecked polls cancellation every iteration.
+func drainChecked(ctx context.Context, c *cursor) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		total += v
+	}
+	return total
+}
+
+// drainNoCtx has no context in reach: whoever holds one checks it.
+func drainNoCtx(c *cursor) int {
+	total := 0
+	for {
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		total += v
+	}
+	return total
+}
+
+type puller struct {
+	ctx context.Context
+	cur *cursor
+}
+
+// drain reaches a context through its receiver's field but never
+// consults it.
+func (p *puller) drain() int {
+	total := 0
+	for { // want `consumption loop advances a cursor without a ctx check`
+		v, ok := p.cur.Next()
+		if !ok {
+			break
+		}
+		total += v
+	}
+	return total
+}
+
+func process(ctx context.Context, v int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return v
+}
+
+// delegateCtx passes the context to a callee each iteration: the check
+// is delegated.
+func delegateCtx(ctx context.Context, c *cursor) int {
+	total := 0
+	for {
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		total += process(ctx, v)
+	}
+	return total
+}
+
+// drainRange is the range form of an unchecked consumption loop.
+func drainRange(ctx context.Context, cs []*cursor) {
+	for _, c := range cs { // want `consumption loop advances a cursor without a ctx check`
+		c.Next()
+	}
+}
+
+// suppressed documents why its loop needs no check; the finding is
+// silenced in place.
+func suppressed(ctx context.Context, c *cursor) int {
+	total := 0
+	//silint:ignore ctxloop fixture: the cursor is bounded at construction
+	for {
+		v, ok := c.Next()
+		if !ok {
+			break
+		}
+		total += v
+	}
+	return total
+}

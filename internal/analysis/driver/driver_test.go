@@ -1,0 +1,104 @@
+package driver_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+func TestRunUnitMissingConfig(t *testing.T) {
+	var out bytes.Buffer
+	if code := driver.RunUnit(filepath.Join(t.TempDir(), "absent.cfg"), nil, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a missing config", code)
+	}
+}
+
+func TestRunUnitRejectsEmptyConfig(t *testing.T) {
+	cfg := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(cfg, []byte(`{"ID":"p"}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := driver.RunUnit(cfg, []*analysis.Analyzer{}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1 for a config with no Go files", code)
+	}
+}
+
+// TestVetToolProtocol drives the real thing end to end: build silint,
+// point `go vet -vettool` at a fixture module with a known finding, and
+// require the -V/-flags/vet.cfg handshake to produce exactly that
+// diagnostic and exit nonzero.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds cmd/silint and invokes go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	tool := filepath.Join(t.TempDir(), "silint")
+	build := exec.Command(goTool, "build", "-o", tool, "repro/cmd/silint")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building silint: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module fixturemod\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(mod, "leak.go"), `package fixturemod
+
+import "context"
+
+func Leak(ctx context.Context) context.Context {
+	c, _ := context.WithCancel(ctx)
+	return c
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet exited 0 on a module with a known finding\n%s", out)
+	}
+	if !strings.Contains(string(out), "silint/lostcancel") {
+		t.Fatalf("diagnostic missing silint/lostcancel attribution:\n%s", out)
+	}
+	if !strings.Contains(string(out), "leak.go:6") {
+		t.Fatalf("diagnostic missing position leak.go:6:\n%s", out)
+	}
+}
+
+// repoRoot walks up from the working directory to the go.mod of this
+// repository.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,12 @@
+package epochpin_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epochpin"
+)
+
+func TestEpochpin(t *testing.T) {
+	analysistest.Run(t, "testdata/src", epochpin.Analyzer, "a")
+}

@@ -1,0 +1,128 @@
+// Package a is the epochpin fixture: live/epoch mirror the shapes of
+// internal/core's epoch machinery (the (handle, error) pin on live and
+// the bool pin on epoch), and each function is one positive or negative
+// case of the pin/release pairing.
+package a
+
+import "errors"
+
+type epoch struct{ refs int }
+
+func (e *epoch) pin() bool {
+	if e.refs < 0 {
+		return false
+	}
+	e.refs++
+	return true
+}
+
+func (e *epoch) release() { e.refs-- }
+
+type live struct{ cur *epoch }
+
+func (l *live) pin() (*epoch, error) {
+	if l.cur == nil {
+		return nil, errors.New("closed")
+	}
+	if !l.cur.pin() {
+		return nil, errors.New("retired")
+	}
+	return l.cur, nil
+}
+
+// goodDefer releases on every path: the error branch is exempt and
+// defer covers the rest.
+func goodDefer(l *live) error {
+	e, err := l.pin()
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	return nil
+}
+
+// leakEarlyReturn forgets the release on an early non-error return.
+func leakEarlyReturn(l *live, fail bool) error {
+	e, err := l.pin()
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("bail") // want `release not called on return path`
+	}
+	e.release()
+	return nil
+}
+
+// transfer hands the pinned handle to the caller: returning the bare
+// handle moves the obligation with it.
+func transfer(l *live) (*epoch, error) {
+	e, err := l.pin()
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+type stream struct{ release func() }
+
+// park stores the release method value on a stream — the deferred
+// evaluation idiom, where draining the stream releases the pin.
+func park(l *live, s *stream) error {
+	e, err := l.pin()
+	if err != nil {
+		return err
+	}
+	s.release = e.release
+	return nil
+}
+
+// guardGood pairs the bool-pin guard with a deferred release inside the
+// success branch.
+func guardGood(e *epoch) int {
+	if e.pin() {
+		defer e.release()
+		return 1
+	}
+	return 0
+}
+
+// guardLeak forgets the release on one path out of the success branch.
+func guardLeak(e *epoch, fail bool) int {
+	if e.pin() {
+		if fail {
+			return -1 // want `release not called on return path`
+		}
+		e.release()
+		return 1
+	}
+	return 0
+}
+
+// guardNegated is the retry idiom: the failure branch returns, so the
+// success path is the rest of the function, which releases.
+func guardNegated(e *epoch) {
+	if !e.pin() {
+		return
+	}
+	e.release()
+}
+
+// guardNegatedLeak has a terminal failure branch but forgets the
+// release on one success path.
+func guardNegatedLeak(e *epoch, fail bool) int {
+	if !e.pin() {
+		return 0
+	}
+	if fail {
+		return -1 // want `release not called on return path`
+	}
+	e.release()
+	return 1
+}
+
+// discarded drops the pin handle outright.
+func discarded(l *live) error {
+	_, err := l.pin() // want `pin result discarded`
+	return err
+}

@@ -1,0 +1,160 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis/flow"
+)
+
+// check parses body as a function whose first statement is the
+// acquisition and runs the engine over the rest. The discharge hook
+// matches any statement mentioning an identifier named "release"; the
+// exempt hook classifies `err != nil` / `err == nil` conditions the way
+// the real analyzers do through types.
+func check(t *testing.T, body string) []flow.Violation {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	list := file.Decls[0].(*ast.FuncDecl).Body.List
+	if len(list) == 0 {
+		t.Fatal("empty body")
+	}
+	cfg := flow.Config{
+		AcquirePos: list[0].Pos(),
+		Discharges: mentionsRelease,
+		ExemptCond: exemptErr,
+	}
+	return flow.Check(cfg, list[1:])
+}
+
+// mentionsRelease reports whether stmt references an identifier named
+// release — the test stand-in for the analyzers' object-based hooks.
+func mentionsRelease(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "release" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exemptErr classifies conditions comparing an identifier named err
+// against nil.
+func exemptErr(cond ast.Expr) int {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return 0
+	}
+	isErr := func(e ast.Expr) bool { id, ok := e.(*ast.Ident); return ok && id.Name == "err" }
+	isNil := func(e ast.Expr) bool { id, ok := e.(*ast.Ident); return ok && id.Name == "nil" }
+	if !(isErr(be.X) && isNil(be.Y) || isNil(be.X) && isErr(be.Y)) {
+		return 0
+	}
+	switch be.Op {
+	case token.NEQ:
+		return 1
+	case token.EQL:
+		return -1
+	}
+	return 0
+}
+
+// kinds extracts the violation kinds, sorted for comparison.
+func kinds(vs []flow.Violation) []flow.Kind {
+	out := make([]flow.Kind, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v.Kind)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want []flow.Kind
+	}{
+		{"plain release", "acquire()\nrelease()", nil},
+		{"deferred release covers later return", "acquire()\ndefer release()\nif x {\nreturn\n}", nil},
+		{"bare return leaks", "acquire()\nreturn", []flow.Kind{flow.LeakReturn}},
+		{"err branch exempt", "acquire()\nif err != nil {\nreturn\n}\nrelease()", nil},
+		{"inverted err branch exempt", "acquire()\nif err == nil {\nrelease()\n}", nil},
+		{"unrelated branch return leaks", "acquire()\nif x {\nreturn\n}\nrelease()", []flow.Kind{flow.LeakReturn}},
+		{"scope end leaks", "acquire()", []flow.Kind{flow.LeakScopeEnd}},
+		{"conditional release leaks scope end", "acquire()\nif x {\nrelease()\n}", []flow.Kind{flow.LeakScopeEnd}},
+		{"break out of scope leaks", "acquire()\nif x {\nbreak\n}\nrelease()", []flow.Kind{flow.LeakBreak}},
+		{"continue out of scope leaks", "acquire()\nif x {\ncontinue\n}\nrelease()", []flow.Kind{flow.LeakContinue}},
+		{"loop break carries live state to scope end",
+			"acquire()\nfor {\nif x {\nbreak\n}\nrelease()\nreturn\n}", []flow.Kind{flow.LeakScopeEnd}},
+		{"loop releases then breaks", "acquire()\nfor {\nrelease()\nbreak\n}", nil},
+		{"switch leaky case and no default",
+			"acquire()\nswitch x {\ncase 1:\nrelease()\ncase 2:\nreturn\n}", []flow.Kind{flow.LeakReturn, flow.LeakScopeEnd}},
+		{"switch with default all release",
+			"acquire()\nswitch x {\ncase 1:\nrelease()\ndefault:\nrelease()\n}", nil},
+		{"fallthrough leaks",
+			"acquire()\nswitch x {\ncase 1:\nfallthrough\ncase 2:\nrelease()\n}", []flow.Kind{flow.LeakFallthrough, flow.LeakScopeEnd}},
+		{"select leaky clause",
+			"acquire()\nselect {\ncase <-a:\nrelease()\ncase <-b:\nreturn\n}", []flow.Kind{flow.LeakReturn}},
+		{"select all clauses release",
+			"acquire()\nselect {\ncase <-a:\nrelease()\ncase <-b:\nrelease()\n}", nil},
+		{"panic ends the path", "acquire()\nif x {\npanic(1)\n}\nrelease()", nil},
+		{"fatal ends the path", "acquire()\nif x {\nlog.Fatalf(\"boom\")\n}\nrelease()", nil},
+		{"goto gives up", "acquire()\ngoto L\nL:\nrelease()", nil},
+		{"labeled statement gives up", "acquire()\nL:\nfor {\nbreak L\n}\nrelease()", nil},
+		{"range loop without release leaks scope end",
+			"acquire()\nfor range xs {\nuse()\n}", []flow.Kind{flow.LeakScopeEnd}},
+		{"release after loop", "acquire()\nfor range xs {\nuse()\n}\nrelease()", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := kinds(check(t, tc.body))
+			if len(got) != len(tc.want) {
+				t.Fatalf("violations = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("violations = %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestScopeAfter(t *testing.T) {
+	src := `package p
+func f() {
+	a()
+	if x {
+		acquire()
+		b()
+		c()
+	}
+	d()
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := file.Decls[0].(*ast.FuncDecl).Body
+	ifs := body.List[1].(*ast.IfStmt)
+	acquire := ifs.Body.List[0]
+	scope, ok := flow.ScopeAfter(body, acquire)
+	if !ok {
+		t.Fatal("acquire not found")
+	}
+	if len(scope) != 2 {
+		t.Fatalf("scope has %d statements, want 2 (b and c, not d)", len(scope))
+	}
+}

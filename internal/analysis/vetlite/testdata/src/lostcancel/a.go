@@ -1,0 +1,44 @@
+// Package lostcancel is the lostcancel fixture: each function is one
+// positive or negative case of the cancel-function rule.
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+// discarded binds the cancel function to the blank identifier.
+func discarded(ctx context.Context) context.Context {
+	c, _ := context.WithCancel(ctx) // want `context.WithCancel is discarded`
+	return c
+}
+
+// discardTimeout is the same leak through WithTimeout.
+func discardTimeout(ctx context.Context) context.Context {
+	c, _ := context.WithTimeout(ctx, time.Second) // want `context.WithTimeout is discarded`
+	return c
+}
+
+// good defers the cancel.
+func good(ctx context.Context) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return c.Err()
+}
+
+// handsOn passes the cancel to whoever consumes the context.
+func handsOn(ctx context.Context) (context.Context, context.CancelFunc) {
+	c, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second))
+	return c, cancel
+}
+
+// notContext is a lookalike from another package shape: a two-value
+// call not from the context package is out of scope.
+type fakeCtx struct{}
+
+func withCancel(p fakeCtx) (fakeCtx, func()) { return p, func() {} }
+
+func unrelated(p fakeCtx) fakeCtx {
+	c, _ := withCancel(p)
+	return c
+}

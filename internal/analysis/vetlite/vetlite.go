@@ -1,0 +1,239 @@
+// Package vetlite carries the two extra vet passes CI forces beyond
+// `go vet`'s default set — lostcancel and nilness — as self-contained
+// reimplementations of the high-confidence core of their x/tools
+// namesakes (which need the unavailable go/ssa and go/cfg machinery;
+// see internal/analysis's package comment for why the dependency
+// cannot be vendored).
+//
+// lostcancel: a context.CancelFunc returned by context.WithCancel,
+// WithTimeout or WithDeadline must be used — called, deferred, stored,
+// returned or passed on. Binding it to _ or never referencing it again
+// leaks the context's resources until the parent is cancelled.
+//
+// nilness (lite): inside the branch taken when `x == nil` holds (or
+// the else of `x != nil`), dereferencing x — selecting a field through
+// a nil pointer, indexing a nil slice, writing to a nil map, calling a
+// nil function, or unary * — is a guaranteed runtime panic. The check
+// is purely syntactic over one if statement and bails out when the
+// branch reassigns x.
+package vetlite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// LostCancel is the lostcancel pass.
+var LostCancel = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  "check that context cancel functions are used on all paths",
+	Run:  runLostCancel,
+}
+
+// Nilness is the nilness (lite) pass.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "check for guaranteed nil dereferences inside nil-test branches",
+	Run:  runNilness,
+}
+
+// cancelReturning are the context constructors whose CancelFunc result
+// must not be lost.
+var cancelReturning = map[string]bool{"WithCancel": true, "WithTimeout": true, "WithDeadline": true}
+
+// runLostCancel finds `ctx, cancel := context.WithX(...)` bindings and
+// checks the cancel value is referenced again.
+func runLostCancel(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.Funcs(file, func(fb analysis.FuncBody) {
+			ast.Inspect(fb.Body, func(n ast.Node) bool {
+				assign, ok := n.(*ast.AssignStmt)
+				if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+					return true
+				}
+				call, ok := assign.Rhs[0].(*ast.CallExpr)
+				if !ok || !isCancelReturning(pass, call) {
+					return true
+				}
+				id, ok := assign.Lhs[1].(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if id.Name == "_" {
+					pass.Reportf(assign.Pos(), "the cancel function returned by context.%s is discarded: the context leaks until its parent is cancelled", calleeName(call))
+					return true
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil {
+					return true
+				}
+				if !usedAgain(fb.Body, id, obj, pass.TypesInfo) {
+					pass.Reportf(assign.Pos(), "the cancel function %s is never used: call it on every path (usually `defer %s()`)", id.Name, id.Name)
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// isCancelReturning reports whether call is context.WithCancel,
+// WithTimeout or WithDeadline (by package path, not just name).
+func isCancelReturning(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !cancelReturning[sel.Sel.Name] {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.ObjectOf(pkgID).(*types.PkgName)
+	return ok && pkg.Imported().Path() == "context"
+}
+
+// calleeName returns the selector name of a call for diagnostics.
+func calleeName(call *ast.CallExpr) string {
+	return call.Fun.(*ast.SelectorExpr).Sel.Name
+}
+
+// usedAgain reports whether obj is referenced anywhere in body other
+// than the defining identifier def.
+func usedAgain(body *ast.BlockStmt, def *ast.Ident, obj types.Object, info *types.Info) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id != def && info.ObjectOf(id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// runNilness flags dereferences of x inside the branch where a
+// syntactic nil test guarantees x is nil.
+func runNilness(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil {
+				return true
+			}
+			be, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			var x *ast.Ident
+			switch {
+			case isNilExpr(pass, be.Y):
+				x, _ = be.X.(*ast.Ident)
+			case isNilExpr(pass, be.X):
+				x, _ = be.Y.(*ast.Ident)
+			}
+			if x == nil || x.Name == "_" {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(x)
+			if obj == nil {
+				return true
+			}
+			var nilBranch ast.Stmt
+			switch be.Op {
+			case token.EQL: // x == nil: then-branch has x nil
+				nilBranch = ifs.Body
+			case token.NEQ: // x != nil: else-branch has x nil
+				nilBranch = ifs.Else
+			}
+			if nilBranch == nil {
+				return true
+			}
+			checkNilBranch(pass, nilBranch, obj)
+			return true
+		})
+	}
+	return nil
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// checkNilBranch reports guaranteed-panic dereferences of obj inside
+// branch, bailing out entirely if the branch reassigns obj.
+func checkNilBranch(pass *analysis.Pass, branch ast.Stmt, obj types.Object) {
+	reassigned := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if assign, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range assign.Lhs {
+				if id, ok := l.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					reassigned = true
+				}
+			}
+		}
+		if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			if id, ok := ue.X.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				reassigned = true // address taken: the callee may set it
+			}
+		}
+		return !reassigned
+	})
+	if reassigned {
+		return
+	}
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !isTheObj(pass, n.X, obj) {
+				return true
+			}
+			// Selecting a FIELD through a nil pointer panics; calling a
+			// method may be legal (nil receivers), so only flag fields.
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal && isPointer(pass.TypesInfo.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "field %s selected on %s, which is nil here: guaranteed panic", n.Sel.Name, obj.Name())
+			}
+		case *ast.StarExpr:
+			if isTheObj(pass, n.X, obj) && isPointer(pass.TypesInfo.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "dereference of %s, which is nil here: guaranteed panic", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if isTheObj(pass, n.X, obj) {
+				switch pass.TypesInfo.TypeOf(n.X).Underlying().(type) {
+				case *types.Slice, *types.Pointer:
+					pass.Reportf(n.Pos(), "index of %s, which is nil here: guaranteed panic", obj.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if ix, ok := l.(*ast.IndexExpr); ok && isTheObj(pass, ix.X, obj) {
+					if _, isMap := pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); isMap {
+						pass.Reportf(ix.Pos(), "write to map %s, which is nil here: guaranteed panic", obj.Name())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isTheObj(pass, n.Fun, obj) {
+				if _, isSig := pass.TypesInfo.TypeOf(n.Fun).Underlying().(*types.Signature); isSig {
+					pass.Reportf(n.Pos(), "call of %s, which is nil here: guaranteed panic", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isTheObj reports whether e is an identifier for obj.
+func isTheObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+// isPointer reports whether t's underlying type is a pointer.
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}

@@ -1,0 +1,16 @@
+package vetlite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/vetlite"
+)
+
+func TestLostCancel(t *testing.T) {
+	analysistest.Run(t, "testdata/src", vetlite.LostCancel, "lostcancel")
+}
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, "testdata/src", vetlite.Nilness, "nilness")
+}

@@ -404,6 +404,7 @@ func (ix *Index) evalStreamAll(ctx context.Context, pl *Plan, get postingGetter,
 	}
 	var out []Match
 	count := 0
+	//silint:ignore ctxloop ms.next observes ctx: both stream producers poll cancellation per block and surface it via ms.err
 	for {
 		m, ok := ms.next()
 		if !ok {
@@ -431,6 +432,7 @@ func (ix *Index) evalPlanBounded(ctx context.Context, pl *Plan, get postingGette
 		return nil, 0, nil, err
 	}
 	out := make([]Match, 0, min(target+1, 64))
+	//silint:ignore ctxloop ms.next observes ctx: both stream producers poll cancellation per block and surface it via ms.err
 	for len(out) <= target {
 		m, ok := ms.next()
 		if !ok {
@@ -609,8 +611,17 @@ func (ix *Index) filterCandidates(ctx context.Context, pl *Plan, get postingGett
 			return nil, nil, false, fmt.Errorf("core: corrupt posting count for %q", pp.Key)
 		}
 		var tids []uint32
+		decoded := 0
 		it := postings.NewFilterIterator(val[n:])
 		for it.Next() {
+			// A filter posting list is unbounded; poll cancellation
+			// every 1024 decoded entries so an abandoned query stops
+			// mid-list instead of after the full scan.
+			if decoded++; decoded&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, false, err
+				}
+			}
 			if ev.dels.Has(it.TID()) {
 				continue
 			}

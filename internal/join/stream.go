@@ -102,6 +102,7 @@ func NewStream(ctx context.Context, q *query.Query, rels []StreamRelation) (*Str
 		live:  make([]bool, len(rels)),
 		minis: make([]Relation, len(rels)),
 	}
+	//silint:ignore ctxloop priming pulls exactly one entry per relation, bounded by the cover size, not the posting lists
 	for i, r := range rels {
 		s.minis[i] = Relation{Name: r.Name, Slots: r.Slots}
 		if s.done {
@@ -229,6 +230,16 @@ func (s *Stream) align() (uint32, bool) {
 		raised := false
 		for i := range s.rels {
 			for s.heads[i].TID < target {
+				// This seek can decode a whole relation between fill's
+				// per-block polls, so observe cancellation here too,
+				// amortized to one poll per 256 entries.
+				if s.read&255 == 0 {
+					if err := s.ctx.Err(); err != nil {
+						s.err = err
+						s.done = true
+						return 0, false
+					}
+				}
 				if !s.pull(i) {
 					s.done = true
 					return 0, false
@@ -251,6 +262,14 @@ func (s *Stream) collect(tid uint32) bool {
 	for i := range s.rels {
 		s.minis[i].Entries = s.minis[i].Entries[:0]
 		for s.live[i] && s.heads[i].TID == tid {
+			// A heavy tree's block is unbounded; poll cancellation at
+			// the same amortized cadence as align's seek loop.
+			if s.read&255 == 0 {
+				if err := s.ctx.Err(); err != nil {
+					s.err = err
+					break
+				}
+			}
 			s.minis[i].Entries = append(s.minis[i].Entries, s.heads[i])
 			s.pull(i)
 		}

@@ -254,3 +254,87 @@ func TestStreamSurfacesCursorError(t *testing.T) {
 		t.Fatal("cursor failure was swallowed")
 	}
 }
+
+// cancellingCursor yields its inner entries and cancels a context after
+// a fixed number of pulls, simulating a caller abandoning the query
+// while a cursor is mid-decode.
+type cancellingCursor struct {
+	inner  EntryCursor
+	after  int
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingCursor) Next() (postings.IntervalEntry, bool) {
+	c.n++
+	if c.n == c.after {
+		c.cancel()
+	}
+	return c.inner.Next()
+}
+func (c *cancellingCursor) Err() error { return c.inner.Err() }
+
+// TestStreamCancelMidSeek locks in the align fix flagged by
+// silint/ctxloop: the seek toward a distant target tid can decode a
+// whole relation between fill's per-block polls, so cancellation
+// mid-seek must stop the stream within the amortization window instead
+// of after draining the relation.
+func TestStreamCancelMidSeek(t *testing.T) {
+	q := query.MustParse("A(B)")
+	const n = 5000
+	small := make([]postings.IntervalEntry, n)
+	for i := range small {
+		small[i] = postings.IntervalEntry{TID: uint32(i), Nodes: []postings.NodeRef{{Pre: 1, Post: 1, Level: 1, Order: 1}}}
+	}
+	far := []postings.IntervalEntry{{TID: n + 10, Nodes: []postings.NodeRef{{Pre: 0, Post: 3, Level: 0, Order: 0}}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := NewStream(ctx, q, []StreamRelation{
+		{Name: "A", Slots: []int{0}, Cursor: NewSliceCursor(far)},
+		{Name: "B", Slots: []int{1}, Cursor: &cancellingCursor{inner: NewSliceCursor(small), after: 1000, cancel: cancel}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := s.Next(); ok {
+		t.Fatalf("cancelled stream yielded %+v", m)
+	}
+	if !errors.Is(s.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", s.Err())
+	}
+	if s.EntriesRead() >= n {
+		t.Fatalf("seek drained the relation after cancellation: %d entries read", s.EntriesRead())
+	}
+}
+
+// TestStreamCancelMidCollect is the same guarantee for collect: one
+// heavy tree's block must not be gathered to completion after the
+// caller cancels.
+func TestStreamCancelMidCollect(t *testing.T) {
+	q := query.MustParse("A(B)")
+	const n = 5000
+	block := make([]postings.IntervalEntry, n)
+	for i := range block {
+		p := uint32(i + 1)
+		block[i] = postings.IntervalEntry{TID: 7, Nodes: []postings.NodeRef{{Pre: p, Post: p, Level: 1, Order: p}}}
+	}
+	root := []postings.IntervalEntry{{TID: 7, Nodes: []postings.NodeRef{{Pre: 0, Post: n + 2, Level: 0, Order: 0}}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := NewStream(ctx, q, []StreamRelation{
+		{Name: "A", Slots: []int{0}, Cursor: NewSliceCursor(root)},
+		{Name: "B", Slots: []int{1}, Cursor: &cancellingCursor{inner: NewSliceCursor(block), after: 1000, cancel: cancel}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := s.Next(); ok {
+		t.Fatalf("cancelled stream yielded %+v", m)
+	}
+	if !errors.Is(s.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", s.Err())
+	}
+	if s.EntriesRead() >= n {
+		t.Fatalf("collect gathered the whole block after cancellation: %d entries read", s.EntriesRead())
+	}
+}
